@@ -1,0 +1,35 @@
+# Convenience targets for the ARI reproduction.
+
+PY ?= python
+
+.PHONY: install test bench figures figures-paper clean-cache loc help
+
+help:
+	@echo "make install        editable install"
+	@echo "make test           full unit/integration/property suite"
+	@echo "make bench          regenerate every figure at CI scale"
+	@echo "make figures        regenerate figures at quick scale (9 benchmarks)"
+	@echo "make figures-paper  full 30-benchmark regeneration (~1h)"
+	@echo "make clean-cache    drop the simulation result cache"
+	@echo "make loc            count lines of code"
+
+install:
+	pip install -e .[test]
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PY) examples/reproduce_paper.py quick
+
+figures-paper:
+	$(PY) examples/reproduce_paper.py paper
+
+clean-cache:
+	rm -f results/cache.json
+
+loc:
+	@find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1

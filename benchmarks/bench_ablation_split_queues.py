@@ -1,0 +1,41 @@
+"""Ablation: how many split NI queues does the supply side need?
+
+DESIGN.md design choice: the split NI defaults to one queue per injection
+VC (4).  Sec. 4.1 notes "[W/N] narrow links" is the upper bound but "fewer
+narrow links can be used without blocking" — this bench sweeps the count.
+"""
+
+from repro.experiments.runner import RunSpec, geometric_mean, run_system
+
+BMS = ["bfs", "hotspot"]
+BUDGET = dict(cycles=400, warmup=150)
+
+
+def _gain(queues: int) -> float:
+    vals = []
+    for bm in BMS:
+        base = run_system(RunSpec(bm, "ada-baseline", **BUDGET))
+        ari = run_system(
+            RunSpec(bm, "ada-ari", num_split_queues=queues, **BUDGET)
+        )
+        vals.append(ari.ipc / base.ipc)
+    return geometric_mean(vals)
+
+
+def test_split_queue_count(benchmark, save_table):
+    def sweep():
+        return {q: _gain(q) for q in (1, 2, 4)}
+
+    gains = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_table(
+        "ablation_split_queues",
+        {
+            "table": "\n".join(f"{q} queues: {g:.3f}x" for q, g in gains.items()),
+            "summary": gains,
+            "paper": "Sec 4.1: multiple narrow links needed to match supply",
+        },
+    )
+    # Shape: more split queues -> more parallel supply -> more gain, with
+    # 4 queues (one per VC) the best of the sweep.
+    assert gains[4] >= gains[2] >= gains[1] - 0.02
+    assert gains[4] > gains[1]

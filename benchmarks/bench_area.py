@@ -1,0 +1,12 @@
+"""Bench: regenerate the Sec. 6.1 area-overhead analysis."""
+
+from repro.experiments import figures
+
+
+def test_sec61_area(benchmark, save_table):
+    result = benchmark.pedantic(figures.sec61_area, rounds=3, iterations=1)
+    save_table("sec61_area", result)
+    s = result["summary"]
+    # Paper: 5.4% per revised NI + MC-router pair, 0.7% amortized.
+    assert 0.03 < s["pair_overhead"] < 0.08
+    assert s["network_overhead"] < 0.015

@@ -1,0 +1,27 @@
+"""Extension bench: ARI gain vs. memory-traffic intensity crossover.
+
+Not a paper figure.  Probes the Sec. 2.2 claim that varying NoC traffic
+intensity approximates the effect of traffic-changing techniques (cache
+bypassing increases it, WarpPool reduces it): at low intensity the
+injection bottleneck never binds and ARI is neutral; at high intensity the
+gain saturates toward the injection-capacity ratio.
+"""
+
+from repro.experiments import figures
+
+
+def test_ext_intensity_crossover(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: figures.ext_intensity_sweep(
+            scale="smoke", multipliers=(0.05, 0.3, 1.0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("ext_intensity", result)
+    s = result["summary"]
+    # Shape: at 5% of hotspot's memory rate the injection bottleneck never
+    # binds (ARI neutral); at full rate ARI is clearly positive.
+    assert s["x0.05"] < s["x1.0"]
+    assert s["x0.05"] < 1.10
+    assert s["x1.0"] > 1.10

@@ -1,0 +1,18 @@
+"""Extension bench: MC placement study (Table I's diamond choice)."""
+
+from repro.experiments import figures
+
+
+def test_ext_mc_placement(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: figures.ext_mc_placement(scale="smoke", benchmarks=["bfs"]),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("ext_placement", result)
+    rows = result["rows"]
+    # Shape: diamond is the strongest baseline (that is why the paper uses
+    # it), and ARI still wins on top of every placement.
+    assert rows["diamond"]["baseline_ipc"] >= rows["column"]["baseline_ipc"]
+    for pl in ("diamond", "edge", "column"):
+        assert rows[pl]["ari_gain"] > 1.0

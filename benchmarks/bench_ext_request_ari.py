@@ -1,0 +1,18 @@
+"""Extension bench: request-side ARI adds ~nothing (reply side is the
+bottleneck, as the paper argues throughout Sec. 3)."""
+
+from repro.experiments import figures
+
+
+def test_ext_request_side_ari(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: figures.ext_request_side_ari(scale="smoke", benchmarks=["bfs"]),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("ext_request_ari", result)
+    s = result["summary"]
+    # Reply-side ARI delivers the gain; adding request-side ARI on top
+    # moves IPC by at most a few percent either way.
+    assert s["ada-ari"] > 1.10
+    assert abs(s["ada-ari-both"] - s["ada-ari"]) < 0.08

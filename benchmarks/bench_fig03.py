@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 3 — request vs. reply packet latency."""
+
+from repro.experiments import figures
+
+
+def test_fig3_request_vs_reply_latency(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: figures.fig3_request_vs_reply_latency(scale="smoke"),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig03", result)
+    rows = result["rows"]
+    # Shape: for the NoC-bound benchmark the request network's latency far
+    # exceeds the reply network's (the paper's backpressure signature).
+    assert rows["bfs"]["ratio"] > 1.5

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 4 — link-width sweep (request vs. reply)."""
+
+from repro.experiments import figures
+
+
+def test_fig4_link_width_sweep(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: figures.fig4_link_width_sweep(scale="smoke"),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig04", result)
+    s = result["summary"]
+    # Shape (paper: +0.8% request vs +25.6% reply): widening the reply
+    # network must help much more than widening the request network.
+    assert s["ipc_256bit_reply"] > s["ipc_256bit_request"]
+    assert s["ipc_256bit_reply"] > 1.05
+    assert s["ipc_256bit_request"] < 1.10

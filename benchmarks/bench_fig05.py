@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 5 — flit-weighted packet-type mix."""
+
+from repro.experiments import figures
+
+
+def test_fig5_packet_type_mix(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: figures.fig5_packet_type_mix(scale="smoke"),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig05", result)
+    # Shape (paper: replies are 72.7% of NoC flits): reply traffic dominates
+    # because each 1-flit read request returns a 9-flit read reply.
+    assert result["summary"]["mean_reply_flit_share"] > 0.55
+    for bm, mix in result["rows"].items():
+        assert mix["read_reply"] > mix["read_request"]

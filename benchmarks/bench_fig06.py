@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 6 — NI injection queue occupancy vs. capacity."""
+
+from repro.experiments import figures
+
+
+def test_fig6_queue_occupancy(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: figures.fig6_queue_occupancy(
+            scale="smoke", capacities_pkts=(4, 16, 48)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig06", result)
+    # Shape: occupancy tracks capacity (packets pile up at the injection
+    # point no matter how much buffering is added) — the bottleneck proof.
+    for bm, series in result["rows"].items():
+        assert series["16"] > series["4"] * 1.5
+        assert series["48"] > series["16"] * 1.5

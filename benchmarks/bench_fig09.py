@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 9 — IPC vs. number of priority levels."""
+
+from repro.experiments import figures
+
+
+def test_fig9_priority_levels(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: figures.fig9_priority_levels(
+            scale="smoke", benchmarks=["bfs"], levels=(1, 2, 4)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig09", result)
+    rows = result["rows"]["bfs"]
+    # Shape: two levels already capture most of the benefit; more levels do
+    # not keep adding the same again (paper Fig. 9 flattens after 2).
+    assert rows["2"] >= -0.02  # priority never badly hurts
+    assert rows["4"] <= rows["2"] + 0.08

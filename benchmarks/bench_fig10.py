@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 10 — supply/consumption ablation."""
+
+from repro.experiments import figures
+
+
+def test_fig10_ablation(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: figures.fig10_supply_consume_ablation(scale="smoke"),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig10", result)
+    s = result["summary"]
+    # Shape (paper Sec. 7.1): either half alone is roughly neutral;
+    # both halves together unlock the big win; priority adds on top.
+    assert s["acc-supply"] < 1.10
+    assert s["acc-consume"] < 1.10
+    assert s["acc-both"] > max(s["acc-supply"], s["acc-consume"])
+    assert s["ada-ari"] >= s["acc-both"] - 0.02

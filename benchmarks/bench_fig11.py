@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 11 — the headline five-scheme IPC comparison."""
+
+from repro.experiments import figures
+
+
+def test_fig11_scheme_comparison(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: figures.fig11_scheme_comparison(scale="smoke"),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig11", result)
+    s = result["summary"]
+    # Shape (paper: XY-ARI +8%; Ada-Base <= XY-Base; MultiPort ~+2%;
+    # Ada-ARI +15.4% with ~1/3 of benchmarks near 1.4x).
+    assert s["xy-ari"] > 1.03
+    assert s["ada-baseline"] <= 1.02
+    assert 0.98 < s["ada-multiport_vs_ada-baseline"] < 1.12
+    assert s["ada-ari_vs_ada-baseline"] > 1.08
+    assert s["ada-ari"] > s["ada-multiport"]

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 12 — data stall time in memory controllers."""
+
+from repro.experiments import figures
+
+
+def test_fig12_mc_stall_time(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: figures.fig12_mc_stall_time(scale="smoke"),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig12", result)
+    s = result["summary"]
+    # Shape (paper: -47.5% XY, -67.8% Ada): ARI substantially reduces the
+    # time reply data waits in the MC, and more so with adaptive routing.
+    assert s["xy_ari_stall_reduction"] > 0.15
+    assert s["ada_ari_stall_reduction"] > 0.25

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 13 — request/reply latency decomposition."""
+
+from repro.experiments import figures
+
+
+def test_fig13_latency_decomposition(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: figures.fig13_latency_decomposition(scale="smoke"),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig13", result)
+    rows = result["rows"]
+    # Shape: ARI lowers both reply AND request latency on the NoC-bound
+    # benchmark — although ARI changes nothing in the request network.
+    assert rows["bfs"]["ada-ari.rep"] < rows["bfs"]["ada-baseline.rep"]
+    assert rows["bfs"]["ada-ari.req"] < rows["bfs"]["ada-baseline.req"]

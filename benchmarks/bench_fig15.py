@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 15 — VC-count sensitivity."""
+
+from repro.experiments import figures
+
+
+def test_fig15_vc_sensitivity(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: figures.fig15_vc_sensitivity(scale="smoke", benchmarks=["bfs"]),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig15", result)
+    s = result["summary"]
+    rows = result["rows"]["bfs"]
+    # Shape (paper Sec. 7.5(3)): ARI beats the baseline at equal VC count,
+    # and going 2->4 VCs helps ARI more than it helps the baseline.
+    assert rows["2VC-ARI"] > rows["2VC-base"]
+    assert rows["4VC-ARI"] > rows["4VC-base"]
+    assert s["vc_gain_ari"] > s["vc_gain_baseline"]

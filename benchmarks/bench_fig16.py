@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 16 — ARI on top of DA2mesh."""
+
+from repro.experiments import figures
+
+
+def test_fig16_da2mesh(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: figures.fig16_da2mesh(scale="smoke"),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig16", result)
+    # Shape (paper: +16.4%): ARI composes with DA2mesh because DA2mesh
+    # does not address the reply-injection feed.
+    assert result["summary"]["da2mesh+ari_vs_da2mesh"] > 1.05

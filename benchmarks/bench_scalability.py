@@ -1,0 +1,20 @@
+"""Bench: regenerate the Sec. 7.5(2) scalability study."""
+
+from repro.experiments import figures
+
+
+def test_sec75_scalability(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: figures.sec75_scalability(scale="smoke"),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("sec75_scalability", result)
+    rows = result["rows"]
+    # Shape (paper: +3.7% / +15.4% / +24.7%, growing with mesh size).  In
+    # this reproduction the trend holds for the classes whose demand only
+    # crosses the injection capacity on larger meshes (medium/low); the
+    # high-sensitivity synthetics saturate every size (see EXPERIMENTS.md),
+    # so assert the trend on the medium class plus a solid 8x8 gain overall.
+    assert rows["8x8"]["medium"] >= rows["4x4"]["medium"]
+    assert rows["8x8"]["all"] > 1.10

@@ -1,0 +1,59 @@
+"""Performance benchmark: raw simulator throughput.
+
+Not a paper figure — a performance-regression guard for the simulator
+itself. Times fixed-size full-system and NoC-only stepping so a future
+change that slows the hot loop shows up in `--benchmark-compare` runs.
+"""
+
+import pytest
+
+from repro.core.schemes import scheme
+from repro.gpu.config import GPUConfig
+from repro.gpu.system import GPGPUSystem
+from repro.noc import Network, NetworkConfig
+from repro.noc.topology import default_placement
+from repro.workloads.suite import benchmark as get_benchmark
+from repro.workloads.traffic import ReplyTrafficPattern, SyntheticTrafficGenerator
+
+
+def test_full_system_cycles_per_second(benchmark):
+    def build_and_run():
+        system = GPGPUSystem(
+            GPUConfig(), scheme("ada-ari"), get_benchmark("bfs"), seed=1
+        )
+        system.prewarm_caches()
+        system.run(300)
+        return system.now
+
+    cycles = benchmark.pedantic(build_and_run, rounds=3, iterations=1)
+    assert cycles == 300
+
+
+def test_noc_only_cycles_per_second(benchmark):
+    def build_and_run():
+        mcs, ccs = default_placement(6, 6, 8)
+        net = Network(
+            NetworkConfig(width=6, height=6, routing="adaptive",
+                          accelerated_nodes=set(mcs))
+        )
+        gen = SyntheticTrafficGenerator(
+            net, ReplyTrafficPattern(mcs, ccs, seed=2), rate=0.15, seed=3
+        )
+        gen.run(1000)
+        return net.now
+
+    cycles = benchmark.pedantic(build_and_run, rounds=3, iterations=1)
+    assert cycles == 1000
+
+
+def test_idle_network_is_cheap(benchmark):
+    """Idle routers must be skipped: stepping an empty 6x6 mesh for 5000
+    cycles should be orders of magnitude faster than a loaded one."""
+
+    def run_idle():
+        net = Network(NetworkConfig(width=6, height=6))
+        net.run(5000)
+        return net.now
+
+    cycles = benchmark.pedantic(run_idle, rounds=3, iterations=1)
+    assert cycles == 5000

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Design-space sweep: VC count x injection speedup, exported to CSV.
+
+Uses the cartesian sweep utility to map ARI's design space on one
+benchmark — the Sec. 4.2 trade-off (how much consumption-side speedup a
+given number of VCs can exploit) as a grid — and writes
+``results/vc_speedup_sweep.csv`` plus a small console pivot table.
+
+Run:  python examples/design_space_sweep.py [benchmark] [cycles]
+"""
+
+import os
+import sys
+
+from repro.experiments.runner import RunSpec
+from repro.experiments.sweeps import best_by, cartesian_sweep, write_csv
+
+OUT = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def main() -> None:
+    bm = sys.argv[1] if len(sys.argv) > 1 else "hotspot"
+    cycles = int(sys.argv[2]) if len(sys.argv) > 2 else 700
+
+    base = RunSpec(bm, "ada-ari", cycles=cycles, warmup=cycles // 4)
+    axes = {"num_vcs": [2, 3, 4], "injection_speedup": [1, 2, 3, 4]}
+
+    def progress(i, n, spec):
+        print(
+            f"  [{i + 1}/{n}] vcs={spec.num_vcs} speedup={spec.injection_speedup}",
+            flush=True,
+        )
+
+    print(f"sweeping {bm}: VCs x speedup ({cycles} cycles per point)")
+    records = [
+        r
+        for r in cartesian_sweep(base, axes, progress=progress)
+        # Eq. (2): speedup may not exceed the VC count.
+        if r["injection_speedup"] <= r["num_vcs"]
+    ]
+
+    os.makedirs(OUT, exist_ok=True)
+    path = os.path.join(OUT, "vc_speedup_sweep.csv")
+    write_csv(records, path)
+    print(f"\nwrote {path}\n")
+
+    # Pivot: rows = VCs, columns = speedup, cells = IPC.
+    speedups = sorted({r["injection_speedup"] for r in records})
+    print("IPC pivot (rows = VCs, cols = crossbar speedup):")
+    print("       " + "".join(f"S={s:<8}" for s in speedups))
+    for vcs in sorted({r["num_vcs"] for r in records}):
+        row = [f"VC={vcs:<3}"]
+        for s in speedups:
+            cell = next(
+                (r for r in records
+                 if r["num_vcs"] == vcs and r["injection_speedup"] == s),
+                None,
+            )
+            row.append(f"{cell['ipc']:<10.3f}" if cell else " " * 10)
+        print("  " + "".join(row))
+
+    best = best_by(records, "ipc")
+    print(
+        f"\nbest point: {best['num_vcs']} VCs, speedup {best['injection_speedup']} "
+        f"(ipc {best['ipc']:.3f}) — the paper's guideline picks "
+        f"S = min(N_out, N_VC) (Sec. 4.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""NoC-only study of the reply-injection bottleneck (paper Sec. 3 / Fig. 7).
+
+Drives a single reply network with synthetic few-to-many traffic from the
+8 diamond-placed MC nodes at increasing rates and measures the saturation
+throughput of each injection microarchitecture:
+
+* enhanced baseline (single NI queue, 1 flit/cycle supply),
+* MultiPort router [Bakhoda MICRO'10] (more consumption paths, same supply),
+* split NI only (ARI supply side alone — note it does NOT help by itself),
+* split NI + crossbar speedup (both sides: the ARI win),
+* full ARI (adds prioritization).
+
+Run:  python examples/injection_bottleneck.py
+"""
+
+from repro.noc import Network, NetworkConfig
+from repro.noc.ni import NIKind
+from repro.noc.topology import default_placement
+from repro.workloads.traffic import ReplyTrafficPattern, SyntheticTrafficGenerator
+
+CYCLES = 3000
+RATES = [0.05, 0.10, 0.15, 0.20, 0.30]
+
+VARIANTS = {
+    "enhanced-baseline": dict(ni_kind=NIKind.ENHANCED),
+    "multiport": dict(ni_kind=NIKind.MULTIPORT, num_injection_ports=2),
+    "split-only": dict(ni_kind=NIKind.SPLIT),
+    "split+speedup": dict(ni_kind=NIKind.SPLIT, injection_speedup=4),
+    "full-ari": dict(
+        ni_kind=NIKind.SPLIT,
+        injection_speedup=4,
+        priority_enabled=True,
+        priority_levels=2,
+    ),
+}
+
+
+def run(variant: dict, rate: float):
+    mcs, ccs = default_placement(6, 6, 8)
+    cfg = NetworkConfig(
+        width=6, height=6, routing="adaptive", accelerated_nodes=set(mcs),
+        **variant,
+    )
+    net = Network(cfg)
+    pattern = ReplyTrafficPattern(mcs, ccs, seed=11)
+    gen = SyntheticTrafficGenerator(
+        net, pattern, rate=rate,
+        priority_levels=cfg.priority_levels if cfg.priority_enabled else 1,
+        seed=13,
+    )
+    gen.run(CYCLES)
+    delivered = net.stats.packets_delivered
+    lat = net.stats.mean_latency()
+    return delivered / CYCLES, lat, gen.stall_cycles
+
+
+def main() -> None:
+    print(f"{CYCLES} cycles, 8 MC injectors, 28 CC sinks, 6x6 adaptive mesh")
+    print("cells: delivered pkts/cycle (mean packet latency)\n")
+    header = f"{'offered rate/MC':>16s}" + "".join(f"{n:>20s}" for n in VARIANTS)
+    print(header)
+    print("-" * len(header))
+    for rate in RATES:
+        cells = []
+        for variant in VARIANTS.values():
+            tput, lat, _ = run(variant, rate)
+            cells.append(f"{tput:6.3f} ({lat:6.1f})")
+        print(f"{rate:>16.2f}" + "".join(f"{c:>20s}" for c in cells))
+    print(
+        "\nReading the bottom row (heavily oversubscribed): the baseline and"
+        "\nMultiPort saturate near 8 MCs x 1 flit/cycle / 9 flits = ~0.9"
+        "\npkt/cycle total, split-only adds latency without throughput, and"
+        "\nsupply+consumption together roughly double the delivered rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs all experiment drivers (Figs. 3-6, 9-16, the Sec. 3 utilization
+analysis, Sec. 6.1 area, Sec. 7.5 scalability) at the requested scale and
+writes the tables + paper side-by-sides to stdout and to
+``results/figures/<name>.txt``.  Results are cached in
+``results/cache.json``, so interrupted runs resume where they stopped.
+
+Run:  python examples/reproduce_paper.py [smoke|quick|paper] [fig ...]
+e.g.  python examples/reproduce_paper.py quick
+      python examples/reproduce_paper.py paper fig11 fig12
+"""
+
+import os
+import sys
+import time
+
+from repro.experiments import figures
+from repro.experiments.report import grid_rows, to_csv
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "..", "results", "figures")
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    scale = args[0] if args else "quick"
+    wanted = args[1:] or list(figures.ALL_FIGURES)
+    os.makedirs(OUT_DIR, exist_ok=True)
+
+    for name in wanted:
+        driver = figures.ALL_FIGURES[name]
+        t0 = time.time()
+        kwargs = {} if name == "sec61_area" else {"scale": scale}
+        result = driver(**kwargs)
+        dt = time.time() - t0
+        block = [
+            f"==== {name} ({driver.__doc__.strip().splitlines()[0]}) ====",
+            result["table"],
+            f"summary : {result['summary']}",
+            f"paper   : {result['paper']}",
+            f"[{dt:.1f}s at scale={scale}]",
+        ]
+        text = "\n".join(block)
+        print(text + "\n")
+        with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as fh:
+            fh.write(text + "\n")
+        rows = result.get("rows")
+        if isinstance(rows, dict) and rows and all(
+            isinstance(v, dict) for v in rows.values()
+        ):
+            headers, data = grid_rows(rows)
+            with open(os.path.join(OUT_DIR, f"{name}.csv"), "w") as fh:
+                fh.write(to_csv(headers, data) + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Size the injection-port crossbar speedup with Eqs. (1) and (2).
+
+Reproduces the Sec. 4.2 sizing methodology end-to-end:
+
+1. measure the *ideal* per-MC packet injection rate by running a workload
+   against a perfect (infinite-bandwidth) reply network;
+2. compute the average reply packet length from the measured type mix;
+3. apply Eq. (1) (S >= rate x flits/packet) and the Eq. (2) bound
+   (S <= min(N_out, N_VC)), picking the paper's guideline value;
+4. check the 95th-percentile peak rate over 100-cycle windows, the
+   statistic the paper uses to argue S = 4 is a good trade-off.
+
+Run:  python examples/speedup_sizing.py [benchmark]
+"""
+
+import sys
+from collections import defaultdict
+
+from repro import GPUConfig, benchmark, scheme
+from repro.core.speedup import (
+    choose_speedup,
+    mean_flits_per_packet,
+    peak_injection_rate,
+    required_speedup,
+    speedup_upper_bound,
+)
+from repro.gpu.system import GPGPUSystem
+from repro.noc.flit import PacketType
+from repro.noc.network import PerfectNetwork, NetworkConfig
+
+CYCLES = 2500
+INTERVAL = 100
+
+
+def main() -> None:
+    bm = sys.argv[1] if len(sys.argv) > 1 else "hotspot"
+    cfg = GPUConfig()
+
+    # Run the full GPU against a *perfect* reply network: the MCs then
+    # inject at their raw supply rate (Eq. 1's InjRate).
+    system = GPGPUSystem(cfg, scheme("ada-baseline"), benchmark(bm), seed=5)
+    system.reply_net = PerfectNetwork(
+        NetworkConfig(width=cfg.mesh_width, height=cfg.mesh_height)
+    )
+    system.reply_net.on_delivery = system._on_reply_delivery
+    for mc in system.mcs:
+        mc._reply_offer = system.reply_net.offer
+        mc._reply_can_accept = system.reply_net.can_accept
+    system.prewarm_caches()
+
+    per_interval = defaultdict(int)
+    last = {m.node: 0 for m in system.mcs}
+    for cyc in range(CYCLES):
+        system.step()
+        if (cyc + 1) % INTERVAL == 0:
+            for node in last:
+                cur = system.reply_net.injections_per_node.get(node, 0)
+                per_interval[(node, cyc // INTERVAL)] = cur - last[node]
+                last[node] = cur
+
+    rates = {m.node: system.reply_net.injection_rate(m.node) for m in system.mcs}
+    mean_rate = sum(rates.values()) / len(rates)
+    mix = system.reply_net.stats.traffic_mix()
+    reply_mix = {
+        PacketType.READ_REPLY: mix[PacketType.READ_REPLY],
+        PacketType.WRITE_REPLY: mix[PacketType.WRITE_REPLY],
+    }
+    # traffic_mix is flit-weighted; convert to a packet-count mix.
+    pkt_mix = {
+        t: (share / (9 if t == PacketType.READ_REPLY else 1))
+        for t, share in reply_mix.items()
+    }
+    n_flits = mean_flits_per_packet(pkt_mix)
+
+    s_req = required_speedup(mean_rate, n_flits)
+    bound = speedup_upper_bound(num_nonlocal_outputs=4, num_vcs=cfg.num_vcs)
+    s_pick = choose_speedup(mean_rate, n_flits, 4, cfg.num_vcs)
+    peak = peak_injection_rate(per_interval.values(), INTERVAL, 0.95)
+
+    print(f"benchmark: {bm}, {CYCLES} cycles against a perfect reply network")
+    print(f"  ideal packet injection rate  : {mean_rate:.3f} pkt/cycle/MC")
+    print(f"  mean reply packet length     : {n_flits:.2f} flits")
+    print(f"  Eq.(1) minimum speedup S_min : {s_req}")
+    print(f"  Eq.(2) bound min(N_out,N_VC) : {bound}")
+    print(f"  chosen speedup               : {s_pick}")
+    print(f"  95th-pct peak rate (100-cyc) : {peak:.3f} pkt/cycle/MC")
+    print(
+        f"  -> peak demand {peak * n_flits:.2f} flits/cycle vs granted "
+        f"{s_pick} switch ports"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Characterize the 30-benchmark suite (paper Sec. 6.2).
+
+For each benchmark, runs a short baseline simulation and prints the
+NoC-relevant signature: IPC, L1/L2 hit rates, reply traffic share, DRAM row
+locality, and the per-MC reply demand relative to the baseline injection
+capacity — which is what determines a workload's NoC sensitivity class.
+
+Run:  python examples/workload_explorer.py [cycles] [sensitivity]
+e.g.  python examples/workload_explorer.py 600 high
+"""
+
+import sys
+
+from repro import GPUConfig, GPGPUSystem, benchmark, benchmark_names, scheme
+
+# One narrow injection link drains 1 flit/cycle; a long reply is 9 flits.
+BASELINE_CAPACITY_PKT = 1.0 / 9.0
+
+
+def main() -> None:
+    cycles = int(sys.argv[1]) if len(sys.argv) > 1 else 600
+    sens = sys.argv[2] if len(sys.argv) > 2 else None
+    names = benchmark_names(sens)
+
+    header = (
+        f"{'benchmark':16s}{'class':>8s}{'ipc':>8s}{'l1':>7s}{'l2':>7s}"
+        f"{'reply%':>8s}{'rowhit':>8s}{'demand/cap':>12s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in names:
+        prof = benchmark(name)
+        system = GPGPUSystem(GPUConfig(), scheme("xy-baseline"), prof, seed=9)
+        res = system.simulate(cycles=cycles, warmup=cycles // 4)
+        l1_acc = sum(c.l1.stats.accesses for c in system.cores)
+        l1_hits = sum(c.l1.stats.hits for c in system.cores)
+        l1 = l1_hits / l1_acc if l1_acc else 0.0
+        demand = (
+            res.replies_sent / res.cycles / len(system.mcs)
+            if res.cycles
+            else 0.0
+        )
+        print(
+            f"{name:16s}{prof.sensitivity:>8s}{res.ipc:>8.2f}{l1:>7.2f}"
+            f"{res.l2_hit_rate:>7.2f}{res.reply_traffic_share:>8.2f}"
+            f"{res.dram_row_hit_rate:>8.2f}"
+            f"{demand / BASELINE_CAPACITY_PKT:>12.2f}"
+        )
+    print(
+        "\ndemand/cap > 1 means the workload offers more reply packets than"
+        "\none narrow injection link can carry - the regime where the paper's"
+        "\nreply-injection bottleneck binds and ARI pays off."
+    )
+
+
+if __name__ == "__main__":
+    main()

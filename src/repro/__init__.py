@@ -1,0 +1,55 @@
+"""repro — reproduction of "Accelerated Reply Injection for Removing NoC
+Bottleneck in GPGPUs" (Li & Chen, IPPS 2020).
+
+A cycle-level GPGPU + NoC simulator (GPGPU-Sim/BookSim substitute) with the
+paper's Accelerated Reply Injection scheme, the comparison baselines, a
+30-benchmark synthetic workload suite, energy/area models, and an
+experiment harness that regenerates every figure in the evaluation.
+
+Quick start::
+
+    from repro import GPUConfig, GPGPUSystem, scheme, benchmark
+
+    system = GPGPUSystem(GPUConfig(), scheme("ada-ari"), benchmark("bfs"))
+    result = system.simulate(cycles=2000, warmup=500)
+    print(result.ipc, result.mc_stall_per_reply)
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    ARIConfig,
+    Scheme,
+    SCHEMES,
+    scheme,
+    scheme_names,
+    choose_speedup,
+    required_speedup,
+    speedup_upper_bound,
+)
+from repro.gpu import GPUConfig, GPGPUSystem, SimulationResult
+from repro.noc import Network, NetworkConfig, Packet, PacketType
+from repro.workloads import SUITE, benchmark, benchmark_names, by_sensitivity
+
+__all__ = [
+    "__version__",
+    "ARIConfig",
+    "Scheme",
+    "SCHEMES",
+    "scheme",
+    "scheme_names",
+    "choose_speedup",
+    "required_speedup",
+    "speedup_upper_bound",
+    "GPUConfig",
+    "GPGPUSystem",
+    "SimulationResult",
+    "Network",
+    "NetworkConfig",
+    "Packet",
+    "PacketType",
+    "SUITE",
+    "benchmark",
+    "benchmark_names",
+    "by_sensitivity",
+]

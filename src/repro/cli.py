@@ -1,0 +1,188 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list                         # benchmarks + schemes
+    python -m repro run bfs ada-ari [--cycles N] [--mesh 6] [--seed S]
+    python -m repro compare bfs [--cycles N]     # all 5 main schemes
+    python -m repro figure fig11 [--scale quick]
+    python -m repro area                         # Sec. 6.1 overheads
+    python -m repro viz bfs ada-ari [--cycles N] # congestion heatmaps
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.schemes import scheme_names
+from repro.experiments import figures
+from repro.experiments.runner import RunSpec, run_system
+from repro.workloads.suite import benchmark_names, by_sensitivity
+
+MAIN_SCHEMES = [
+    "xy-baseline", "xy-ari", "ada-baseline", "ada-multiport", "ada-ari",
+]
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("benchmarks (by NoC sensitivity):")
+    for cls, names in by_sensitivity().items():
+        print(f"  {cls:7s}: {', '.join(names)}")
+    print("\nschemes:")
+    for name in scheme_names():
+        print(f"  {name}")
+    print("\nfigures:")
+    print("  " + ", ".join(figures.ALL_FIGURES))
+    return 0
+
+
+def _print_result(res) -> None:
+    print(f"benchmark   : {res.benchmark}")
+    print(f"scheme      : {res.scheme}")
+    print(f"IPC         : {res.ipc:.3f}")
+    print(f"MC stall/rep: {res.mc_stall_per_reply:.1f} cycles")
+    print(f"request lat : {res.request_latency:.1f}")
+    print(f"reply lat   : {res.reply_latency:.1f}")
+    print(f"reply share : {res.reply_traffic_share:.2f}")
+    print(f"L2 hit rate : {res.l2_hit_rate:.2f}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = RunSpec(
+        benchmark=args.benchmark,
+        scheme=args.scheme,
+        cycles=args.cycles,
+        warmup=args.cycles // 4,
+        seed=args.seed,
+        mesh=args.mesh,
+    )
+    res = run_system(spec, use_cache=not args.no_cache)
+    _print_result(res)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    base_ipc = None
+    for sch in MAIN_SCHEMES:
+        res = run_system(
+            RunSpec(
+                benchmark=args.benchmark,
+                scheme=sch,
+                cycles=args.cycles,
+                warmup=args.cycles // 4,
+                seed=args.seed,
+                mesh=args.mesh,
+            ),
+            use_cache=not args.no_cache,
+        )
+        if base_ipc is None:
+            base_ipc = res.ipc or 1.0
+        rows.append((sch, res.ipc, res.ipc / base_ipc, res.mc_stall_per_reply))
+    print(f"{'scheme':16s}{'ipc':>8s}{'vs base':>9s}{'stall/rep':>11s}")
+    for sch, ipc, rel, stall in rows:
+        print(f"{sch:16s}{ipc:>8.3f}{rel:>8.2f}x{stall:>11.1f}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    driver = figures.ALL_FIGURES.get(args.name)
+    if driver is None:
+        print(f"unknown figure {args.name!r}; options: "
+              f"{', '.join(figures.ALL_FIGURES)}", file=sys.stderr)
+        return 2
+    kwargs = {} if args.name == "sec61_area" else {"scale": args.scale}
+    result = driver(**kwargs)
+    print(result["table"])
+    print(f"\nsummary : {result['summary']}")
+    print(f"paper   : {result['paper']}")
+    return 0
+
+
+def _cmd_viz(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import RunSpec, build_system
+    from repro.noc.visual import MeshRenderer
+
+    system = build_system(
+        RunSpec(
+            benchmark=args.benchmark,
+            scheme=args.scheme,
+            cycles=args.cycles,
+            seed=args.seed,
+            mesh=args.mesh,
+        )
+    )
+    system.prewarm_caches()
+    system.run(args.cycles)
+    print(f"benchmark={args.benchmark} scheme={args.scheme}")
+    print("\n--- request network ---")
+    print(MeshRenderer(system.request_net, system.mc_nodes).snapshot())
+    reply = system.reply_net
+    if hasattr(reply, "routers"):
+        print("\n--- reply network ---")
+        print(MeshRenderer(reply, system.mc_nodes).snapshot())
+    else:
+        print("\n--- reply overlay (DA2mesh): no mesh to render ---")
+    return 0
+
+
+def _cmd_area(args: argparse.Namespace) -> int:
+    result = figures.sec61_area()
+    print(result["table"])
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="ARI GPGPU-NoC reproduction (Li & Chen, IPPS 2020)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks, schemes and figures")
+
+    run = sub.add_parser("run", help="simulate one benchmark under one scheme")
+    run.add_argument("benchmark", choices=benchmark_names(), metavar="benchmark")
+    run.add_argument("scheme", choices=scheme_names(), metavar="scheme")
+
+    cmp_ = sub.add_parser("compare", help="compare the five main schemes")
+    cmp_.add_argument("benchmark", choices=benchmark_names(), metavar="benchmark")
+
+    for sp in (run, cmp_):
+        sp.add_argument("--cycles", type=int, default=1500)
+        sp.add_argument("--mesh", type=int, default=6, choices=(4, 6, 8))
+        sp.add_argument("--seed", type=int, default=3)
+        sp.add_argument("--no-cache", action="store_true")
+
+    viz = sub.add_parser("viz", help="render congestion heatmaps after a run")
+    viz.add_argument("benchmark", choices=benchmark_names(), metavar="benchmark")
+    viz.add_argument("scheme", choices=scheme_names(), metavar="scheme")
+    viz.add_argument("--cycles", type=int, default=800)
+    viz.add_argument("--mesh", type=int, default=6, choices=(4, 6, 8))
+    viz.add_argument("--seed", type=int, default=3)
+
+    fig = sub.add_parser("figure", help="regenerate one paper figure")
+    fig.add_argument("name")
+    fig.add_argument("--scale", default="quick", choices=sorted(figures.SCALES))
+
+    sub.add_parser("area", help="Sec. 6.1 area overheads")
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "figure": _cmd_figure,
+        "area": _cmd_area,
+        "viz": _cmd_viz,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

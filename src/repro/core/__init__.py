@@ -1,0 +1,37 @@
+"""The paper's contribution: Accelerated Reply Injection (ARI).
+
+ARI removes the GPGPU reply-injection bottleneck from both sides:
+
+* **supply** (Sec. 4.1) — wide MC→NI datapath and a split NI injection
+  queue structure with one narrow link per router-injection VC
+  (:class:`repro.noc.ni.SplitNI`);
+* **consumption** (Sec. 4.2) — crossbar speedup for the injection port of
+  MC-routers, sized by Eqs. (1)/(2) (:mod:`repro.core.speedup`);
+* **prioritization** (Sec. 5) — multi-level priority that drains injected
+  packets out of the hot region around MCs.
+
+:mod:`repro.core.schemes` packages these knobs into the named schemes the
+paper evaluates (XY-Baseline, XY-ARI, Ada-Baseline, Ada-MultiPort, Ada-ARI,
+and the Fig. 10 ablations).
+"""
+
+from repro.core.ari import ARIConfig
+from repro.core.schemes import Scheme, SCHEMES, scheme, scheme_names
+from repro.core.speedup import (
+    required_speedup,
+    speedup_upper_bound,
+    choose_speedup,
+    estimate_ideal_injection_rate,
+)
+
+__all__ = [
+    "ARIConfig",
+    "Scheme",
+    "SCHEMES",
+    "scheme",
+    "scheme_names",
+    "required_speedup",
+    "speedup_upper_bound",
+    "choose_speedup",
+    "estimate_ideal_injection_rate",
+]

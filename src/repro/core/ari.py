@@ -1,0 +1,75 @@
+"""ARIConfig — the knobs of Accelerated Reply Injection.
+
+This is the paper's contribution expressed as configuration: which NI
+microarchitecture feeds the reply injection points (supply, Sec. 4.1), how
+many crossbar switch ports the MC-router injection port gets (consumption,
+Sec. 4.2), and how the injected packets are prioritized in the network
+(Sec. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.ni import NIKind
+
+
+@dataclass(frozen=True)
+class ARIConfig:
+    """ARI feature selection.
+
+    The full ARI of the paper is ``ARIConfig(supply=True, consume=True,
+    priority_levels=2)``; the Fig. 10 ablations toggle the pieces.
+    """
+
+    supply: bool = True            # split NI queues + wide links
+    consume: bool = True           # injection-port crossbar speedup
+    priority_levels: int = 2       # 1 = no prioritization; paper uses 2
+    num_split_queues: int = 4      # one per injection VC by default
+    injection_speedup: int = 4     # Sec. 4.2 main-evaluation value
+    starvation_threshold: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.priority_levels < 1:
+            raise ValueError("priority_levels must be >= 1")
+        if self.num_split_queues < 1:
+            raise ValueError("num_split_queues must be >= 1")
+        if self.injection_speedup < 1:
+            raise ValueError("injection_speedup must be >= 1")
+
+    @property
+    def ni_kind(self) -> NIKind:
+        return NIKind.SPLIT if self.supply else NIKind.ENHANCED
+
+    @property
+    def effective_speedup(self) -> int:
+        return self.injection_speedup if self.consume else 1
+
+    @property
+    def priority_enabled(self) -> bool:
+        return self.priority_levels > 1
+
+    @staticmethod
+    def full(priority_levels: int = 2, injection_speedup: int = 4) -> "ARIConfig":
+        return ARIConfig(
+            supply=True,
+            consume=True,
+            priority_levels=priority_levels,
+            injection_speedup=injection_speedup,
+        )
+
+    @staticmethod
+    def off() -> "ARIConfig":
+        return ARIConfig(supply=False, consume=False, priority_levels=1)
+
+    @staticmethod
+    def supply_only() -> "ARIConfig":
+        return ARIConfig(supply=True, consume=False, priority_levels=1)
+
+    @staticmethod
+    def consume_only() -> "ARIConfig":
+        return ARIConfig(supply=False, consume=True, priority_levels=1)
+
+    @staticmethod
+    def both_no_priority() -> "ARIConfig":
+        return ARIConfig(supply=True, consume=True, priority_levels=1)

@@ -1,0 +1,129 @@
+"""Named evaluation schemes (Sec. 6.2 and Fig. 10).
+
+Each :class:`Scheme` fully determines both networks' configuration for a
+full-system run:
+
+==============  ========  ==========================================
+name            routing   injection path at MC nodes (reply network)
+==============  ========  ==========================================
+xy-baseline     XY        enhanced NI (wide W links), speedup 1
+xy-ari          XY        full ARI
+ada-baseline    adaptive  enhanced NI, speedup 1
+ada-multiport   adaptive  MultiPort router [Bakhoda MICRO'10]
+ada-ari         adaptive  full ARI
+acc-supply      adaptive  split NI only (Fig. 10 ablation)
+acc-consume     adaptive  speedup only (Fig. 10 ablation)
+acc-both        adaptive  split NI + speedup, no priority (Fig. 10)
+==============  ========  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.core.ari import ARIConfig
+from repro.noc.ni import NIKind
+
+
+@dataclass(frozen=True)
+class Scheme:
+    name: str
+    routing: str = "xy"                       # applies to both networks
+    ari: ARIConfig = field(default_factory=ARIConfig.off)
+    num_injection_ports: int = 1              # >1 = MultiPort router
+    # Link width multipliers vs. the base 128-bit links (Fig. 4 sweeps).
+    request_width_mult: int = 1
+    reply_width_mult: int = 1
+    # Reply-side fabric: "mesh" (default) or "da2mesh" (Fig. 16 overlay).
+    reply_overlay: str = "mesh"
+    # Apply the ARI injection structure to the *request* network's CC nodes
+    # too (an ablation; the paper argues the bottleneck is reply-side only).
+    accelerate_request: bool = False
+    # Force a specific NI kind (used for the GPGPU-Sim narrow-link default
+    # that the paper's *enhanced* baseline fixes, Sec. 4.1 / Fig. 7a).
+    force_ni_kind: Optional[NIKind] = None
+
+    @property
+    def ni_kind(self) -> NIKind:
+        if self.force_ni_kind is not None:
+            return self.force_ni_kind
+        if self.num_injection_ports > 1:
+            return NIKind.MULTIPORT
+        return self.ari.ni_kind
+
+    def with_priority_levels(self, levels: int) -> "Scheme":
+        return replace(self, ari=replace(self.ari, priority_levels=levels))
+
+    def with_speedup(self, speedup: int) -> "Scheme":
+        return replace(self, ari=replace(self.ari, injection_speedup=speedup))
+
+    def with_split_queues(self, count: int) -> "Scheme":
+        return replace(self, ari=replace(self.ari, num_split_queues=count))
+
+    def with_starvation_threshold(self, threshold: int) -> "Scheme":
+        return replace(
+            self, ari=replace(self.ari, starvation_threshold=threshold)
+        )
+
+
+SCHEMES: Dict[str, Scheme] = {
+    s.name: s
+    for s in [
+        Scheme("xy-baseline", routing="xy", ari=ARIConfig.off()),
+        Scheme("xy-ari", routing="xy", ari=ARIConfig.full()),
+        Scheme("ada-baseline", routing="adaptive", ari=ARIConfig.off()),
+        Scheme(
+            "ada-multiport",
+            routing="adaptive",
+            ari=ARIConfig.off(),
+            num_injection_ports=2,
+        ),
+        Scheme("ada-ari", routing="adaptive", ari=ARIConfig.full()),
+        # Fig. 10 ablations (all adaptive, as in the paper).
+        Scheme("acc-supply", routing="adaptive", ari=ARIConfig.supply_only()),
+        Scheme("acc-consume", routing="adaptive", ari=ARIConfig.consume_only()),
+        Scheme("acc-both", routing="adaptive", ari=ARIConfig.both_no_priority()),
+        # Fig. 4 link-width sweeps on the XY baseline.
+        Scheme("xy-baseline-256req", routing="xy", request_width_mult=2),
+        Scheme("xy-baseline-256rep", routing="xy", reply_width_mult=2),
+        # Ablation: ARI applied to BOTH networks' injectors.  The request
+        # network's injected packets are mostly single-flit reads, so the
+        # supply/consumption acceleration has almost nothing to accelerate.
+        Scheme(
+            "ada-ari-both",
+            routing="adaptive",
+            ari=ARIConfig.full(),
+            accelerate_request=True,
+        ),
+        # GPGPU-Sim's unmodified default: narrow MC->NI link.  The paper's
+        # evaluation replaces this with the enhanced baseline "to avoid
+        # giving unfair advantage" to ARI (Sec. 4.1).
+        Scheme(
+            "xy-naive-baseline",
+            routing="xy",
+            force_ni_kind=NIKind.BASELINE_NARROW,
+        ),
+        # Fig. 16: DA2mesh reply overlay, with and without ARI on top.
+        Scheme("da2mesh", routing="xy", reply_overlay="da2mesh"),
+        Scheme(
+            "da2mesh-ari",
+            routing="xy",
+            ari=ARIConfig.full(),
+            reply_overlay="da2mesh",
+        ),
+    ]
+}
+
+
+def scheme(name: str) -> Scheme:
+    try:
+        return SCHEMES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; available: {sorted(SCHEMES)}"
+        ) from None
+
+
+def scheme_names() -> List[str]:
+    return sorted(SCHEMES)

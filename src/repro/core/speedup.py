@@ -1,0 +1,108 @@
+"""Sizing the injection-port crossbar speedup — Eqs. (1) and (2).
+
+Equation (1): to consume what the (accelerated) supply side delivers, the
+speedup must cover the ideal packet injection rate times the average packet
+length in flits::
+
+    S >= InjRate_pkt * N_flits_per_pkt                       (1)
+
+where the ideal injection rate is what an MC would achieve if the reply
+network had unlimited bandwidth (measured with
+:class:`repro.noc.network.PerfectNetwork`).
+
+Equation (2): there is no point exceeding the number of non-local output
+ports (at most ``N_out`` flits can leave the router per cycle) or the
+number of injection VCs (at most ``N_VC`` injected flits can be ready)::
+
+    S <= min(N_out, N_VC)                                    (2)
+
+``choose_speedup`` applies the paper's guideline: the minimal integer
+satisfying (1), clamped to the bound of (2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+from repro.noc.flit import PacketType, packet_size_for
+from repro.noc.network import NetworkConfig, PerfectNetwork
+
+
+def required_speedup(inj_rate_pkt: float, mean_flits_per_pkt: float) -> int:
+    """Minimal integer S satisfying Eq. (1)."""
+    if inj_rate_pkt < 0 or mean_flits_per_pkt <= 0:
+        raise ValueError("rates must be non-negative / positive")
+    return max(1, math.ceil(inj_rate_pkt * mean_flits_per_pkt))
+
+
+def speedup_upper_bound(num_nonlocal_outputs: int, num_vcs: int) -> int:
+    """The Eq. (2) bound."""
+    if num_nonlocal_outputs < 1 or num_vcs < 1:
+        raise ValueError("port counts must be >= 1")
+    return min(num_nonlocal_outputs, num_vcs)
+
+
+def choose_speedup(
+    inj_rate_pkt: float,
+    mean_flits_per_pkt: float,
+    num_nonlocal_outputs: int = 4,
+    num_vcs: int = 4,
+) -> int:
+    """Paper guideline: S_min from (1) if it satisfies (2), else the (2) bound."""
+    s_min = required_speedup(inj_rate_pkt, mean_flits_per_pkt)
+    bound = speedup_upper_bound(num_nonlocal_outputs, num_vcs)
+    return min(s_min, bound)
+
+
+def mean_flits_per_packet(
+    type_mix: Dict[PacketType, float],
+    line_bytes: int = 128,
+    flit_bytes: int = 16,
+) -> float:
+    """Average reply-packet size given a packet-count mix (Eq. 1's N̄)."""
+    total = sum(type_mix.values())
+    if total <= 0:
+        raise ValueError("empty packet mix")
+    acc = 0.0
+    for ptype, weight in type_mix.items():
+        acc += weight * packet_size_for(ptype, line_bytes, flit_bytes)
+    return acc / total
+
+
+def estimate_ideal_injection_rate(
+    config: NetworkConfig,
+    offer_schedule,
+    cycles: int,
+    mc_nodes: Sequence[int],
+) -> Dict[int, float]:
+    """Measure per-MC ideal packet injection rates on a perfect network.
+
+    ``offer_schedule(network, cycle)`` is called every cycle and should
+    offer that cycle's reply packets (it sees an always-accepting network,
+    so the measured rate is the raw supply rate of the MCs).
+    """
+    net = PerfectNetwork(config)
+    for cycle in range(cycles):
+        offer_schedule(net, cycle)
+        net.step()
+    return {mc: net.injection_rate(mc) for mc in mc_nodes}
+
+
+def peak_injection_rate(
+    per_interval_packets: Iterable[int],
+    interval: int = 100,
+    percentile: float = 0.95,
+) -> float:
+    """The 95th-percentile per-100-cycle packet injection rate (Sec. 4.2).
+
+    The paper observes that a speedup of 4 covers 95% of the peak rates
+    computed over 100-cycle intervals under perfect consumption.
+    """
+    counts = sorted(per_interval_packets)
+    if not counts:
+        return 0.0
+    if not (0.0 < percentile <= 1.0):
+        raise ValueError("percentile in (0, 1]")
+    idx = min(len(counts) - 1, max(0, math.ceil(percentile * len(counts)) - 1))
+    return counts[idx] / interval

@@ -1,0 +1,20 @@
+"""Energy and area models (Sec. 6.1 and Fig. 14 substitutes).
+
+The paper estimates area from an RTL implementation (Synopsys DC, 45 nm
+NanGate) and energy from GPUWattch plus Cadence power numbers.  We replace
+both with analytical models exposing the same knobs and calibrated to the
+paper's reported totals: ARI adds 5.4% to an NI + MC-router pair and 0.7%
+amortized over the whole network, and ARI's energy win (~4%) comes from
+reduced static energy over a shorter execution.
+"""
+
+from repro.energy.area import AreaModel, AreaBreakdown, ari_area_overhead
+from repro.energy.gpuwattch import EnergyModel, EnergyBreakdown
+
+__all__ = [
+    "AreaModel",
+    "AreaBreakdown",
+    "ari_area_overhead",
+    "EnergyModel",
+    "EnergyBreakdown",
+]

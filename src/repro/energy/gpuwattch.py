@@ -1,0 +1,116 @@
+"""Energy model (GPUWattch + Cadence substitute, Fig. 14).
+
+The paper's Fig. 14 finding is structural, not numeric: ARI's *dynamic*
+energy is essentially unchanged (same data moved, slightly more switch
+activity at MC-routers), while *static* energy shrinks proportionally to
+the reduced execution time; with the low static fraction modeled by the
+tools, overall energy drops ~4% on average.
+
+``EnergyModel`` has exactly that structure: per-activity dynamic costs
+(instructions, cache accesses, DRAM accesses, NoC flit-hops) plus a static
+power term integrated over execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+# Dynamic energy per activity (arbitrary units).
+E_INSTRUCTION = 1.0
+E_L1_ACCESS = 0.4
+E_L2_ACCESS = 0.8
+E_DRAM_ACCESS = 8.0
+E_FLIT_HOP = 0.22
+E_INJECTION_EXTRA_ARI = 0.02   # extra crossbar/mux activity per injected flit
+
+# Static power per cycle for the whole chip (arbitrary units).  Calibrated
+# so static energy is a ~25% share for a mid-IPC workload: the paper's ~4%
+# overall saving from a ~15% runtime reduction implies roughly that
+# fraction ("due to the low static energy percentage modeled in the
+# current simulation tools, the overall energy is reduced by around 4%").
+P_STATIC = 40.0
+
+
+@dataclass
+class EnergyBreakdown:
+    dynamic: float
+    static: float
+
+    @property
+    def total(self) -> float:
+        return self.dynamic + self.static
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "dynamic": self.dynamic,
+            "static": self.static,
+            "total": self.total,
+        }
+
+
+@dataclass
+class ActivityCounts:
+    """Activity inputs to the energy model (one run's worth of work)."""
+
+    instructions: int = 0
+    l1_accesses: int = 0
+    l2_accesses: int = 0
+    dram_accesses: int = 0
+    flit_hops: int = 0
+    injected_flits: int = 0
+    cycles: int = 0
+
+
+class EnergyModel:
+    def __init__(self, ari_enabled: bool = False) -> None:
+        self.ari_enabled = ari_enabled
+
+    def evaluate(self, a: ActivityCounts) -> EnergyBreakdown:
+        dyn = (
+            a.instructions * E_INSTRUCTION
+            + a.l1_accesses * E_L1_ACCESS
+            + a.l2_accesses * E_L2_ACCESS
+            + a.dram_accesses * E_DRAM_ACCESS
+            + a.flit_hops * E_FLIT_HOP
+        )
+        if self.ari_enabled:
+            dyn += a.injected_flits * E_INJECTION_EXTRA_ARI
+        return EnergyBreakdown(dynamic=dyn, static=P_STATIC * a.cycles)
+
+
+def activity_from_system(system) -> ActivityCounts:
+    """Collect activity counts from a finished :class:`GPGPUSystem` run."""
+    a = ActivityCounts()
+    a.instructions = sum(c.stats.instructions for c in system.cores)
+    a.l1_accesses = sum(
+        c.l1.stats.accesses + c.l1.stats.writes for c in system.cores
+    )
+    a.l2_accesses = sum(
+        m.l2.stats.accesses + m.l2.stats.writes for m in system.mcs
+    )
+    a.dram_accesses = sum(m.dram.requests_served for m in system.mcs)
+    # Work-proportional hop counts: charged at request issue (request +
+    # reply over the same minimal path), so the dynamic share has no
+    # in-flight-backlog bias in finite measurement windows.
+    a.flit_hops = system.expected_flit_hops
+    a.injected_flits = sum(
+        system.reply_net.stats.flits_delivered.values()
+    )
+    a.cycles = system.now
+    return a
+
+
+def energy_per_work(system, ari_enabled: bool = False) -> float:
+    """Total energy divided by instructions executed (equal-work metric).
+
+    The paper compares energy for the *same benchmark run to completion*;
+    for fixed-cycle simulations the equal-work equivalent is energy per
+    instruction: ARI executes the same work in fewer cycles, so its static
+    share per instruction shrinks.
+    """
+    a = activity_from_system(system)
+    if a.instructions == 0:
+        return 0.0
+    e = EnergyModel(ari_enabled).evaluate(a)
+    return e.total / a.instructions

@@ -1,0 +1,32 @@
+"""Experiment harness: one driver per paper table/figure.
+
+``repro.experiments.figures`` exposes ``fig3`` ... ``fig16`` plus the
+Section-3 characterization and Section-7.5 scalability studies.  All
+drivers accept a ``scale`` knob (simulated cycles + benchmark subset) so
+the same code serves quick CI benches and the longer EXPERIMENTS.md runs.
+Results are cached on disk (``results/cache.json``) keyed by the full
+parameter set, so re-renders are free.
+"""
+
+from repro.experiments.runner import (
+    RunSpec,
+    run_system,
+    sweep,
+    geometric_mean,
+    clear_cache,
+    cache_info,
+)
+from repro.experiments import figures
+from repro.experiments.report import render_table, render_kv
+
+__all__ = [
+    "RunSpec",
+    "run_system",
+    "sweep",
+    "geometric_mean",
+    "clear_cache",
+    "cache_info",
+    "figures",
+    "render_table",
+    "render_kv",
+]

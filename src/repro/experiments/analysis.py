@@ -1,0 +1,131 @@
+"""Statistical analysis helpers: multi-seed runs and result comparison.
+
+A single seed is one draw of the synthetic workload's request process;
+claims like "ARI improves IPC by X%" deserve seed-replicated confidence.
+``multi_seed`` replicates a :class:`~repro.experiments.runner.RunSpec`
+across seeds; ``compare`` pairs two specs seed-by-seed (common random
+numbers, so workload noise cancels) and reports the speedup distribution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from repro.experiments.runner import RunSpec, geometric_mean, run_system
+from repro.gpu.system import SimulationResult
+
+
+@dataclass
+class SeedStats:
+    """Mean / standard deviation / extrema of one metric across seeds."""
+
+    metric: str
+    values: List[float]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / self.n if self.n else 0.0
+
+    @property
+    def std(self) -> float:
+        if self.n < 2:
+            return 0.0
+        m = self.mean
+        return math.sqrt(sum((v - m) ** 2 for v in self.values) / (self.n - 1))
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        return self.std / math.sqrt(self.n) if self.n else 0.0
+
+    def ci95(self) -> float:
+        """Half-width of an approximate 95% confidence interval."""
+        return 1.96 * self.sem
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"SeedStats({self.metric}: {self.mean:.3f} +/- {self.ci95():.3f},"
+            f" n={self.n})"
+        )
+
+
+def multi_seed(
+    spec: RunSpec,
+    seeds: Sequence[int],
+    metrics: Sequence[str] = ("ipc", "mc_stall_per_reply"),
+    use_cache: bool = True,
+) -> Dict[str, SeedStats]:
+    """Run the spec once per seed; returns per-metric statistics."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results = [
+        run_system(replace(spec, seed=s), use_cache=use_cache) for s in seeds
+    ]
+    return {
+        m: SeedStats(m, [float(getattr(r, m)) for r in results])
+        for m in metrics
+    }
+
+
+def compare(
+    base: RunSpec,
+    test: RunSpec,
+    seeds: Sequence[int],
+    metric: str = "ipc",
+    use_cache: bool = True,
+) -> SeedStats:
+    """Paired comparison with common random numbers.
+
+    Each seed runs both specs; the per-seed ratio ``test/base`` removes the
+    workload-draw noise the two runs share, giving a tight estimate of the
+    scheme effect.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    ratios: List[float] = []
+    for s in seeds:
+        rb = run_system(replace(base, seed=s), use_cache=use_cache)
+        rt = run_system(replace(test, seed=s), use_cache=use_cache)
+        vb = float(getattr(rb, metric))
+        if vb:
+            ratios.append(float(getattr(rt, metric)) / vb)
+    return SeedStats(f"{metric} ratio", ratios)
+
+
+def significant_speedup(stats: SeedStats, threshold: float = 1.0) -> bool:
+    """True when the 95% CI of the ratio sits fully above ``threshold``."""
+    return stats.mean - stats.ci95() > threshold
+
+
+def summarize_grid(
+    grid: Dict[str, Dict[str, SimulationResult]],
+    metric: str = "ipc",
+) -> Dict[str, float]:
+    """Geometric-mean of a metric per scheme over a benchmark x scheme grid."""
+    schemes = set()
+    for row in grid.values():
+        schemes.update(row)
+    out = {}
+    for sch in sorted(schemes):
+        vals = [
+            float(getattr(row[sch], metric))
+            for row in grid.values()
+            if sch in row
+        ]
+        out[sch] = geometric_mean(vals)
+    return out

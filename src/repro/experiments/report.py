@@ -1,0 +1,115 @@
+"""Plain-text table rendering for experiment outputs.
+
+The paper's figures are bar charts; we regenerate the underlying series as
+aligned ASCII tables suitable for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    floatfmt: str = "{:.3f}",
+) -> str:
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return floatfmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    out = [line(list(headers)), sep]
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def render_kv(pairs: Mapping[str, object], floatfmt: str = "{:.4f}") -> str:
+    width = max((len(k) for k in pairs), default=0)
+    lines = []
+    for k, v in pairs.items():
+        if isinstance(v, float):
+            v = floatfmt.format(v)
+        lines.append(f"{k.ljust(width)}  {v}")
+    return "\n".join(lines)
+
+
+def to_markdown(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """GitHub-flavoured markdown table."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return floatfmt.format(cell)
+        return str(cell)
+
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(fmt(c) for c in row) + " |")
+    return "\n".join(out)
+
+
+def to_csv(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """RFC-4180-ish CSV (quotes fields containing commas/quotes)."""
+    def fmt(cell: object) -> str:
+        s = repr(cell) if isinstance(cell, float) else str(cell)
+        if any(ch in s for ch in ",\"\n"):
+            s = '"' + s.replace('"', '""') + '"'
+        return s
+
+    lines = [",".join(fmt(h) for h in headers)]
+    lines.extend(",".join(fmt(c) for c in row) for row in rows)
+    return "\n".join(lines)
+
+
+def grid_rows(
+    grid: Mapping[str, Mapping[str, float]],
+    columns: Optional[Sequence[str]] = None,
+) -> "tuple[List[str], List[List[object]]]":
+    """Flatten a grid into (headers, rows) for the exporters above."""
+    if columns is None:
+        first = next(iter(grid.values()), {})
+        columns = list(first)
+    headers = ["name"] + list(columns)
+    rows: List[List[object]] = [
+        [name] + [vals.get(c, float("nan")) for c in columns]
+        for name, vals in grid.items()
+    ]
+    return headers, rows
+
+
+def render_grid(
+    grid: Mapping[str, Mapping[str, float]],
+    columns: Optional[Sequence[str]] = None,
+    row_label: str = "benchmark",
+    floatfmt: str = "{:.3f}",
+    summary: Optional[Mapping[str, float]] = None,
+    summary_label: str = "geomean",
+) -> str:
+    """Render ``grid[row][col] -> value`` with an optional summary row."""
+    if columns is None:
+        first = next(iter(grid.values()), {})
+        columns = list(first)
+    headers = [row_label] + list(columns)
+    rows: List[List[object]] = []
+    for bm, vals in grid.items():
+        rows.append([bm] + [vals.get(c, float("nan")) for c in columns])
+    if summary is not None:
+        rows.append([summary_label] + [summary.get(c, float("nan")) for c in columns])
+    return render_table(headers, rows, floatfmt=floatfmt)

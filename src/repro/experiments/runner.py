@@ -1,0 +1,204 @@
+"""Run management: build a system for a (benchmark, scheme) pair, simulate,
+cache the result, and aggregate.
+
+The disk cache makes figure drivers compositional: Figs. 10-14 all consume
+the same scheme x benchmark sweep, so the grid is simulated once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+import os
+import threading
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.core.schemes import Scheme, scheme as get_scheme
+from repro.energy.gpuwattch import energy_per_work
+from repro.gpu.config import GPUConfig
+from repro.gpu.system import GPGPUSystem, SimulationResult
+from repro.workloads.suite import benchmark as get_benchmark
+
+_CACHE_LOCK = threading.Lock()
+_CACHE_PATH = os.environ.get(
+    "REPRO_CACHE", os.path.join(os.path.dirname(__file__), "..", "..", "..", "results", "cache.json")
+)
+_memory_cache: Dict[str, dict] = {}
+_disk_loaded = False
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything that determines one simulation run."""
+
+    benchmark: str
+    scheme: str
+    cycles: int = 1500
+    warmup: int = 400
+    seed: int = 3
+    mesh: int = 6
+    num_vcs: Optional[int] = None
+    ni_queue_flits: Optional[int] = None
+    priority_levels: Optional[int] = None
+    injection_speedup: Optional[int] = None
+    num_split_queues: Optional[int] = None
+    starvation_threshold: Optional[int] = None
+    warps_per_core: Optional[int] = None
+    mc_placement: Optional[str] = None
+    warp_scheduler: Optional[str] = None
+    noc_hop_latency: Optional[int] = None
+
+    def key(self) -> str:
+        payload = json.dumps(dataclasses.asdict(self), sort_keys=True)
+        return hashlib.sha1(payload.encode()).hexdigest()[:20]
+
+
+def _load_disk_cache() -> None:
+    global _disk_loaded
+    if _disk_loaded:
+        return
+    _disk_loaded = True
+    path = os.path.abspath(_CACHE_PATH)
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                _memory_cache.update(json.load(fh))
+        except (OSError, json.JSONDecodeError):
+            pass
+
+
+def _save_disk_cache() -> None:
+    path = os.path.abspath(_CACHE_PATH)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    # pid-unique temp name: concurrent processes (e.g. a background sweep
+    # plus an interactive session) must not race on the same temp file.
+    tmp = f"{path}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "w") as fh:
+            json.dump(_memory_cache, fh)
+        os.replace(tmp, path)
+    except OSError:
+        # Losing one cache write is harmless (the run result is still
+        # returned); never let cache persistence kill a sweep.
+        try:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+        except OSError:
+            pass
+
+
+def clear_cache(disk: bool = False) -> None:
+    with _CACHE_LOCK:
+        _memory_cache.clear()
+        if disk:
+            path = os.path.abspath(_CACHE_PATH)
+            if os.path.exists(path):
+                os.remove(path)
+
+
+def cache_info() -> Dict[str, object]:
+    with _CACHE_LOCK:
+        _load_disk_cache()
+        return {"entries": len(_memory_cache), "path": os.path.abspath(_CACHE_PATH)}
+
+
+def _build_scheme(spec: RunSpec) -> Scheme:
+    sch = get_scheme(spec.scheme)
+    if spec.priority_levels is not None:
+        sch = sch.with_priority_levels(spec.priority_levels)
+    if spec.injection_speedup is not None:
+        sch = sch.with_speedup(spec.injection_speedup)
+    if spec.num_split_queues is not None:
+        sch = sch.with_split_queues(spec.num_split_queues)
+    if spec.starvation_threshold is not None:
+        sch = sch.with_starvation_threshold(spec.starvation_threshold)
+    return sch
+
+
+def build_system(spec: RunSpec) -> GPGPUSystem:
+    """Construct (but do not run) the system a spec describes."""
+    overrides = {}
+    if spec.warps_per_core is not None:
+        overrides["warps_per_core"] = spec.warps_per_core
+    if spec.mc_placement is not None:
+        overrides["mc_placement"] = spec.mc_placement
+    if spec.warp_scheduler is not None:
+        overrides["warp_scheduler"] = spec.warp_scheduler
+    if spec.noc_hop_latency is not None:
+        overrides["noc_hop_latency"] = spec.noc_hop_latency
+    config = GPUConfig.scaled(spec.mesh, **overrides)
+    return GPGPUSystem(
+        config,
+        _build_scheme(spec),
+        get_benchmark(spec.benchmark),
+        seed=spec.seed,
+        ni_queue_flits=spec.ni_queue_flits,
+        num_vcs=spec.num_vcs,
+    )
+
+
+def run_system(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
+    """Simulate one spec (or fetch it from the cache)."""
+    key = spec.key()
+    if use_cache:
+        with _CACHE_LOCK:
+            _load_disk_cache()
+            hit = _memory_cache.get(key)
+        if hit is not None:
+            return SimulationResult(**hit)
+
+    system = build_system(spec)
+    result = system.simulate(cycles=spec.cycles, warmup=spec.warmup)
+    # Attach the energy-model output (Fig. 14) while we still hold the system.
+    ari_on = "ari" in spec.scheme
+    result.extras["energy_per_instr"] = energy_per_work(system, ari_enabled=ari_on)
+
+    if use_cache:
+        with _CACHE_LOCK:
+            _memory_cache[key] = dataclasses.asdict(result)
+            _save_disk_cache()
+    return result
+
+
+def sweep(
+    benchmarks: Sequence[str],
+    schemes: Sequence[str],
+    use_cache: bool = True,
+    **spec_kwargs,
+) -> Dict[str, Dict[str, SimulationResult]]:
+    """Run a benchmark x scheme grid; returns ``out[benchmark][scheme]``."""
+    out: Dict[str, Dict[str, SimulationResult]] = {}
+    for bm in benchmarks:
+        out[bm] = {}
+        for sch in schemes:
+            out[bm][sch] = run_system(
+                RunSpec(benchmark=bm, scheme=sch, **spec_kwargs),
+                use_cache=use_cache,
+            )
+    return out
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def normalized(
+    grid: Dict[str, Dict[str, SimulationResult]],
+    metric: str,
+    baseline: str,
+) -> Dict[str, Dict[str, float]]:
+    """Per-benchmark metric normalized to ``baseline``'s value."""
+    out: Dict[str, Dict[str, float]] = {}
+    for bm, row in grid.items():
+        base = getattr(row[baseline], metric)
+        out[bm] = {}
+        for sch, res in row.items():
+            val = getattr(res, metric)
+            out[bm][sch] = (val / base) if base else 0.0
+    return out

@@ -1,0 +1,98 @@
+"""Cartesian parameter sweeps with CSV export.
+
+``cartesian_sweep`` expands axes over :class:`~repro.experiments.runner.RunSpec`
+fields, runs every combination (cached), and returns tidy records ready for
+export — the "give me the whole design space as a spreadsheet" workflow:
+
+    records = cartesian_sweep(
+        RunSpec("bfs", "ada-ari", cycles=800, warmup=200),
+        axes={"num_vcs": [2, 4], "injection_speedup": [1, 2, 4]},
+    )
+    write_csv(records, "vc_speedup_sweep.csv")
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import fields, replace
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.report import to_csv
+from repro.experiments.runner import RunSpec, run_system
+
+# Result metrics exported by default.
+DEFAULT_METRICS = (
+    "ipc",
+    "mc_stall_per_reply",
+    "request_latency",
+    "reply_latency",
+    "reply_traffic_share",
+    "l2_hit_rate",
+)
+
+_SPEC_FIELDS = {f.name for f in fields(RunSpec)}
+
+
+def cartesian_sweep(
+    base: RunSpec,
+    axes: Mapping[str, Sequence],
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    use_cache: bool = True,
+    progress=None,
+) -> List[Dict[str, object]]:
+    """Run every combination of the axes; returns one record per run.
+
+    Each record contains the axis values plus the requested result metrics.
+    ``progress(i, total, spec)`` is called before each run when given.
+    """
+    for name in axes:
+        if name not in _SPEC_FIELDS:
+            raise ValueError(
+                f"unknown RunSpec field {name!r}; valid: {sorted(_SPEC_FIELDS)}"
+            )
+    names = list(axes)
+    combos = list(itertools.product(*(axes[n] for n in names)))
+    records: List[Dict[str, object]] = []
+    for i, combo in enumerate(combos):
+        overrides = dict(zip(names, combo))
+        spec = replace(base, **overrides)
+        if progress is not None:
+            progress(i, len(combos), spec)
+        result = run_system(spec, use_cache=use_cache)
+        record: Dict[str, object] = dict(overrides)
+        record["benchmark"] = spec.benchmark
+        record["scheme"] = spec.scheme
+        for m in metrics:
+            record[m] = getattr(result, m)
+        records.append(record)
+    return records
+
+
+def records_to_csv(records: Sequence[Mapping[str, object]]) -> str:
+    """Render sweep records as CSV text (stable column order)."""
+    if not records:
+        return ""
+    headers: List[str] = []
+    for rec in records:
+        for k in rec:
+            if k not in headers:
+                headers.append(k)
+    rows = [[rec.get(h, "") for h in headers] for rec in records]
+    return to_csv(headers, rows)
+
+
+def write_csv(records: Sequence[Mapping[str, object]], path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(records_to_csv(records) + "\n")
+
+
+def best_by(
+    records: Sequence[Mapping[str, object]],
+    metric: str = "ipc",
+    maximize: bool = True,
+) -> Optional[Mapping[str, object]]:
+    """The record with the best value of ``metric``."""
+    if not records:
+        return None
+    key = lambda r: r.get(metric, float("-inf") if maximize else float("inf"))
+    return max(records, key=key) if maximize else min(records, key=key)

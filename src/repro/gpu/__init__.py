@@ -1,0 +1,31 @@
+"""Cycle-level GPGPU model (GPGPU-Sim substitute).
+
+SIMT cores issue warp instructions under greedy-then-oldest scheduling;
+memory instructions probe a real L1, miss into MSHRs and travel as request
+packets over the request NoC to memory-controller nodes, where an L2 bank
+and a GDDR5 timing model produce reply data that is injected into the reply
+NoC — the exact path whose injection bottleneck the paper attacks.
+"""
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.cache import Cache
+from repro.gpu.mshr import MSHRTable
+from repro.gpu.dram import GDDR5Timing, DRAMChannel
+from repro.gpu.warp import Warp, GTOScheduler
+from repro.gpu.core import Core
+from repro.gpu.mc import MemoryController
+from repro.gpu.system import GPGPUSystem, SimulationResult
+
+__all__ = [
+    "GPUConfig",
+    "Cache",
+    "MSHRTable",
+    "GDDR5Timing",
+    "DRAMChannel",
+    "Warp",
+    "GTOScheduler",
+    "Core",
+    "MemoryController",
+    "GPGPUSystem",
+    "SimulationResult",
+]

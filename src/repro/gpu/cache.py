@@ -1,0 +1,100 @@
+"""Set-associative cache with LRU replacement (used for both L1 and L2).
+
+Addresses are line-granular throughout the GPU model (a "line address" is
+``byte_address // line_bytes``), so the cache indexes directly on line
+addresses.  Writes are write-through / no-write-allocate for the L1 (the
+GPGPU-Sim default for global stores) and write-back-less for the L2 — the
+simulator does not track dirty data since no functional values flow, only
+timing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+
+class CacheStats:
+    __slots__ = ("hits", "misses", "writes", "write_hits")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.write_hits = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        acc = self.accesses
+        return self.hits / acc if acc else 0.0
+
+
+class Cache:
+    """A ``size_bytes`` cache of ``line_bytes`` lines, ``assoc``-way LRU."""
+
+    def __init__(self, size_bytes: int, line_bytes: int, assoc: int) -> None:
+        if size_bytes <= 0 or line_bytes <= 0 or assoc <= 0:
+            raise ValueError("cache geometry must be positive")
+        num_lines = size_bytes // line_bytes
+        if num_lines < assoc:
+            raise ValueError("cache smaller than one set")
+        self.num_sets = max(1, num_lines // assoc)
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        # Each set: OrderedDict mapping line_addr -> True, LRU at the front.
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def _set_for(self, line_addr: int) -> OrderedDict:
+        return self._sets[line_addr % self.num_sets]
+
+    # ------------------------------------------------------------------
+    def lookup(self, line_addr: int) -> bool:
+        """Read probe: updates LRU and stats; True on hit."""
+        s = self._set_for(line_addr)
+        if line_addr in s:
+            s.move_to_end(line_addr)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def probe(self, line_addr: int) -> bool:
+        """Stateless presence check (no LRU or stats update)."""
+        return line_addr in self._set_for(line_addr)
+
+    def fill(self, line_addr: int) -> None:
+        """Install a line, evicting LRU if the set is full."""
+        s = self._set_for(line_addr)
+        if line_addr in s:
+            s.move_to_end(line_addr)
+            return
+        if len(s) >= self.assoc:
+            s.popitem(last=False)
+        s[line_addr] = True
+
+    def write(self, line_addr: int) -> bool:
+        """Write-through probe: True if the line was present (updated)."""
+        self.stats.writes += 1
+        s = self._set_for(line_addr)
+        if line_addr in s:
+            s.move_to_end(line_addr)
+            self.stats.write_hits += 1
+            return True
+        return False
+
+    def invalidate(self, line_addr: int) -> bool:
+        s = self._set_for(line_addr)
+        return s.pop(line_addr, None) is not None
+
+    def flush(self) -> None:
+        for s in self._sets:
+            s.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

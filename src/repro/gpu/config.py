@@ -1,0 +1,144 @@
+"""GPGPU configuration (Table I of the paper).
+
+All clocks are expressed relative to the interconnect/L2 clock (1 GHz),
+which is the simulator's base tick: cores run at 1.126x, GDDR5 command
+clock at 1.75x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class GDDR5TimingParams:
+    """GDDR5 timing in memory-clock cycles (Table I, GTX980-like)."""
+
+    tRP: int = 12     # precharge
+    tRC: int = 40     # row cycle
+    tRRD: int = 6     # activate-to-activate (different banks)
+    tRAS: int = 28    # activate-to-precharge
+    tRCD: int = 12    # activate-to-read
+    tCL: int = 12     # CAS latency
+    num_banks: int = 8
+    # 32 data pins, quad data rate -> 16 bytes per memory clock.
+    bus_bytes_per_cycle: int = 16
+    # Periodic all-bank refresh: every tREFI cycles the channel blocks for
+    # tRFC.  Off by default (tREFI=0): the headline results were measured
+    # without refresh, whose bandwidth cost is ~1-2%.
+    tREFI: int = 0
+    tRFC: int = 88
+
+    def validate(self) -> None:
+        for name in ("tRP", "tRC", "tRRD", "tRAS", "tRCD", "tCL"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.tRAS + self.tRP > self.tRC:
+            raise ValueError("inconsistent timing: tRAS + tRP must be <= tRC")
+
+
+@dataclass
+class GPUConfig:
+    """Full-system configuration; defaults reproduce Table I."""
+
+    # Topology / nodes
+    mesh_width: int = 6
+    mesh_height: int = 6
+    num_cores: int = 28
+    num_mcs: int = 8
+
+    # Clocks (ratios to the 1 GHz interconnect clock)
+    core_clock_ratio: float = 1.126   # 1126 MHz
+    mem_clock_ratio: float = 1.75     # 1.75 GHz GDDR5
+
+    # Core microarchitecture
+    warp_size: int = 32
+    simd_width: int = 8
+    warps_per_core: int = 32          # resident warps (CTAs x warps/CTA)
+    max_outstanding_loads: int = 8    # per-warp MSHR-backed loads in flight
+
+    # Memory hierarchy
+    line_bytes: int = 128
+    l1_size_bytes: int = 16 * 1024
+    l1_assoc: int = 4
+    l1_mshr_entries: int = 32
+    l2_size_bytes: int = 128 * 1024   # per MC
+    l2_assoc: int = 8
+    l2_latency: int = 20              # NoC cycles for an L2 hit
+    mc_queue_depth: int = 32          # request queue entries per MC
+    # Merge concurrent L2 misses to the same line at the MC (an L2-side
+    # MSHR).  Off by default: the headline EXPERIMENTS.md numbers were
+    # measured without it; see benchmarks/bench_ablation_l2_mshr.py for
+    # its (small) effect.
+    l2_miss_merging: bool = False
+
+    # NoC geometry shared by both networks
+    link_width_bits: int = 128
+    num_vcs: int = 4
+    ni_queue_flits: int = 36
+    # Per-hop pipeline depth (router + link) in cycles; 1 = the default
+    # single-cycle router model, larger values model deeper pipelines.
+    noc_hop_latency: int = 1
+
+    # GDDR5
+    dram: GDDR5TimingParams = field(default_factory=GDDR5TimingParams)
+
+    # Scheduling / layout
+    warp_scheduler: str = "gto"       # greedy-then-oldest (Table I)
+    mc_placement: str = "diamond"     # Table I: diamond MC placement
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.num_cores + self.num_mcs > self.mesh_width * self.mesh_height:
+            raise ValueError(
+                f"{self.num_cores} cores + {self.num_mcs} MCs do not fit a "
+                f"{self.mesh_width}x{self.mesh_height} mesh"
+            )
+        if self.warp_size % self.simd_width != 0:
+            raise ValueError("warp_size must be a multiple of simd_width")
+        if self.line_bytes % (self.link_width_bits // 8) != 0:
+            raise ValueError("cache line must be a whole number of flits")
+        if self.noc_hop_latency < 1:
+            raise ValueError("noc_hop_latency must be >= 1")
+        self.dram.validate()
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def flit_bytes(self) -> int:
+        return self.link_width_bits // 8
+
+    @property
+    def long_packet_flits(self) -> int:
+        """Flits of a data-carrying packet: header + line."""
+        return 1 + self.line_bytes // self.flit_bytes
+
+    @property
+    def warp_issue_cycles(self) -> int:
+        """Core cycles to push one warp through the SIMD pipeline."""
+        return self.warp_size // self.simd_width
+
+    def mc_for_line(self, line_addr: int) -> int:
+        """Fine-grained line interleaving of the address space across MCs."""
+        # Mix the bits a little so strided workloads don't camp on one MC.
+        h = (line_addr ^ (line_addr >> 7) ^ (line_addr >> 13)) & 0xFFFFFFFF
+        return h % self.num_mcs
+
+    @classmethod
+    def scaled(cls, mesh: int, **overrides) -> "GPUConfig":
+        """Configurations for the scalability study (Sec. 7.5): 4x4 / 6x6 / 8x8.
+
+        MC count scales with the perimeter as in the paper's setups; CC
+        count fills the rest of the mesh.
+        """
+        if mesh == 4:
+            base = dict(mesh_width=4, mesh_height=4, num_cores=12, num_mcs=4)
+        elif mesh == 6:
+            base = dict(mesh_width=6, mesh_height=6, num_cores=28, num_mcs=8)
+        elif mesh == 8:
+            base = dict(mesh_width=8, mesh_height=8, num_cores=52, num_mcs=12)
+        else:
+            raise ValueError("supported scaled meshes: 4, 6, 8")
+        base.update(overrides)
+        return cls(**base)

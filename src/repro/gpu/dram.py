@@ -1,0 +1,219 @@
+"""GDDR5 DRAM channel with bank timing and FR-FCFS scheduling.
+
+The channel operates in *memory-clock* cycles (1.75x the NoC clock,
+Table I).  Eight banks share a command bus (one command per cycle) and a
+data bus.  The FR-FCFS scheduler services row-buffer hits first, then the
+oldest request, which is the policy named in Table I.
+
+Timing (all in memory cycles):
+
+* row hit:       ``tCL`` to first data, then ``burst`` cycles on the bus;
+* row closed:    ``tRCD + tCL`` (+ activate constraints ``tRRD``/``tRC``);
+* row conflict:  precharge first (respecting ``tRAS``), then as closed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.gpu.config import GDDR5TimingParams
+
+
+class DRAMRequest:
+    __slots__ = ("line_addr", "is_write", "cookie", "enqueued_at", "completed_at", "needed_act")
+
+    def __init__(self, line_addr: int, is_write: bool, cookie: object = None) -> None:
+        self.line_addr = line_addr
+        self.is_write = is_write
+        self.cookie = cookie
+        self.enqueued_at: Optional[int] = None
+        self.completed_at: Optional[int] = None
+        self.needed_act = False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        rw = "W" if self.is_write else "R"
+        return f"DRAMRequest({rw} line={self.line_addr:#x})"
+
+
+class _Bank:
+    __slots__ = ("open_row", "ready_at", "activated_at", "last_activate")
+
+    def __init__(self) -> None:
+        self.open_row: Optional[int] = None
+        self.ready_at = 0            # next cycle this bank may take a command
+        self.activated_at = -(10**9)  # when the open row was activated
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Bank(row={self.open_row}, ready_at={self.ready_at})"
+
+
+class GDDR5Timing:
+    """Derived timing helpers for a :class:`GDDR5TimingParams`."""
+
+    def __init__(self, params: GDDR5TimingParams, line_bytes: int = 128) -> None:
+        params.validate()
+        self.p = params
+        self.burst = max(1, line_bytes // params.bus_bytes_per_cycle)
+        self.columns_per_row = 16  # 2 KB row / 128 B line
+
+    def bank_of(self, line_addr: int) -> int:
+        return line_addr % self.p.num_banks
+
+    def row_of(self, line_addr: int) -> int:
+        return (line_addr // self.p.num_banks) // self.columns_per_row
+
+
+class DRAMChannel:
+    """One GDDR5 channel behind a memory controller."""
+
+    def __init__(
+        self,
+        params: GDDR5TimingParams,
+        line_bytes: int = 128,
+        queue_depth: int = 32,
+    ) -> None:
+        self.timing = GDDR5Timing(params, line_bytes)
+        self.queue_depth = queue_depth
+        self.queue: List[DRAMRequest] = []
+        self.banks = [_Bank() for _ in range(params.num_banks)]
+        self.bus_free_at = 0
+        self.last_activate_any = -(10**9)
+        self.now = 0  # memory-clock cycles
+        self._completions: List[Tuple[int, int, DRAMRequest]] = []  # heap
+        self._completion_seq = 0
+        # Stats
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_conflicts = 0
+        self.requests_served = 0
+        self.busy_cycles = 0
+        self.refreshes = 0
+        self._refresh_until = 0
+        self._next_refresh = (
+            self.timing.p.tREFI if self.timing.p.tREFI > 0 else None
+        )
+
+    # -- queue ----------------------------------------------------------
+    @property
+    def full(self) -> bool:
+        return len(self.queue) >= self.queue_depth
+
+    def enqueue(self, req: DRAMRequest) -> bool:
+        if self.full:
+            return False
+        req.enqueued_at = self.now
+        self.queue.append(req)
+        return True
+
+    @property
+    def pending(self) -> int:
+        return len(self.queue) + len(self._completions)
+
+    # -- scheduling -------------------------------------------------------
+    #
+    # The controller issues one DRAM command per memory cycle (shared
+    # command bus), advancing each request incrementally through
+    # PRE -> ACT -> CAS exactly when the timing constraints allow.  FR-FCFS:
+    # CAS-ready row hits are served first (oldest first); otherwise the
+    # oldest request whose bank can take its next command gets it.
+
+    def _cas(self, idx: int) -> None:
+        """Issue the column access for queue[idx]; completes the request."""
+        t = self.timing
+        p = t.p
+        req = self.queue.pop(idx)
+        bank = self.banks[t.bank_of(req.line_addr)]
+        now = self.now
+        data_start = max(now + p.tCL, self.bus_free_at)
+        data_end = data_start + t.burst
+        self.bus_free_at = data_end
+        bank.ready_at = now + t.burst  # CAS-to-CAS gap on the same bank
+        req.completed_at = data_end
+        self._completion_seq += 1
+        heapq.heappush(self._completions, (data_end, self._completion_seq, req))
+        self.requests_served += 1
+        if not req.needed_act:
+            self.row_hits += 1
+
+    def _try_command(self) -> bool:
+        """Issue at most one command this cycle; True if one was issued."""
+        t = self.timing
+        p = t.p
+        now = self.now
+        # CAS is only worth issuing if the data bus isn't booked too far out
+        # (one burst of slack keeps the bus saturated without overcommit).
+        bus_ok = self.bus_free_at <= now + p.tCL + t.burst
+
+        # Pass 1 (first-ready): oldest row hit whose bank can take the CAS.
+        if bus_ok:
+            for i, req in enumerate(self.queue):
+                bank = self.banks[t.bank_of(req.line_addr)]
+                if (
+                    bank.open_row == t.row_of(req.line_addr)
+                    and bank.ready_at <= now
+                ):
+                    self._cas(i)
+                    return True
+
+        # Pass 2 (first-come): advance the oldest request that needs its
+        # bank prepared (precharge or activate).
+        touched_banks = set()
+        for req in self.queue:
+            b = t.bank_of(req.line_addr)
+            if b in touched_banks:
+                continue  # an older request owns this bank's next command
+            touched_banks.add(b)
+            bank = self.banks[b]
+            row = t.row_of(req.line_addr)
+            if bank.open_row == row:
+                continue  # waiting for CAS (bus or bank gap); nothing to do
+            if bank.ready_at > now:
+                continue
+            if bank.open_row is None:
+                # Activate, honoring tRRD (any bank) and tRC (same bank).
+                if (
+                    self.last_activate_any + p.tRRD <= now
+                    and bank.activated_at + p.tRC <= now
+                ):
+                    bank.open_row = row
+                    bank.activated_at = now
+                    bank.ready_at = now + p.tRCD
+                    self.last_activate_any = now
+                    self.row_misses += 1
+                    req.needed_act = True
+                    return True
+            else:
+                # Row conflict: precharge, honoring tRAS.
+                if bank.activated_at + p.tRAS <= now:
+                    bank.open_row = None
+                    bank.ready_at = now + p.tRP
+                    self.row_conflicts += 1
+                    return True
+        return False
+
+    def step_mem_cycle(self) -> List[DRAMRequest]:
+        """Advance one memory-clock cycle; return requests whose data is done."""
+        if self._next_refresh is not None and self.now >= self._next_refresh:
+            # All-bank refresh: close every row and block for tRFC.
+            p = self.timing.p
+            for bank in self.banks:
+                bank.open_row = None
+                bank.ready_at = max(bank.ready_at, self.now + p.tRFC)
+            self._refresh_until = self.now + p.tRFC
+            self._next_refresh += p.tREFI
+            self.refreshes += 1
+        refreshing = self.now < self._refresh_until
+        if self.queue and not refreshing:
+            self.busy_cycles += 1
+            self._try_command()
+        self.now += 1
+        done: List[DRAMRequest] = []
+        while self._completions and self._completions[0][0] <= self.now:
+            done.append(heapq.heappop(self._completions)[2])
+        return done
+
+    @property
+    def row_hit_rate(self) -> float:
+        tot = self.row_hits + self.row_misses + self.row_conflicts
+        return self.row_hits / tot if tot else 0.0

@@ -1,0 +1,251 @@
+"""Memory-controller node: L2 bank + GDDR5 channel + reply injection.
+
+This is the right-hand side of Fig. 2: request packets eject from the
+request network into the MC's bounded input buffer; reads probe the L2 bank
+and miss into the GDDR5 channel; ready reply data waits in the MC output
+queue for the reply-network NI — and every cycle the head of that queue is
+blocked because the NI injection queue is full counts toward the *data
+stall time in MC* metric of Fig. 12.
+
+Backpressure chain (the "parking lot" of Sec. 3): reply NI full -> MC
+output queue fills -> MC stops processing requests -> MC input buffer
+fills -> request-network ejection stalls -> request routers back up toward
+the cores.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+import heapq
+
+from repro.gpu.cache import Cache
+from repro.gpu.config import GPUConfig
+from repro.gpu.dram import DRAMChannel, DRAMRequest
+from repro.noc.flit import Packet, PacketType
+
+
+class MCStats:
+    __slots__ = (
+        "reads",
+        "writes",
+        "l2_read_hits",
+        "l2_read_misses",
+        "stall_cycles",
+        "stall_data_time",
+        "replies_sent",
+        "busy_cycles",
+    )
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.l2_read_hits = 0
+        self.l2_read_misses = 0
+        # Cycles in which the head reply was blocked by a full NI queue.
+        self.stall_cycles = 0
+        # Total time reply data waited in the MC output queue before the NI
+        # accepted it (the Fig. 12 "data stall time" metric, summed over
+        # data items).
+        self.stall_data_time = 0
+        self.replies_sent = 0
+        self.busy_cycles = 0
+
+
+class MemoryController:
+    """One MC node (L2 bank + memory controller + GDDR5 channel)."""
+
+    REPLY_QUEUE_GATE = 8       # stop processing new requests beyond this
+    MAX_OFFERS_PER_CYCLE = 4   # wide MC->NI link: several packets per cycle
+
+    def __init__(
+        self,
+        mc_id: int,
+        node: int,
+        config: GPUConfig,
+        reply_offer: Callable[[int, Packet], bool],
+        reply_can_accept: Callable[[int, Packet], bool],
+        reply_sizes: Tuple[int, int],
+        reply_priority: int = 0,
+        request_release: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.mc_id = mc_id
+        self.node = node
+        self.config = config
+        self.l2 = Cache(config.l2_size_bytes, config.line_bytes, config.l2_assoc)
+        self.dram = DRAMChannel(
+            config.dram, config.line_bytes, config.mc_queue_depth
+        )
+        self._reply_offer = reply_offer
+        self._reply_can_accept = reply_can_accept
+        self._read_reply_size, self._write_reply_size = reply_sizes
+        self._reply_priority = reply_priority
+        self._request_release = request_release
+
+        # Requests delivered by the request network, awaiting processing.
+        self.request_queue: Deque[Packet] = deque()
+        # L2-hit pipeline: (ready_at, seq, reply_packet_args)
+        self._l2_pipe: List[Tuple[int, int, Tuple[int, bool, int]]] = []
+        self._seq = 0
+        # Ready reply data waiting for the NI (the Fig. 12 stall point).
+        self.reply_queue: Deque[Packet] = deque()
+        self._mem_clock_acc = 0.0
+        # Optional L2-side miss merging (config.l2_miss_merging): line ->
+        # requesters waiting on the in-flight DRAM fetch.
+        self._miss_waiters: dict = {}
+        self.stats = MCStats()
+
+    # -- request-network delivery callback ---------------------------------
+    def on_request(self, packet: Packet, now: int) -> None:
+        self.request_queue.append(packet)
+
+    # ------------------------------------------------------------------
+    def _make_reply(self, requester: int, is_write: bool, line: int, now: int) -> Packet:
+        if is_write:
+            ptype, size = PacketType.WRITE_REPLY, self._write_reply_size
+        else:
+            ptype, size = PacketType.READ_REPLY, self._read_reply_size
+        return Packet(
+            ptype,
+            src=self.node,
+            dest=requester,
+            size=size,
+            created_at=now,
+            priority=self._reply_priority,
+            tag=(is_write, line),
+        )
+
+    def _process_requests(self, now: int) -> None:
+        # Gate on the reply side: when reply data is piling up, the MC slows
+        # its request pipeline (this is what propagates backpressure).
+        budget = 1
+        while (
+            budget > 0
+            and self.request_queue
+            and len(self.reply_queue) < self.REPLY_QUEUE_GATE
+        ):
+            pkt = self.request_queue[0]
+            is_write = pkt.ptype == PacketType.WRITE_REQUEST
+            requester, line = pkt.tag  # set by the core when requesting
+            if is_write:
+                self.l2.write(line)
+                # Write data continues to DRAM (write-through).
+                req = DRAMRequest(line, True, cookie=None)
+                if not self.dram.enqueue(req):
+                    break  # DRAM queue full: retry next cycle
+                self._seq += 1
+                heapq.heappush(
+                    self._l2_pipe,
+                    (
+                        now + self.config.l2_latency,
+                        self._seq,
+                        (requester, True, line),
+                    ),
+                )
+                self.stats.writes += 1
+            else:
+                self.stats.reads += 1
+                if self.l2.lookup(line):
+                    self.stats.l2_read_hits += 1
+                    self._seq += 1
+                    heapq.heappush(
+                        self._l2_pipe,
+                        (
+                            now + self.config.l2_latency,
+                            self._seq,
+                            (requester, False, line),
+                        ),
+                    )
+                else:
+                    self.stats.l2_read_misses += 1
+                    if (
+                        self.config.l2_miss_merging
+                        and line in self._miss_waiters
+                    ):
+                        # Piggyback on the in-flight fetch.
+                        self._miss_waiters[line].append(requester)
+                    else:
+                        req = DRAMRequest(line, False, cookie=requester)
+                        if not self.dram.enqueue(req):
+                            # Retry the request next cycle (roll back stats).
+                            self.stats.reads -= 1
+                            self.stats.l2_read_misses -= 1
+                            self.l2.stats.misses -= 1
+                            break
+                        if self.config.l2_miss_merging:
+                            self._miss_waiters[line] = [requester]
+            self.request_queue.popleft()
+            if self._request_release is not None:
+                self._request_release(pkt.size)
+            budget -= 1
+
+    def _step_dram(self, now: int) -> None:
+        self._mem_clock_acc += self.config.mem_clock_ratio
+        while self._mem_clock_acc >= 1.0:
+            self._mem_clock_acc -= 1.0
+            for done in self.dram.step_mem_cycle():
+                if done.is_write:
+                    continue  # write acks were issued at acceptance
+                self.l2.fill(done.line_addr)
+                if self.config.l2_miss_merging:
+                    waiters = self._miss_waiters.pop(
+                        done.line_addr, [done.cookie]
+                    )
+                else:
+                    waiters = [done.cookie]
+                for requester in waiters:
+                    self.reply_queue.append(
+                        self._make_reply(requester, False, done.line_addr, now)
+                    )
+
+    def _drain_l2_pipe(self, now: int) -> None:
+        while self._l2_pipe and self._l2_pipe[0][0] <= now:
+            _, _, (requester, is_write, line) = heapq.heappop(self._l2_pipe)
+            self.reply_queue.append(self._make_reply(requester, is_write, line, now))
+
+    def _inject_replies(self, now: int) -> None:
+        offers = self.MAX_OFFERS_PER_CYCLE
+        stalled = False
+        while offers > 0 and self.reply_queue:
+            pkt = self.reply_queue[0]
+            wait = now - pkt.created_at  # cycles the data sat in the MC
+            if not self._reply_can_accept(self.node, pkt):
+                stalled = True
+                break
+            if self._reply_offer(self.node, pkt):
+                self.reply_queue.popleft()
+                self.stats.replies_sent += 1
+                self.stats.stall_data_time += wait
+                offers -= 1
+            else:
+                stalled = True
+                break
+        if stalled:
+            # Ready reply data is waiting in the MC because the NI injection
+            # queue is full: the Fig. 12 metric.
+            self.stats.stall_cycles += 1
+
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> None:
+        if (
+            self.request_queue
+            or self.reply_queue
+            or self._l2_pipe
+            or self.dram.pending
+        ):
+            self.stats.busy_cycles += 1
+        self._step_dram(now)
+        self._drain_l2_pipe(now)
+        self._process_requests(now)
+        self._inject_replies(now)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def pending_work(self) -> int:
+        return (
+            len(self.request_queue)
+            + len(self.reply_queue)
+            + len(self._l2_pipe)
+            + self.dram.pending
+        )

@@ -1,0 +1,72 @@
+"""Miss Status Holding Registers.
+
+The MSHR table merges concurrent misses to the same cache line: the first
+miss sends a request to memory; later misses to the same line piggyback on
+the outstanding entry and all wake up together when the fill returns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class MSHRTable:
+    """A bounded table of outstanding line misses with merge support."""
+
+    def __init__(self, num_entries: int, max_merged: int = 8) -> None:
+        if num_entries < 1:
+            raise ValueError("MSHR table needs at least one entry")
+        self.num_entries = num_entries
+        self.max_merged = max_merged
+        # line_addr -> list of waiter cookies (opaque to the table)
+        self._entries: Dict[int, List[object]] = {}
+        self.merges = 0
+        self.allocations = 0
+        self.full_stalls = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.num_entries
+
+    def outstanding(self, line_addr: int) -> bool:
+        return line_addr in self._entries
+
+    def can_handle(self, line_addr: int) -> bool:
+        """Would :meth:`allocate` succeed right now?"""
+        entry = self._entries.get(line_addr)
+        if entry is not None:
+            return len(entry) < self.max_merged
+        return not self.full
+
+    def allocate(self, line_addr: int, waiter: object) -> Optional[bool]:
+        """Register a miss.
+
+        Returns ``True`` if this is a *new* miss (caller must send the
+        memory request), ``False`` if merged into an existing entry, and
+        ``None`` if the table cannot take it (structural stall).
+        """
+        entry = self._entries.get(line_addr)
+        if entry is not None:
+            if len(entry) >= self.max_merged:
+                self.full_stalls += 1
+                return None
+            entry.append(waiter)
+            self.merges += 1
+            return False
+        if self.full:
+            self.full_stalls += 1
+            return None
+        self._entries[line_addr] = [waiter]
+        self.allocations += 1
+        return True
+
+    def fill(self, line_addr: int) -> List[object]:
+        """The memory reply arrived: release and return all waiters."""
+        waiters = self._entries.pop(line_addr, None)
+        if waiters is None:
+            raise KeyError(f"fill for line {line_addr:#x} with no MSHR entry")
+        return waiters

@@ -1,0 +1,132 @@
+"""Warps and the greedy-then-oldest (GTO) warp scheduler (Table I).
+
+A warp is the unit of issue.  GPGPUs hide memory latency by multithreading:
+when a warp blocks on outstanding loads, the scheduler swaps in another
+ready warp — the fundamental GPU design point the paper's introduction
+contrasts against CPUs.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+
+class WarpState(enum.IntEnum):
+    READY = 0
+    BLOCKED = 1    # waiting on outstanding loads
+    PIPELINE = 2   # issued; SIMD pipeline busy until ready_at
+    FINISHED = 3
+
+
+class Warp:
+    __slots__ = (
+        "wid",
+        "state",
+        "ready_at",
+        "outstanding_loads",
+        "instructions_issued",
+        "blocked_since",
+        "blocked_cycles",
+    )
+
+    def __init__(self, wid: int) -> None:
+        self.wid = wid
+        self.state = WarpState.READY
+        self.ready_at = 0
+        self.outstanding_loads = 0
+        self.instructions_issued = 0
+        self.blocked_since: Optional[int] = None
+        self.blocked_cycles = 0
+
+    def is_ready(self, now: int) -> bool:
+        if self.state == WarpState.READY:
+            return True
+        if self.state == WarpState.PIPELINE and now >= self.ready_at:
+            self.state = WarpState.READY
+            return True
+        return False
+
+    def block(self, now: int) -> None:
+        self.state = WarpState.BLOCKED
+        self.blocked_since = now
+
+    def unblock_one(self, now: int) -> None:
+        """One outstanding load returned."""
+        if self.outstanding_loads <= 0:
+            raise RuntimeError(f"warp {self.wid}: spurious load return")
+        self.outstanding_loads -= 1
+        if self.outstanding_loads == 0 and self.state == WarpState.BLOCKED:
+            if self.blocked_since is not None:
+                self.blocked_cycles += now - self.blocked_since
+                self.blocked_since = None
+            self.state = WarpState.READY
+
+    def issue(self, now: int, pipeline_cycles: int) -> None:
+        self.instructions_issued += 1
+        self.ready_at = now + pipeline_cycles
+        self.state = WarpState.PIPELINE
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Warp(wid={self.wid}, {self.state.name}, out={self.outstanding_loads})"
+
+
+class GTOScheduler:
+    """Greedy-then-oldest: keep issuing the current warp until it stalls,
+    then fall back to the oldest (lowest wid = earliest assigned) ready warp.
+    """
+
+    def __init__(self, warps: List[Warp]) -> None:
+        if not warps:
+            raise ValueError("scheduler needs at least one warp")
+        self.warps = warps
+        self._current: Optional[Warp] = None
+
+    def pick(self, now: int) -> Optional[Warp]:
+        cur = self._current
+        if cur is not None and cur.state != WarpState.FINISHED and cur.is_ready(now):
+            return cur
+        for warp in self.warps:  # list order == age order
+            if warp.state == WarpState.FINISHED:
+                continue
+            if warp.is_ready(now):
+                self._current = warp
+                return warp
+        return None
+
+    def on_stall(self) -> None:
+        """Current warp could not issue (structural hazard): release greed."""
+        self._current = None
+
+    @property
+    def current(self) -> Optional[Warp]:
+        return self._current
+
+
+class LRRScheduler(GTOScheduler):
+    """Loose round-robin alternative scheduler (for sensitivity studies)."""
+
+    def __init__(self, warps: List[Warp]) -> None:
+        super().__init__(warps)
+        self._next = 0
+
+    def pick(self, now: int) -> Optional[Warp]:
+        n = len(self.warps)
+        for off in range(n):
+            warp = self.warps[(self._next + off) % n]
+            if warp.state == WarpState.FINISHED:
+                continue
+            if warp.is_ready(now):
+                self._next = (warp.wid + 1) % n
+                self._current = warp
+                return warp
+        return None
+
+
+def make_scheduler(name: str, warps: List[Warp]) -> GTOScheduler:
+    name = name.lower()
+    if name in ("gto", "greedy-then-oldest"):
+        return GTOScheduler(warps)
+    if name in ("lrr", "round-robin", "rr"):
+        return LRRScheduler(warps)
+    raise ValueError(f"unknown warp scheduler: {name!r}")

@@ -1,0 +1,80 @@
+"""Credit-based flow control bookkeeping.
+
+Each router output port tracks, per downstream virtual channel, how many free
+buffer slots remain.  When a flit is sent downstream a credit is consumed;
+when the downstream router drains a flit out of that VC it returns a credit
+(after a configurable credit-return latency, default 1 cycle).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+
+class CreditChannel:
+    """Models the credit return wire from a downstream input port.
+
+    Credits are enqueued with a delivery cycle and become visible to the
+    upstream output port once the simulation time reaches that cycle.
+    """
+
+    __slots__ = ("latency", "_in_flight")
+
+    def __init__(self, latency: int = 1) -> None:
+        if latency < 0:
+            raise ValueError("credit latency must be >= 0")
+        self.latency = latency
+        self._in_flight: Deque[Tuple[int, int]] = deque()  # (deliver_at, vc)
+
+    def send(self, vc: int, now: int) -> None:
+        """Downstream signals one freed slot in ``vc`` at cycle ``now``."""
+        self._in_flight.append((now + self.latency, vc))
+
+    _EMPTY: List[int] = []
+
+    def deliver(self, now: int) -> List[int]:
+        """Return the VCs whose credits arrive at cycle ``now`` (or earlier)."""
+        q = self._in_flight
+        if not q or q[0][0] > now:
+            return CreditChannel._EMPTY
+        out: List[int] = []
+        while q and q[0][0] <= now:
+            out.append(q.popleft()[1])
+        return out
+
+    @property
+    def pending(self) -> int:
+        return len(self._in_flight)
+
+
+class CreditCounter:
+    """Per-output-port credit state for every downstream VC."""
+
+    __slots__ = ("counts", "capacity")
+
+    def __init__(self, num_vcs: int, vc_capacity: int) -> None:
+        if num_vcs < 1 or vc_capacity < 1:
+            raise ValueError("num_vcs and vc_capacity must be >= 1")
+        self.capacity = vc_capacity
+        self.counts: List[int] = [vc_capacity] * num_vcs
+
+    def available(self, vc: int) -> int:
+        return self.counts[vc]
+
+    def has_credit(self, vc: int) -> bool:
+        return self.counts[vc] > 0
+
+    def consume(self, vc: int) -> None:
+        if self.counts[vc] <= 0:
+            raise RuntimeError(f"credit underflow on vc {vc}")
+        self.counts[vc] -= 1
+
+    def restore(self, vc: int) -> None:
+        if self.counts[vc] >= self.capacity:
+            raise RuntimeError(f"credit overflow on vc {vc}")
+        self.counts[vc] += 1
+
+    def free_space(self, vc: int) -> int:
+        """Alias of :meth:`available` used by WPF admission checks."""
+        return self.counts[vc]

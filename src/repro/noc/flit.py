@@ -1,0 +1,200 @@
+"""Packets and flits.
+
+A packet is the unit of end-to-end transfer; it is serialized into flits that
+match the link width.  Following the paper's traffic model (Sec. 3, Fig. 5):
+
+* ``READ_REQUEST`` and ``WRITE_REPLY`` are *short* packets (1 flit: header +
+  address / ack).
+* ``READ_REPLY`` and ``WRITE_REQUEST`` are *long* packets carrying a cache
+  line of data (1 head flit + ``line_bytes / flit_bytes`` body flits).
+
+Packets carry the ARI priority field (Sec. 5): it is initialized to the
+configured number of priority levels minus one when the packet is created and
+decremented by the route-computation stage of every router it traverses.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import List, Optional, Tuple
+
+
+class PacketType(enum.IntEnum):
+    """The four packet classes that coexist in the GPGPU NoC (Fig. 5)."""
+
+    READ_REQUEST = 0
+    WRITE_REQUEST = 1
+    READ_REPLY = 2
+    WRITE_REPLY = 3
+
+    @property
+    def is_request(self) -> bool:
+        return self in (PacketType.READ_REQUEST, PacketType.WRITE_REQUEST)
+
+    @property
+    def is_reply(self) -> bool:
+        return not self.is_request
+
+    @property
+    def is_long(self) -> bool:
+        """Long packets carry a full cache line of data."""
+        return self in (PacketType.READ_REPLY, PacketType.WRITE_REQUEST)
+
+
+_packet_ids = itertools.count()
+
+
+def reset_packet_ids() -> None:
+    """Reset the global packet id counter (for reproducible tests)."""
+    global _packet_ids
+    _packet_ids = itertools.count()
+
+
+class Packet:
+    """A network packet.
+
+    Parameters
+    ----------
+    ptype:
+        One of :class:`PacketType`.
+    src, dest:
+        Node ids (indices into the network's node list).
+    size:
+        Number of flits.
+    created_at:
+        Cycle at which the message was handed to the NI (starts the
+        end-to-end latency clock).
+    priority:
+        Initial ARI priority level (``0`` means no priority boost).
+    tag:
+        Opaque payload used by higher layers (e.g. the GPU model stores the
+        originating memory transaction here).
+    """
+
+    __slots__ = (
+        "pid",
+        "ptype",
+        "src",
+        "dest",
+        "size",
+        "created_at",
+        "injected_at",
+        "received_at",
+        "priority",
+        "tag",
+    )
+
+    def __init__(
+        self,
+        ptype: PacketType,
+        src: int,
+        dest: int,
+        size: int,
+        created_at: int,
+        priority: int = 0,
+        tag: object = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"packet size must be >= 1, got {size}")
+        if src == dest:
+            raise ValueError("packet source and destination must differ")
+        self.pid: int = next(_packet_ids)
+        self.ptype = ptype
+        self.src = src
+        self.dest = dest
+        self.size = size
+        self.created_at = created_at
+        self.injected_at: Optional[int] = None   # head flit enters the router
+        self.received_at: Optional[int] = None   # tail flit ejected
+        self.priority = priority
+        self.tag = tag
+
+    # ------------------------------------------------------------------
+    def make_flits(self) -> List["Flit"]:
+        """Serialize the packet into its flits (head ... tail)."""
+        flits = []
+        for i in range(self.size):
+            flits.append(
+                Flit(
+                    packet=self,
+                    seq=i,
+                    is_head=(i == 0),
+                    is_tail=(i == self.size - 1),
+                )
+            )
+        return flits
+
+    @property
+    def latency(self) -> Optional[int]:
+        """End-to-end packet latency (None until the packet is delivered)."""
+        if self.received_at is None:
+            return None
+        return self.received_at - self.created_at
+
+    @property
+    def network_latency(self) -> Optional[int]:
+        """Latency from injection into the router to delivery."""
+        if self.received_at is None or self.injected_at is None:
+            return None
+        return self.received_at - self.injected_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(pid={self.pid}, {self.ptype.name}, {self.src}->{self.dest},"
+            f" size={self.size}, prio={self.priority})"
+        )
+
+
+class Flit:
+    """A flow-control unit; the granularity of link and buffer allocation.
+
+    Flits reference their parent packet for routing state; only head flits
+    consult the routing function, body/tail flits follow the head's VC in
+    wormhole fashion.
+    """
+
+    __slots__ = ("packet", "seq", "is_head", "is_tail", "vc", "out_port", "out_vc")
+
+    def __init__(self, packet: Packet, seq: int, is_head: bool, is_tail: bool) -> None:
+        self.packet = packet
+        self.seq = seq
+        self.is_head = is_head
+        self.is_tail = is_tail
+        # Transient switching state, owned by the router currently holding
+        # the flit:
+        self.vc: Optional[int] = None        # input VC at the current router
+        self.out_port: Optional[int] = None  # route decision (head sets it)
+        self.out_vc: Optional[int] = None    # allocated downstream VC
+
+    @property
+    def priority(self) -> int:
+        return self.packet.priority
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "H" if self.is_head else ("T" if self.is_tail else "B")
+        return f"Flit({kind}{self.seq} of pid={self.packet.pid})"
+
+
+def packet_size_for(
+    ptype: PacketType, line_bytes: int = 128, flit_bytes: int = 16
+) -> int:
+    """Number of flits for a packet type given the data payload geometry.
+
+    Short packets (read request / write reply) are a single header flit.
+    Long packets carry ``line_bytes`` of data in ``line_bytes/flit_bytes``
+    body flits behind one head flit.
+    """
+    if flit_bytes <= 0 or line_bytes <= 0:
+        raise ValueError("line_bytes and flit_bytes must be positive")
+    if not ptype.is_long:
+        return 1
+    body = (line_bytes + flit_bytes - 1) // flit_bytes
+    return 1 + body
+
+
+def classify_pair(ptype: PacketType) -> Tuple[PacketType, PacketType]:
+    """Return the (request, reply) pair a packet type belongs to."""
+    if ptype in (PacketType.READ_REQUEST, PacketType.READ_REPLY):
+        return (PacketType.READ_REQUEST, PacketType.READ_REPLY)
+    return (PacketType.WRITE_REQUEST, PacketType.WRITE_REPLY)

@@ -1,0 +1,116 @@
+"""Latency histograms and percentile statistics.
+
+The paper reports means; distribution tails are where injection bottlenecks
+actually bite (a few packets wait very long behind a full NI queue), so the
+analysis tooling also tracks full distributions.  The histogram uses
+power-of-two bucket boundaries for O(1) recording with bounded memory, and
+reconstructs approximate percentiles by linear interpolation inside the
+matched bucket.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+
+class LatencyHistogram:
+    """Log-bucketed histogram of non-negative integer samples."""
+
+    def __init__(self, max_exponent: int = 24) -> None:
+        if max_exponent < 1:
+            raise ValueError("max_exponent must be >= 1")
+        # Bucket b covers [2^b, 2^(b+1)); bucket 0 covers {0, 1}.
+        self.max_exponent = max_exponent
+        self.buckets: List[int] = [0] * (max_exponent + 1)
+        self.count = 0
+        self.total = 0
+        self.min_value = None  # type: int | None
+        self.max_value = None  # type: int | None
+
+    @staticmethod
+    def _bucket_of(value: int) -> int:
+        return max(0, value.bit_length() - 1)
+
+    def record(self, value: int) -> None:
+        if value < 0:
+            raise ValueError("latency samples must be non-negative")
+        b = min(self._bucket_of(value), self.max_exponent)
+        self.buckets[b] += 1
+        self.count += 1
+        self.total += value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+
+    def record_many(self, values: Iterable[int]) -> None:
+        for v in values:
+            self.record(v)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate percentile via interpolation inside the bucket."""
+        if not (0.0 <= p <= 100.0):
+            raise ValueError("percentile in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        if p == 0:
+            return float(self.min_value)
+        target = p / 100.0 * self.count
+        seen = 0
+        for b, n in enumerate(self.buckets):
+            if n == 0:
+                continue
+            if seen + n >= target:
+                lo = 1 << b if b else 0
+                hi = (1 << (b + 1)) - 1
+                lo = max(lo, self.min_value)
+                hi = min(hi, self.max_value)
+                frac = (target - seen) / n
+                return lo + frac * (hi - lo)
+            seen += n
+        return float(self.max_value)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": float(self.max_value or 0),
+        }
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        if other.max_exponent != self.max_exponent:
+            raise ValueError("histogram geometries differ")
+        for i, n in enumerate(other.buckets):
+            self.buckets[i] += n
+        self.count += other.count
+        self.total += other.total
+        for attr in ("min_value", "max_value"):
+            ov = getattr(other, attr)
+            sv = getattr(self, attr)
+            if ov is None:
+                continue
+            if sv is None:
+                setattr(self, attr, ov)
+            elif attr == "min_value":
+                setattr(self, attr, min(sv, ov))
+            else:
+                setattr(self, attr, max(sv, ov))
+
+    def ascii_plot(self, width: int = 40) -> str:
+        """Render the non-empty buckets as a horizontal bar chart."""
+        peak = max(self.buckets) if self.count else 0
+        lines = []
+        for b, n in enumerate(self.buckets):
+            if n == 0:
+                continue
+            lo = 1 << b if b else 0
+            bar = "#" * max(1, round(n / peak * width))
+            lines.append(f"{lo:>8d}+ |{bar} {n}")
+        return "\n".join(lines) if lines else "(empty)"

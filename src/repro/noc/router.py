@@ -1,0 +1,359 @@
+"""Virtual-channel wormhole router.
+
+A single-cycle router model (route computation, VC allocation, switch
+allocation and switch traversal resolve within one cycle; link traversal adds
+one more), with:
+
+* credit-based flow control toward downstream routers;
+* whole-packet-forwarding (WPF) non-atomic VC allocation — a downstream VC
+  may be (re)claimed whenever the *entire* packet fits in its free space and
+  no other packet is currently being written into it;
+* XY or minimal adaptive routing (escape VC 0 restricted to XY hops);
+* per-input-port crossbar speedup — the ARI consumption-side mechanism
+  (Sec. 4.2): MC-router injection ports receive ``S`` switch ports so up to
+  ``S`` injected flits can traverse the switch per cycle;
+* ARI multi-level prioritization (Sec. 5): packets carry a priority field,
+  decremented each time a head flit enters a new router, and the switch
+  allocator prefers higher-priority bids.  A starvation threshold demotes
+  injection-port bids when any through-traffic input has waited too long.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.noc.allocator import Bid, SwitchAllocator
+from repro.noc.buffer import InputPort, VCState, VirtualChannel
+from repro.noc.credit import CreditChannel, CreditCounter
+from repro.noc.link import Link
+from repro.noc.routing import LOCAL, RoutingAlgorithm
+
+
+class OutputPort:
+    """Router output: link, downstream credit view and per-VC writer locks."""
+
+    __slots__ = ("port_id", "link", "credits", "credit_in", "writer", "writer_left")
+
+    def __init__(
+        self,
+        port_id: int,
+        link: Optional[Link],
+        num_vcs: int,
+        credits: Optional[CreditCounter],
+        credit_in: Optional[CreditChannel],
+    ) -> None:
+        self.port_id = port_id
+        self.link = link
+        self.credits = credits          # None => infinite (ejection sink)
+        self.credit_in = credit_in      # credits returning from downstream
+        # WPF writer locks: pid of the packet currently being streamed into
+        # each downstream VC, and how many of its flits are still to send.
+        self.writer: List[Optional[int]] = [None] * num_vcs
+        self.writer_left: List[int] = [0] * num_vcs
+
+    def vc_claimable(self, vc: int, size: int) -> bool:
+        if self.writer[vc] is not None:
+            return False
+        if self.credits is not None and self.credits.free_space(vc) < size:
+            return False
+        return True
+
+    def claim(self, vc: int, pid: int, size: int) -> None:
+        if self.writer[vc] is not None:
+            raise RuntimeError(f"output vc {vc} already claimed")
+        self.writer[vc] = pid
+        self.writer_left[vc] = size
+
+    def record_send(self, vc: int, pid: int) -> None:
+        if self.writer[vc] != pid:
+            raise RuntimeError("flit sent into a VC claimed by another packet")
+        self.writer_left[vc] -= 1
+        if self.writer_left[vc] == 0:
+            self.writer[vc] = None
+
+    def free_credit_total(self) -> int:
+        """Congestion score used by adaptive routing (bigger = freer)."""
+        if self.credits is None:
+            return 1 << 20
+        return sum(self.credits.counts)
+
+
+class Router:
+    """One mesh router; see module docstring for the microarchitecture."""
+
+    def __init__(
+        self,
+        router_id: int,
+        coords: Tuple[int, int],
+        routing: RoutingAlgorithm,
+        num_vcs: int = 4,
+        vc_capacity: int = 9,
+        num_injection_ports: int = 1,
+        injection_speedup: int = 1,
+        priority_enabled: bool = False,
+        starvation_threshold: int = 1000,
+    ) -> None:
+        if num_injection_ports < 1:
+            raise ValueError("need at least one injection port")
+        if injection_speedup < 1:
+            raise ValueError("injection speedup must be >= 1")
+        self.router_id = router_id
+        self.coords = coords
+        self.routing = routing
+        self.num_vcs = num_vcs
+        self.vc_capacity = vc_capacity
+        self.priority_enabled = priority_enabled
+        self.starvation_threshold = starvation_threshold
+        self.num_injection_ports = num_injection_ports
+
+        # Input ports: 0..3 mesh directions, 4.. injection ports.
+        self.input_ports: List[InputPort] = [
+            InputPort(p, num_vcs, vc_capacity) for p in range(4)
+        ]
+        for k in range(num_injection_ports):
+            self.input_ports.append(
+                InputPort(4 + k, num_vcs, vc_capacity, is_injection=True)
+            )
+        self.num_inputs = len(self.input_ports)
+
+        # Output ports: 0..3 mesh directions + LOCAL ejection (index 4).
+        self.output_ports: List[Optional[OutputPort]] = [None] * 5
+
+        # Input-side links & credit-return channels (to upstream).
+        self.input_links: List[Optional[Link]] = [None] * self.num_inputs
+        self.credit_out: List[Optional[CreditChannel]] = [None] * self.num_inputs
+        # Injection credits go straight back to the NI:
+        self.ni = None  # type: Optional[object]
+
+        speedups = {
+            4 + k: injection_speedup for k in range(num_injection_ports)
+        }
+        self.allocator = SwitchAllocator(
+            num_in=self.num_inputs, num_out=5, num_vcs=num_vcs, speedups=speedups
+        )
+
+        # VA fairness rotation.
+        self._va_rr = 0
+
+        # Optional backpressure gate on the ejection (LOCAL) output; wired
+        # by the network to the attached ejection interface's buffer state.
+        self.ejection_gate = None  # type: Optional[callable]
+
+        # Maintained flit occupancy (sum over input ports).
+        self._occ = 0
+
+        # Stats.
+        self.flits_switched = 0
+        self.flits_injected = 0  # flits that crossed the switch from injection ports
+        self.starvation_demotions = 0
+
+    # -- wiring -----------------------------------------------------------
+    def set_output(
+        self,
+        port: int,
+        link: Link,
+        credit_in: CreditChannel,
+        downstream_vc_capacity: int,
+    ) -> None:
+        self.output_ports[port] = OutputPort(
+            port,
+            link,
+            self.num_vcs,
+            CreditCounter(self.num_vcs, downstream_vc_capacity),
+            credit_in,
+        )
+
+    def set_ejection(self, link: Link) -> None:
+        self.output_ports[LOCAL] = OutputPort(LOCAL, link, self.num_vcs, None, None)
+
+    def set_input(self, port: int, link: Link, credit_out: CreditChannel) -> None:
+        self.input_links[port] = link
+        self.credit_out[port] = credit_out
+
+    def attach_ni(self, ni) -> None:
+        self.ni = ni
+
+    def injection_port_ids(self) -> List[int]:
+        return [4 + k for k in range(self.num_injection_ports)]
+
+    # -- helpers ------------------------------------------------------------
+    def occupancy(self) -> int:
+        return self._occ
+
+    def _ingest(self, now: int) -> None:
+        """Pull arriving flits off input links into their target VCs."""
+        for port_idx, link in enumerate(self.input_links):
+            if link is None:
+                continue
+            for flit in link.arrivals(now):
+                vc = flit.out_vc
+                if vc is None:
+                    raise RuntimeError("arriving flit has no VC assignment")
+                port = self.input_ports[port_idx]
+                if flit.is_head:
+                    if not port.is_injection:
+                        # ARI priority decay: one level per route computation
+                        # (i.e., per router entered after injection).
+                        pkt = flit.packet
+                        if pkt.priority > 0:
+                            pkt.priority -= 1
+                    if flit.packet.injected_at is None:
+                        flit.packet.injected_at = now
+                # Reset transient routing state; it belongs to this router now.
+                flit.out_port = None
+                flit.out_vc = None
+                port.vcs[vc].push(flit, now)
+                port.occ += 1
+                self._occ += 1
+
+    def _deliver_credits(self, now: int) -> None:
+        for out in self.output_ports:
+            if out is None or out.credit_in is None or out.credits is None:
+                continue
+            for vc in out.credit_in.deliver(now):
+                out.credits.restore(vc)
+
+    # -- route computation + VC allocation ----------------------------------
+    def _route_and_allocate(self, now: int) -> None:
+        dest_coords = self._dest_coords
+        n_in = self.num_inputs
+        start = self._va_rr
+        self._va_rr = (self._va_rr + 1) % n_in
+        for off in range(n_in):
+            port = self.input_ports[(start + off) % n_in]
+            if port.occ == 0:
+                continue
+            for vc in port.vcs:
+                if vc.state != VCState.ROUTING:
+                    continue
+                head = vc.fifo[0]
+                pkt = head.packet
+                if vc.candidates is None:
+                    dc = dest_coords(pkt.dest)
+                    vc.candidates = self.routing.candidates(self.coords, dc)
+                    vc.escape = self.routing.escape_port(self.coords, dc)
+                self._try_allocate(vc, pkt)
+
+    def _try_allocate(self, vc: VirtualChannel, pkt) -> bool:
+        candidates = vc.candidates or []
+        if self.routing.adaptive and len(candidates) > 1:
+            candidates = sorted(
+                candidates,
+                key=lambda p: -(self.output_ports[p].free_credit_total()
+                                if self.output_ports[p] is not None else -1),
+            )
+        escape = vc.escape if vc.escape is not None else LOCAL
+        for out_port in candidates:
+            out = self.output_ports[out_port]
+            if out is None:
+                continue
+            if out_port == LOCAL:
+                # Ejection: claim any free writer slot (infinite credits).
+                for dvc in range(self.num_vcs):
+                    if out.writer[dvc] is None:
+                        self._commit_allocation(vc, out, out_port, dvc, pkt)
+                        return True
+                continue
+            # Prefer adaptive VCs (leave the escape VC as a fallback).
+            vc_order = list(range(1, self.num_vcs)) + [0]
+            for dvc in vc_order:
+                if not self.routing.vc_allowed(dvc, out_port, escape):
+                    continue
+                if not out.vc_claimable(dvc, pkt.size):
+                    continue
+                self._commit_allocation(vc, out, out_port, dvc, pkt)
+                return True
+        return False
+
+    def _commit_allocation(
+        self, vc: VirtualChannel, out: OutputPort, out_port: int, dvc: int, pkt
+    ) -> None:
+        vc.set_route(out_port)
+        vc.set_out_vc(dvc)
+        out.claim(dvc, pkt.pid, pkt.size)
+
+    # -- switch allocation / traversal ----------------------------------------
+    def _collect_bids(self, now: int) -> List[Bid]:
+        bids: List[Bid] = []
+        demote_injection = False
+        if self.priority_enabled and self.starvation_threshold > 0:
+            for port in self.input_ports:
+                if port.is_injection:
+                    continue
+                if port.oldest_wait(now) > self.starvation_threshold:
+                    demote_injection = True
+                    break
+        ejection_open = self.ejection_gate is None or self.ejection_gate()
+        for port in self.input_ports:
+            if port.occ == 0:
+                continue
+            for vc in port.vcs:
+                if vc.state != VCState.ACTIVE or not vc.fifo:
+                    continue
+                out_port = vc.out_port
+                if out_port is None:
+                    continue
+                if out_port == LOCAL and not ejection_open:
+                    continue
+                prio = vc.fifo[0].packet.priority if self.priority_enabled else 0
+                if demote_injection and port.is_injection:
+                    prio = 0
+                    self.starvation_demotions += 1
+                bids.append(Bid(port.port_id, vc.index, out_port, prio))
+        return bids
+
+    def _traverse(self, winners: List[Bid], now: int) -> int:
+        moved = 0
+        for bid in winners:
+            port = self.input_ports[bid.in_port]
+            vc = port.vcs[bid.vc]
+            out_port = vc.out_port
+            out_vc = vc.out_vc
+            out = self.output_ports[out_port]
+            flit = vc.front()
+            if flit is None or out is None or out_vc is None:
+                raise RuntimeError("switch grant for an empty VC")
+            flit.out_port = out_port
+            flit.out_vc = out_vc
+            vc.pop(now)
+            port.occ -= 1
+            self._occ -= 1
+            if out.credits is not None:
+                out.credits.consume(out_vc)
+            out.record_send(out_vc, flit.packet.pid)
+            out.link.send(flit, now)
+            # Return the freed buffer slot upstream.
+            if port.is_injection:
+                if self.ni is not None:
+                    self.ni.on_credit(port.port_id, bid.vc)
+                self.flits_injected += 1
+            else:
+                ch = self.credit_out[bid.in_port]
+                if ch is not None:
+                    ch.send(bid.vc, now)
+            moved += 1
+        self.flits_switched += moved
+        return moved
+
+    # -- main step --------------------------------------------------------------
+    def step(self, now: int) -> int:
+        """Advance the router one cycle; returns flits switched."""
+        self._deliver_credits(now)
+        self._ingest(now)
+        if self._occ == 0:
+            return 0
+        self._route_and_allocate(now)
+        bids = self._collect_bids(now)
+        if not bids:
+            return 0
+        winners = self.allocator.allocate(bids)
+        return self._traverse(winners, now)
+
+    # The network installs this: maps a destination node id to mesh coords.
+    _dest_coords = None  # type: ignore[assignment]
+
+    def set_dest_coords_fn(self, fn) -> None:
+        self._dest_coords = fn
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Router(id={self.router_id}, at={self.coords})"

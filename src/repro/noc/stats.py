@@ -1,0 +1,100 @@
+"""Network statistics collection.
+
+Gathers everything the paper's Section 3 analysis and evaluation figures
+need: per-type packet latencies (Figs. 3, 13), flit-weighted traffic mix
+(Fig. 5), link utilization split into injection links vs. in-network links
+(Sec. 3: 0.39 vs 0.084 flits/cycle), and NI injection-queue occupancy
+(Fig. 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.noc.flit import Packet, PacketType
+from repro.noc.link import Link
+
+
+class LatencyAccumulator:
+    __slots__ = ("count", "total", "net_total", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.net_total = 0
+        self.max = 0
+
+    def record(self, packet: Packet) -> None:
+        lat = packet.latency
+        if lat is None:
+            return
+        self.count += 1
+        self.total += lat
+        if packet.network_latency is not None:
+            self.net_total += packet.network_latency
+        if lat > self.max:
+            self.max = lat
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def mean_network(self) -> float:
+        return self.net_total / self.count if self.count else 0.0
+
+
+class NetworkStats:
+    """Aggregated statistics for one network instance."""
+
+    def __init__(self) -> None:
+        self.latency: Dict[PacketType, LatencyAccumulator] = {
+            t: LatencyAccumulator() for t in PacketType
+        }
+        self.flits_delivered: Dict[PacketType, int] = {t: 0 for t in PacketType}
+        # Flit-hops of *delivered* packets (size x path length); unlike raw
+        # router counters this is unbiased by in-flight backlog, so it is
+        # the right dynamic-energy input for equal-work comparisons.
+        self.flit_hops_delivered = 0
+        self.packets_offered = 0
+        self.packets_delivered = 0
+        self.cycles = 0
+
+    # -- recording ---------------------------------------------------------
+    def on_offer(self) -> None:
+        self.packets_offered += 1
+
+    def on_delivery(self, packet: Packet, hops: int = 0) -> None:
+        self.packets_delivered += 1
+        self.latency[packet.ptype].record(packet)
+        self.flits_delivered[packet.ptype] += packet.size
+        self.flit_hops_delivered += packet.size * hops
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return self.packets_offered - self.packets_delivered
+
+    def mean_latency(self, types: Optional[Iterable[PacketType]] = None) -> float:
+        types = list(types) if types is not None else list(PacketType)
+        count = sum(self.latency[t].count for t in types)
+        total = sum(self.latency[t].total for t in types)
+        return total / count if count else 0.0
+
+    def traffic_mix(self) -> Dict[PacketType, float]:
+        """Flit-weighted share of each packet type (Fig. 5)."""
+        total = sum(self.flits_delivered.values())
+        if total == 0:
+            return {t: 0.0 for t in PacketType}
+        return {t: self.flits_delivered[t] / total for t in PacketType}
+
+    def throughput(self) -> float:
+        """Delivered packets per cycle."""
+        return self.packets_delivered / self.cycles if self.cycles else 0.0
+
+
+def mean_link_utilization(links: Iterable[Link], cycles: int) -> float:
+    links = list(links)
+    if not links or cycles <= 0:
+        return 0.0
+    return sum(l.flits_carried for l in links) / (len(links) * cycles)

@@ -1,0 +1,197 @@
+"""Mesh topology and memory-controller placement.
+
+The paper's main configuration is a 6x6 mesh with 28 compute-cluster (CC)
+nodes and 8 memory-controller (MC) nodes placed in a *diamond* pattern
+[Abts ISCA'09], which spreads MCs away from the edges/corners to balance
+link load.  4x4 and 8x8 meshes are used in the scalability study.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.noc.routing import NORTH, EAST, SOUTH, WEST, opposite
+
+
+class MeshTopology:
+    """A ``width`` x ``height`` 2D mesh.
+
+    Routers are identified by an integer id ``r = y * width + x``.  Each
+    router has one attached node with the same id (node ids and router ids
+    coincide in this simulator).
+    """
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 2 or height < 2:
+            raise ValueError("mesh must be at least 2x2")
+        self.width = width
+        self.height = height
+        self.num_routers = width * height
+        # neighbor[r][dir] = neighbouring router id, or None at mesh edges.
+        self._neighbors: List[Dict[int, int]] = []
+        for r in range(self.num_routers):
+            x, y = self.coords(r)
+            nb: Dict[int, int] = {}
+            if y + 1 < height:
+                nb[NORTH] = self.router_at(x, y + 1)
+            if x + 1 < width:
+                nb[EAST] = self.router_at(x + 1, y)
+            if y > 0:
+                nb[SOUTH] = self.router_at(x, y - 1)
+            if x > 0:
+                nb[WEST] = self.router_at(x - 1, y)
+            self._neighbors.append(nb)
+
+    # ------------------------------------------------------------------
+    def coords(self, router: int) -> Tuple[int, int]:
+        return router % self.width, router // self.width
+
+    def router_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x},{y}) outside {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+    def neighbors(self, router: int) -> Dict[int, int]:
+        """Map of direction -> neighbouring router id (edges omitted)."""
+        return self._neighbors[router]
+
+    def degree(self, router: int) -> int:
+        """Number of mesh links at this router (2 corner, 3 edge, 4 inner)."""
+        return len(self._neighbors[router])
+
+    def links(self) -> List[Tuple[int, int, int]]:
+        """All unidirectional links as (src_router, direction, dst_router)."""
+        out = []
+        for r in range(self.num_routers):
+            for d, n in self._neighbors[r].items():
+                out.append((r, d, n))
+        return out
+
+    def bisection_links(self) -> int:
+        """Unidirectional links crossing the vertical bisection of the mesh."""
+        # Links between column width//2 - 1 and width//2, both directions.
+        return 2 * self.height
+
+    def reverse_port(self, direction: int) -> int:
+        return opposite(direction)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MeshTopology({self.width}x{self.height})"
+
+
+def diamond_mc_placement(width: int, height: int, num_mcs: int) -> List[int]:
+    """Diamond-ish MC placement [Abts ISCA'09].
+
+    MCs are spread over interior diagonals so that no two MCs share a row or
+    column where avoidable, and none sit in a corner.  For the paper's 6x6 /
+    8 MC case this yields the classic diamond pattern.  The function is
+    deterministic and works for any mesh at least 3x3.
+    """
+    if num_mcs <= 0:
+        raise ValueError("num_mcs must be positive")
+    if num_mcs > width * height // 2:
+        raise ValueError("too many MCs for this mesh")
+
+    mesh = MeshTopology(width, height)
+    # Diamond band: interleave the two diagonals adjacent to the main one
+    # (x = y + 1 and y = x + 1).  These cells avoid all corners, spread over
+    # rows and columns (at most two MCs per line), and sit away from the
+    # congested mesh centre edges — the qualitative properties of the Abts
+    # placement that make it a competitive baseline.
+    lower = [(y + 1, y) for y in range(min(width - 1, height))]
+    upper = [(x, x + 1) for x in range(min(width, height - 1))]
+    band: List[Tuple[int, int]] = []
+    for a, b in zip(lower, upper):
+        band.append(a)
+        band.append(b)
+    band.extend(lower[len(upper):])
+    band.extend(upper[len(lower):])
+    # If the band is too small (very elongated meshes), extend with the
+    # next diagonals out.
+    offset = 2
+    while len(band) < num_mcs:
+        extra = [
+            (y + offset, y) for y in range(height) if y + offset < width
+        ] + [(x, x + offset) for x in range(width) if x + offset < height]
+        if not extra:
+            raise ValueError("cannot place that many MCs diagonally")
+        band.extend(c for c in extra if c not in band)
+        offset += 1
+
+    chosen = sorted(mesh.router_at(x, y) for x, y in band[:num_mcs])
+    return chosen
+
+
+def edge_mc_placement(width: int, height: int, num_mcs: int) -> List[int]:
+    """Top/bottom-edge MC placement (the GPGPU-Sim default layout).
+
+    MCs are spread evenly along the top and bottom rows — the configuration
+    the diamond placement of [Abts ISCA'09] improves on by reducing link
+    contention around the controllers.
+    """
+    if num_mcs <= 0:
+        raise ValueError("num_mcs must be positive")
+    if num_mcs > 2 * width:
+        raise ValueError("too many MCs for edge placement")
+    mesh = MeshTopology(width, height)
+    top = num_mcs // 2
+    bottom = num_mcs - top
+    chosen: List[int] = []
+
+    def spread(count: int, y: int) -> None:
+        if count == 0:
+            return
+        step = width / count
+        for i in range(count):
+            x = min(width - 1, int((i + 0.5) * step))
+            chosen.append(mesh.router_at(x, y))
+
+    spread(bottom, 0)
+    spread(top, height - 1)
+    return sorted(set(chosen))
+
+
+def column_mc_placement(width: int, height: int, num_mcs: int) -> List[int]:
+    """Center-column MC placement (all MCs share one or two middle columns).
+
+    A deliberately poor layout used as a contrast point in the placement
+    study: it concentrates both request ejection and reply injection on a
+    few columns.
+    """
+    if num_mcs <= 0:
+        raise ValueError("num_mcs must be positive")
+    if num_mcs > 2 * height:
+        raise ValueError("too many MCs for column placement")
+    mesh = MeshTopology(width, height)
+    cols = [width // 2] if num_mcs <= height else [width // 2 - 1, width // 2]
+    chosen: List[int] = []
+    i = 0
+    for y in range(height):
+        for x in cols:
+            if i < num_mcs:
+                chosen.append(mesh.router_at(x, y))
+                i += 1
+    return sorted(chosen)
+
+
+PLACEMENTS = {
+    "diamond": diamond_mc_placement,
+    "edge": edge_mc_placement,
+    "column": column_mc_placement,
+}
+
+
+def default_placement(
+    width: int, height: int, num_mcs: int, style: str = "diamond"
+) -> Tuple[List[int], List[int]]:
+    """Return (mc_routers, cc_routers) for a mesh using the given placement."""
+    try:
+        place = PLACEMENTS[style]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement {style!r}; options: {sorted(PLACEMENTS)}"
+        ) from None
+    mcs = place(width, height, num_mcs)
+    mc_set = set(mcs)
+    ccs = [r for r in range(width * height) if r not in mc_set]
+    return mcs, ccs

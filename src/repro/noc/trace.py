@@ -1,0 +1,125 @@
+"""Packet event tracing.
+
+Attach a :class:`PacketTracer` to a :class:`~repro.noc.network.Network` to
+record per-packet lifecycle events (offer, injection, delivery) plus
+arbitrary custom markers, then query or summarize them.  Tracing is opt-in
+and adds one callback per event, so the untraced hot path is unaffected.
+
+Example::
+
+    net = Network(cfg)
+    tracer = PacketTracer.attach(net)
+    ... run ...
+    for ev in tracer.events_for(pid):
+        print(ev)
+    print(tracer.lifecycle_summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.noc.flit import Packet
+from repro.noc.histogram import LatencyHistogram
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    cycle: int
+    kind: str          # "offer" | "inject" | "deliver" | custom
+    pid: int
+    node: Optional[int] = None
+    info: Optional[str] = None
+
+    def __str__(self) -> str:
+        where = f" @node{self.node}" if self.node is not None else ""
+        extra = f" ({self.info})" if self.info else ""
+        return f"[{self.cycle:>8}] {self.kind:<8} pid={self.pid}{where}{extra}"
+
+
+class PacketTracer:
+    """Records packet lifecycle events from a network."""
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self._by_pid: Dict[int, List[int]] = {}
+        self.dropped = 0
+        self.ni_wait = LatencyHistogram()
+        self.network_latency = LatencyHistogram()
+
+    # -- recording ---------------------------------------------------------
+    def record(
+        self,
+        cycle: int,
+        kind: str,
+        pid: int,
+        node: Optional[int] = None,
+        info: Optional[str] = None,
+    ) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        ev = TraceEvent(cycle, kind, pid, node, info)
+        self._by_pid.setdefault(pid, []).append(len(self.events))
+        self.events.append(ev)
+
+    # -- attachment ----------------------------------------------------------
+    @classmethod
+    def attach(cls, network, **kwargs) -> "PacketTracer":
+        """Wrap the network's offer/delivery paths with trace recording.
+
+        The network's existing ``on_delivery`` callback (if any) keeps
+        working; the tracer chains in front of it.
+        """
+        tracer = cls(**kwargs)
+        original_offer = network.offer
+        original_delivery = network.on_delivery
+
+        def traced_offer(node: int, packet: Packet) -> bool:
+            ok = original_offer(node, packet)
+            if ok:
+                tracer.record(network.now, "offer", packet.pid, node)
+            return ok
+
+        def traced_delivery(node: int, packet: Packet, now: int) -> None:
+            tracer.record(now, "deliver", packet.pid, node)
+            if packet.injected_at is not None:
+                tracer.record(
+                    packet.injected_at, "inject", packet.pid, packet.src
+                )
+                tracer.ni_wait.record(packet.injected_at - packet.created_at)
+            if packet.network_latency is not None:
+                tracer.network_latency.record(packet.network_latency)
+            if original_delivery is not None:
+                original_delivery(node, packet, now)
+
+        network.offer = traced_offer
+        network.on_delivery = traced_delivery
+        return tracer
+
+    # -- queries ------------------------------------------------------------
+    def events_for(self, pid: int) -> List[TraceEvent]:
+        return [self.events[i] for i in self._by_pid.get(pid, [])]
+
+    def events_of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self.events)
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def lifecycle_summary(self) -> Dict[str, Dict[str, float]]:
+        """NI-wait and in-network latency distributions of traced packets."""
+        return {
+            "ni_wait": self.ni_wait.summary(),
+            "network_latency": self.network_latency.summary(),
+        }
+
+    def format_timeline(self, pid: int) -> str:
+        evs = sorted(self.events_for(pid), key=lambda e: e.cycle)
+        if not evs:
+            return f"pid={pid}: no events"
+        return "\n".join(str(e) for e in evs)

@@ -1,0 +1,134 @@
+"""ASCII visualization of mesh state.
+
+Renders a :class:`~repro.noc.network.Network` as a text diagram: per-router
+buffer occupancy heat, per-link utilization heat, and NI injection-queue
+fill.  Useful for eyeballing where congestion sits — the paper's "hot
+region around memory controllers" is immediately visible.
+
+Example output (6x6 mesh, '.' cold .. '#' hot)::
+
+    reply network @ cycle 1500            links: - | (horizontal/vertical)
+    [..]-[..]-[..]-[..]-[..]-[..]
+      |    |    |    |    |    |
+    [..]-[#3]=[..]-[..]-[..]-[..]     M = MC node, digits = NI queue fill
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.noc.network import Network
+from repro.noc.routing import EAST, NORTH
+
+
+_HEAT = " .:-=+*#%@"
+
+
+def heat_char(value: float, max_value: float) -> str:
+    """Map value/max onto a 10-step heat ramp."""
+    if max_value <= 0 or value <= 0:
+        return _HEAT[0]
+    idx = min(len(_HEAT) - 1, int(value / max_value * (len(_HEAT) - 1) + 0.5))
+    return _HEAT[idx]
+
+
+class MeshRenderer:
+    """Renders snapshots of a network's congestion state."""
+
+    def __init__(self, network: Network, mc_nodes: Optional[Iterable[int]] = None):
+        self.network = network
+        self.mc_nodes = set(mc_nodes or [])
+
+    # -- router occupancy ----------------------------------------------------
+    def router_heatmap(self) -> str:
+        """Per-router buffered-flit heat, row by row (top row = max y)."""
+        net = self.network
+        topo = net.topology
+        cap = (
+            net.config.num_vcs
+            * net.config.vc_capacity
+            * net.routers[0].num_inputs
+        )
+        lines: List[str] = []
+        for y in reversed(range(topo.height)):
+            cells = []
+            for x in range(topo.width):
+                r = topo.router_at(x, y)
+                occ = net.routers[r].occupancy()
+                mark = "M" if r in self.mc_nodes else " "
+                cells.append(f"[{mark}{heat_char(occ, cap)}]")
+            lines.append(" ".join(cells))
+        return "\n".join(lines)
+
+    # -- link utilization -----------------------------------------------------
+    def link_heatmap(self) -> str:
+        """Inter-router link utilization; E/W between cells, N/S below."""
+        net = self.network
+        topo = net.topology
+        cycles = max(1, net.now)
+        util = {}
+        for r in range(topo.num_routers):
+            for d, out in enumerate(net.routers[r].output_ports[:4]):
+                if out is not None and out.link is not None:
+                    util[(r, d)] = out.link.utilization(cycles)
+        peak = max(util.values(), default=0.0)
+        lines: List[str] = []
+        for y in reversed(range(topo.height)):
+            row = []
+            for x in range(topo.width):
+                r = topo.router_at(x, y)
+                mark = "M" if r in self.mc_nodes else "o"
+                row.append(mark)
+                if x + 1 < topo.width:
+                    h = max(
+                        util.get((r, EAST), 0.0),
+                        util.get((topo.router_at(x + 1, y), 3), 0.0),
+                    )
+                    row.append(heat_char(h, peak) * 3)
+            lines.append("".join(row))
+            if y > 0:
+                vrow = []
+                for x in range(topo.width):
+                    r = topo.router_at(x, y)
+                    below = topo.router_at(x, y - 1)
+                    v = max(
+                        util.get((r, 2), 0.0),       # SOUTH out of r
+                        util.get((below, NORTH), 0.0),
+                    )
+                    vrow.append(heat_char(v, peak))
+                    if x + 1 < topo.width:
+                        vrow.append("   ")
+                lines.append("".join(vrow))
+        return "\n".join(lines)
+
+    # -- NI queues ------------------------------------------------------------
+    def ni_queue_bars(self, nodes: Optional[Sequence[int]] = None) -> str:
+        """Injection-queue fill bars for the given nodes (default: MCs)."""
+        net = self.network
+        nodes = list(nodes) if nodes is not None else sorted(self.mc_nodes)
+        if not nodes:
+            nodes = list(range(min(8, len(net.nis))))
+        cap = net.config.ni_queue_flits
+        lines = []
+        for n in nodes:
+            occ = net.nis[n].queued_flits()
+            bar = "#" * round(occ / cap * 20) if cap else ""
+            lines.append(f"node {n:>3}: |{bar:<20}| {occ}/{cap} flits")
+        return "\n".join(lines)
+
+    def snapshot(self) -> str:
+        """Full three-panel snapshot."""
+        return "\n".join(
+            [
+                f"=== network @ cycle {self.network.now} ===",
+                "router occupancy ('M' = MC):",
+                self.router_heatmap(),
+                "",
+                "link utilization:",
+                self.link_heatmap(),
+                "",
+                "NI injection queues:",
+                self.ni_queue_bars(),
+            ]
+        )

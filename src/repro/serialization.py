@@ -1,0 +1,103 @@
+"""JSON (de)serialization for configurations and results.
+
+Lets users pin down experiment setups in version-controllable files::
+
+    python -m repro run bfs ada-ari            # built-ins
+    cfg = load_gpu_config("my_gpu.json")       # custom silicon
+
+Everything round-trips: ``load_*(dump_*(x)) == x``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict
+
+from repro.core.ari import ARIConfig
+from repro.core.schemes import Scheme
+from repro.gpu.config import GDDR5TimingParams, GPUConfig
+from repro.gpu.system import SimulationResult
+from repro.noc.ni import NIKind
+
+
+# ---------------------------------------------------------------------------
+# GPUConfig
+# ---------------------------------------------------------------------------
+
+def gpu_config_to_dict(cfg: GPUConfig) -> Dict[str, Any]:
+    d = dataclasses.asdict(cfg)
+    return d
+
+
+def gpu_config_from_dict(d: Dict[str, Any]) -> GPUConfig:
+    d = dict(d)
+    dram = d.pop("dram", None)
+    if dram is not None:
+        d["dram"] = GDDR5TimingParams(**dram)
+    return GPUConfig(**d)
+
+
+def dump_gpu_config(cfg: GPUConfig, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(gpu_config_to_dict(cfg), fh, indent=2, sort_keys=True)
+
+
+def load_gpu_config(path: str) -> GPUConfig:
+    with open(path) as fh:
+        return gpu_config_from_dict(json.load(fh))
+
+
+# ---------------------------------------------------------------------------
+# Scheme / ARIConfig
+# ---------------------------------------------------------------------------
+
+def scheme_to_dict(scheme: Scheme) -> Dict[str, Any]:
+    d = dataclasses.asdict(scheme)
+    d["ari"] = dataclasses.asdict(scheme.ari)
+    if scheme.force_ni_kind is not None:
+        d["force_ni_kind"] = scheme.force_ni_kind.value
+    return d
+
+
+def scheme_from_dict(d: Dict[str, Any]) -> Scheme:
+    d = dict(d)
+    ari = d.pop("ari", None)
+    if ari is not None:
+        d["ari"] = ARIConfig(**ari)
+    kind = d.pop("force_ni_kind", None)
+    if kind is not None:
+        d["force_ni_kind"] = NIKind(kind)
+    return Scheme(**d)
+
+
+def dump_scheme(scheme: Scheme, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(scheme_to_dict(scheme), fh, indent=2, sort_keys=True)
+
+
+def load_scheme(path: str) -> Scheme:
+    with open(path) as fh:
+        return scheme_from_dict(json.load(fh))
+
+
+# ---------------------------------------------------------------------------
+# SimulationResult
+# ---------------------------------------------------------------------------
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    return dataclasses.asdict(result)
+
+
+def result_from_dict(d: Dict[str, Any]) -> SimulationResult:
+    return SimulationResult(**d)
+
+
+def dump_result(result: SimulationResult, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(result_to_dict(result), fh, indent=2, sort_keys=True)
+
+
+def load_result(path: str) -> SimulationResult:
+    with open(path) as fh:
+        return result_from_dict(json.load(fh))

@@ -1,0 +1,39 @@
+"""Synthetic workload suite standing in for Rodinia / CUDA SDK benchmarks.
+
+Each of the 30 named benchmarks is a :class:`~repro.workloads.profile.WorkloadProfile`
+capturing the NoC-relevant signature of the real CUDA program: memory
+intensity, read/write mix, coalescing, cache locality, footprint, and DRAM
+row locality.  The paper classifies its 30 benchmarks into 9 highly
+NoC-sensitive, 11 medium, and 10 low — the suite mirrors that split.
+"""
+
+from repro.workloads.profile import WorkloadProfile, InstructionStream, Instr
+from repro.workloads.suite import (
+    SUITE,
+    benchmark,
+    benchmark_names,
+    by_sensitivity,
+    PAPER_FIG6_BENCHMARKS,
+    PAPER_FIG9_BENCHMARKS,
+    PAPER_FIG15_BENCHMARKS,
+)
+from repro.workloads.traffic import SyntheticTrafficGenerator, ReplyTrafficPattern
+from repro.workloads.tracefile import TraceWorkload, load_trace, record_trace
+
+__all__ = [
+    "WorkloadProfile",
+    "InstructionStream",
+    "Instr",
+    "SUITE",
+    "benchmark",
+    "benchmark_names",
+    "by_sensitivity",
+    "PAPER_FIG6_BENCHMARKS",
+    "PAPER_FIG9_BENCHMARKS",
+    "PAPER_FIG15_BENCHMARKS",
+    "SyntheticTrafficGenerator",
+    "ReplyTrafficPattern",
+    "TraceWorkload",
+    "load_trace",
+    "record_trace",
+]

@@ -1,0 +1,129 @@
+"""Workload profiles and per-warp instruction streams.
+
+A :class:`WorkloadProfile` is the NoC-relevant signature of a CUDA kernel.
+It cannot (and does not try to) reproduce functional behaviour; it produces
+the same *memory request process* knobs that determine NoC load:
+
+``mem_rate``
+    Fraction of dynamic warp instructions that access memory.
+``write_fraction``
+    Fraction of memory instructions that are stores (Fig. 5 shows replies
+    dominate because reads outnumber writes).
+``coalesce_lines``
+    Cache lines touched per memory instruction after coalescing (1 =
+    perfectly coalesced, >1 = divergent access).
+``reuse_prob``
+    Probability an access re-touches the warp's recent-reuse window —
+    the main source of L1 hits.
+``working_set_lines``
+    Footprint; the emergent L2 hit rate follows from footprint vs. L2
+    capacity.
+``stream_prob``
+    Probability a *miss-path* access continues a sequential per-warp
+    stream (drives DRAM row-buffer locality).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+# Instruction encodings returned by InstructionStream.next():
+#   ("c", None)        compute instruction
+#   ("ld", [lines])    load touching those cache lines
+#   ("st", [lines])    store touching those cache lines
+Instr = Tuple[str, Optional[List[int]]]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    name: str
+    sensitivity: str            # "high" | "medium" | "low"
+    mem_rate: float
+    write_fraction: float
+    coalesce_lines: int
+    reuse_prob: float
+    working_set_lines: int
+    stream_prob: float = 0.7
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sensitivity not in ("high", "medium", "low"):
+            raise ValueError(f"bad sensitivity {self.sensitivity!r}")
+        if not (0.0 <= self.mem_rate <= 1.0):
+            raise ValueError("mem_rate must be in [0, 1]")
+        if not (0.0 <= self.write_fraction <= 1.0):
+            raise ValueError("write_fraction must be in [0, 1]")
+        if self.coalesce_lines < 1:
+            raise ValueError("coalesce_lines must be >= 1")
+        if not (0.0 <= self.reuse_prob < 1.0):
+            raise ValueError("reuse_prob must be in [0, 1)")
+        if self.working_set_lines < 16:
+            raise ValueError("working_set_lines too small")
+
+    def make_stream(self, core_id: int, warp_id: int, seed: int) -> "InstructionStream":
+        return InstructionStream(self, core_id, warp_id, seed)
+
+    def expected_l2_hit_rate(self, total_l2_lines: int) -> float:
+        """First-order estimate of the emergent L2 hit rate."""
+        return min(1.0, total_l2_lines / self.working_set_lines)
+
+
+_REUSE_WINDOW = 8
+
+
+class InstructionStream:
+    """Deterministic per-warp instruction generator.
+
+    Each warp owns a private sequential stream cursor (strided through the
+    working set, giving DRAM row locality) plus a small reuse window that
+    models register-blocked / shared-memory-adjacent access patterns (L1
+    hits).  Randomness comes from :mod:`random` seeded per (workload, core,
+    warp), so simulations are reproducible.
+    """
+
+    __slots__ = ("profile", "rng", "_window", "_cursor", "_stride_base")
+
+    def __init__(
+        self, profile: WorkloadProfile, core_id: int, warp_id: int, seed: int
+    ) -> None:
+        self.profile = profile
+        self.rng = random.Random((seed * 1_000_003 + core_id * 977 + warp_id) & 0x7FFFFFFF)
+        self._window: List[int] = []
+        ws = profile.working_set_lines
+        # Spread warps across the working set so streams do not collide.
+        self._stride_base = self.rng.randrange(ws)
+        self._cursor = self._stride_base
+
+    def _miss_path_line(self) -> int:
+        p = self.profile
+        if self.rng.random() < p.stream_prob:
+            self._cursor = (self._cursor + 1) % p.working_set_lines
+            return self._cursor
+        line = self.rng.randrange(p.working_set_lines)
+        self._cursor = line
+        return line
+
+    def _gen_lines(self, count: int) -> List[int]:
+        p = self.profile
+        out: List[int] = []
+        for _ in range(count):
+            if self._window and self.rng.random() < p.reuse_prob:
+                out.append(self.rng.choice(self._window))
+                continue
+            line = self._miss_path_line()
+            out.append(line)
+            self._window.append(line)
+            if len(self._window) > _REUSE_WINDOW:
+                self._window.pop(0)
+        return out
+
+    def next(self) -> Instr:
+        p = self.profile
+        if self.rng.random() >= p.mem_rate:
+            return ("c", None)
+        lines = self._gen_lines(p.coalesce_lines)
+        if self.rng.random() < p.write_fraction:
+            return ("st", lines)
+        return ("ld", lines)

@@ -1,0 +1,152 @@
+"""Trace-driven workloads: record and replay per-warp instruction streams.
+
+The synthetic profiles approximate real kernels statistically; when an
+actual memory trace is available (e.g. extracted from GPGPU-Sim or a
+binary instrumentation tool), it can be replayed through the same core
+model instead.
+
+Format: one instruction per line, whitespace-separated::
+
+    <core> <warp> c                 # compute instruction
+    <core> <warp> ld <line> [...]   # load touching these cache lines
+    <core> <warp> st <line> [...]   # store touching these cache lines
+
+Lines starting with ``#`` are comments.  Replay is cyclic: when a warp's
+stream is exhausted it restarts, so fixed-cycle simulations never starve.
+
+``record_trace`` generates a trace file from any profile — useful both for
+regression-pinning a workload and as a format example.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, TextIO, Tuple
+
+from repro.workloads.profile import Instr, WorkloadProfile
+
+
+class TraceStream:
+    """Replays one warp's recorded instruction list (cyclically)."""
+
+    __slots__ = ("instrs", "_pos")
+
+    def __init__(self, instrs: List[Instr]) -> None:
+        if not instrs:
+            instrs = [("c", None)]
+        self.instrs = instrs
+        self._pos = 0
+
+    def next(self) -> Instr:
+        instr = self.instrs[self._pos]
+        self._pos = (self._pos + 1) % len(self.instrs)
+        return instr
+
+
+class TraceWorkload:
+    """A workload whose streams replay a recorded trace.
+
+    Duck-types :class:`~repro.workloads.profile.WorkloadProfile`'s surface
+    used by the GPU model (``name``, ``sensitivity``, ``working_set_lines``,
+    ``make_stream``), so it drops into :class:`~repro.gpu.system.GPGPUSystem`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        per_warp: Dict[Tuple[int, int], List[Instr]],
+        sensitivity: str = "high",
+        description: str = "trace-driven workload",
+    ) -> None:
+        if not per_warp:
+            raise ValueError("trace contains no instructions")
+        self.name = name
+        self.sensitivity = sensitivity
+        self.description = description
+        self._per_warp = per_warp
+        lines = [
+            l
+            for instrs in per_warp.values()
+            for kind, ls in instrs
+            if ls
+            for l in ls
+        ]
+        self.working_set_lines = max(lines, default=15) + 1
+
+    def make_stream(self, core_id: int, warp_id: int, seed: int) -> TraceStream:
+        # Seed is irrelevant for replay; warps without recorded entries
+        # fall back to the closest recorded warp of the same core, then to
+        # an idle (compute-only) stream.
+        instrs = self._per_warp.get((core_id, warp_id))
+        if instrs is None:
+            candidates = [
+                w for (c, w) in self._per_warp if c == core_id
+            ]
+            if candidates:
+                instrs = self._per_warp[(core_id, min(candidates))]
+        return TraceStream(list(instrs) if instrs else [])
+
+    @property
+    def warps_recorded(self) -> int:
+        return len(self._per_warp)
+
+    @property
+    def instructions_recorded(self) -> int:
+        return sum(len(v) for v in self._per_warp.values())
+
+
+def parse_trace(fh: TextIO, name: str = "trace") -> TraceWorkload:
+    per_warp: Dict[Tuple[int, int], List[Instr]] = defaultdict(list)
+    for lineno, raw in enumerate(fh, 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) < 3:
+            raise ValueError(f"line {lineno}: expected '<core> <warp> <op> ...'")
+        try:
+            core, warp = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise ValueError(f"line {lineno}: bad core/warp ids") from None
+        op = parts[2]
+        if op == "c":
+            per_warp[(core, warp)].append(("c", None))
+        elif op in ("ld", "st"):
+            if len(parts) < 4:
+                raise ValueError(f"line {lineno}: {op} needs line addresses")
+            try:
+                lines = [int(x, 0) for x in parts[3:]]
+            except ValueError:
+                raise ValueError(f"line {lineno}: bad line address") from None
+            per_warp[(core, warp)].append((op, lines))
+        else:
+            raise ValueError(f"line {lineno}: unknown op {op!r}")
+    return TraceWorkload(name, dict(per_warp))
+
+
+def load_trace(path: str, name: str = None) -> TraceWorkload:
+    with open(path) as fh:
+        return parse_trace(fh, name or path)
+
+
+def record_trace(
+    profile: WorkloadProfile,
+    path: str,
+    cores: int = 2,
+    warps_per_core: int = 4,
+    instructions_per_warp: int = 200,
+    seed: int = 1,
+) -> None:
+    """Sample a profile's streams into a replayable trace file."""
+    with open(path, "w") as fh:
+        fh.write(f"# trace of profile {profile.name!r}, seed {seed}\n")
+        for core in range(cores):
+            for warp in range(warps_per_core):
+                stream = profile.make_stream(core, warp, seed)
+                for _ in range(instructions_per_warp):
+                    kind, lines = stream.next()
+                    if kind == "c":
+                        fh.write(f"{core} {warp} c\n")
+                    else:
+                        addrs = " ".join(str(l) for l in lines)
+                        fh.write(f"{core} {warp} {kind} {addrs}\n")

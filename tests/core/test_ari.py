@@ -1,0 +1,58 @@
+"""Tests for ARIConfig."""
+
+import pytest
+
+from repro.core.ari import ARIConfig
+from repro.noc.ni import NIKind
+
+
+class TestPresets:
+    def test_full(self):
+        a = ARIConfig.full()
+        assert a.supply and a.consume
+        assert a.priority_levels == 2
+        assert a.priority_enabled
+        assert a.ni_kind == NIKind.SPLIT
+        assert a.effective_speedup == 4
+
+    def test_off(self):
+        a = ARIConfig.off()
+        assert not a.supply and not a.consume
+        assert not a.priority_enabled
+        assert a.ni_kind == NIKind.ENHANCED
+        assert a.effective_speedup == 1
+
+    def test_supply_only(self):
+        a = ARIConfig.supply_only()
+        assert a.ni_kind == NIKind.SPLIT
+        assert a.effective_speedup == 1
+
+    def test_consume_only(self):
+        a = ARIConfig.consume_only()
+        assert a.ni_kind == NIKind.ENHANCED
+        assert a.effective_speedup == 4
+
+    def test_both_no_priority(self):
+        a = ARIConfig.both_no_priority()
+        assert a.ni_kind == NIKind.SPLIT
+        assert a.effective_speedup == 4
+        assert not a.priority_enabled
+
+
+class TestValidation:
+    def test_priority_levels_positive(self):
+        with pytest.raises(ValueError):
+            ARIConfig(priority_levels=0)
+
+    def test_split_queues_positive(self):
+        with pytest.raises(ValueError):
+            ARIConfig(num_split_queues=0)
+
+    def test_speedup_positive(self):
+        with pytest.raises(ValueError):
+            ARIConfig(injection_speedup=0)
+
+    def test_frozen(self):
+        a = ARIConfig.full()
+        with pytest.raises(Exception):
+            a.supply = False

@@ -1,0 +1,100 @@
+"""Tests for the named evaluation schemes."""
+
+import pytest
+
+from repro.core.schemes import SCHEMES, Scheme, scheme, scheme_names
+from repro.noc.ni import NIKind
+
+
+class TestRegistry:
+    def test_paper_schemes_present(self):
+        for name in [
+            "xy-baseline", "xy-ari", "ada-baseline", "ada-multiport",
+            "ada-ari", "acc-supply", "acc-consume", "acc-both",
+            "da2mesh", "da2mesh-ari",
+        ]:
+            assert name in SCHEMES
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            scheme("torus-ari")
+
+    def test_names_sorted(self):
+        assert scheme_names() == sorted(scheme_names())
+
+
+class TestSchemeProperties:
+    def test_baselines_use_enhanced_ni(self):
+        assert scheme("xy-baseline").ni_kind == NIKind.ENHANCED
+        assert scheme("ada-baseline").ni_kind == NIKind.ENHANCED
+
+    def test_ari_uses_split_ni(self):
+        assert scheme("xy-ari").ni_kind == NIKind.SPLIT
+        assert scheme("ada-ari").ni_kind == NIKind.SPLIT
+
+    def test_multiport_overrides_ni(self):
+        s = scheme("ada-multiport")
+        assert s.num_injection_ports == 2
+        assert s.ni_kind == NIKind.MULTIPORT
+
+    def test_routing_assignment(self):
+        assert scheme("xy-ari").routing == "xy"
+        assert scheme("ada-ari").routing == "adaptive"
+
+    def test_fig10_ablations(self):
+        assert scheme("acc-supply").ari.supply
+        assert not scheme("acc-supply").ari.consume
+        assert not scheme("acc-consume").ari.supply
+        assert scheme("acc-consume").ari.consume
+        both = scheme("acc-both").ari
+        assert both.supply and both.consume and not both.priority_enabled
+
+    def test_link_width_variants(self):
+        assert scheme("xy-baseline-256req").request_width_mult == 2
+        assert scheme("xy-baseline-256rep").reply_width_mult == 2
+
+    def test_da2mesh_overlay_flag(self):
+        assert scheme("da2mesh").reply_overlay == "da2mesh"
+        assert scheme("da2mesh-ari").reply_overlay == "da2mesh"
+        assert scheme("ada-ari").reply_overlay == "mesh"
+
+
+class TestModifiers:
+    def test_with_priority_levels(self):
+        s = scheme("ada-ari").with_priority_levels(4)
+        assert s.ari.priority_levels == 4
+        assert scheme("ada-ari").ari.priority_levels == 2  # original intact
+
+    def test_with_speedup(self):
+        s = scheme("ada-ari").with_speedup(2)
+        assert s.ari.injection_speedup == 2
+
+
+class TestNewSchemes:
+    def test_request_side_ablation_scheme(self):
+        s = scheme("ada-ari-both")
+        assert s.accelerate_request
+        assert s.ari.supply and s.ari.consume
+
+    def test_naive_baseline_forces_narrow_ni(self):
+        s = scheme("xy-naive-baseline")
+        assert s.force_ni_kind == NIKind.BASELINE_NARROW
+        assert s.ni_kind == NIKind.BASELINE_NARROW
+
+    def test_modifiers_chain(self):
+        s = (
+            scheme("ada-ari")
+            .with_priority_levels(3)
+            .with_speedup(2)
+            .with_split_queues(2)
+            .with_starvation_threshold(500)
+        )
+        assert s.ari.priority_levels == 3
+        assert s.ari.injection_speedup == 2
+        assert s.ari.num_split_queues == 2
+        assert s.ari.starvation_threshold == 500
+
+    def test_modifiers_do_not_mutate_registry(self):
+        before = scheme("ada-ari").ari
+        scheme("ada-ari").with_speedup(1)
+        assert scheme("ada-ari").ari == before

@@ -1,0 +1,97 @@
+"""Tests for the Eq. (1)/(2) speedup sizing rules."""
+
+import pytest
+
+from repro.core.speedup import (
+    choose_speedup,
+    estimate_ideal_injection_rate,
+    mean_flits_per_packet,
+    peak_injection_rate,
+    required_speedup,
+    speedup_upper_bound,
+)
+from repro.noc.flit import Packet, PacketType
+from repro.noc.network import NetworkConfig
+
+
+class TestEquation1:
+    def test_basic(self):
+        # 0.3 packets/cycle x 8.2 flits/packet -> ceil(2.46) = 3.
+        assert required_speedup(0.3, 8.2) == 3
+
+    def test_minimum_one(self):
+        assert required_speedup(0.0, 9) == 1
+        assert required_speedup(0.01, 1) == 1
+
+    def test_exact_integer(self):
+        assert required_speedup(0.5, 8) == 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            required_speedup(-1, 9)
+        with pytest.raises(ValueError):
+            required_speedup(0.5, 0)
+
+
+class TestEquation2:
+    def test_mesh_default(self):
+        assert speedup_upper_bound(4, 4) == 4
+
+    def test_vc_limited(self):
+        assert speedup_upper_bound(4, 2) == 2
+
+    def test_port_limited(self):
+        assert speedup_upper_bound(3, 4) == 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            speedup_upper_bound(0, 4)
+
+
+class TestChoose:
+    def test_smin_within_bound(self):
+        assert choose_speedup(0.2, 8.2) == 2
+
+    def test_clamped_to_bound(self):
+        """Paper guideline: if S_min violates (2), use the (2) bound."""
+        assert choose_speedup(1.0, 9.0) == 4
+
+    def test_paper_main_configuration(self):
+        """The paper's S=4 covers 95% of peak rates with 4 VCs on a mesh."""
+        assert choose_speedup(0.45, 8.8, 4, 4) == 4
+
+
+class TestMeanFlits:
+    def test_reply_mix(self):
+        # 85% long read replies (9 flits) + 15% short write replies.
+        mix = {PacketType.READ_REPLY: 0.85, PacketType.WRITE_REPLY: 0.15}
+        assert mean_flits_per_packet(mix) == pytest.approx(0.85 * 9 + 0.15)
+
+    def test_empty_mix_raises(self):
+        with pytest.raises(ValueError):
+            mean_flits_per_packet({})
+
+
+class TestIdealRateEstimation:
+    def test_measures_offered_rate(self):
+        def schedule(net, cycle):
+            if cycle % 4 == 0:
+                net.offer(5, Packet(PacketType.READ_REPLY, 5, 1, 9, cycle))
+
+        rates = estimate_ideal_injection_rate(
+            NetworkConfig(width=4, height=4), schedule, cycles=400, mc_nodes=[5]
+        )
+        assert rates[5] == pytest.approx(0.25, rel=0.05)
+
+
+class TestPeakRate:
+    def test_percentile(self):
+        counts = list(range(1, 101))  # 1..100 packets per 100-cycle interval
+        assert peak_injection_rate(counts, 100, 0.95) == pytest.approx(0.95)
+
+    def test_empty(self):
+        assert peak_injection_rate([], 100) == 0.0
+
+    def test_bad_percentile(self):
+        with pytest.raises(ValueError):
+            peak_injection_rate([1], 100, 0.0)

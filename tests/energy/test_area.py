@@ -1,0 +1,54 @@
+"""Tests for the analytical area model (Sec. 6.1)."""
+
+import pytest
+
+from repro.energy.area import AreaModel, ari_area_overhead
+
+
+class TestCalibration:
+    def test_pair_overhead_matches_paper(self):
+        """Paper: 5.4% for one revised NI + MC-router pair."""
+        assert ari_area_overhead()["pair_overhead"] == pytest.approx(0.054, abs=0.01)
+
+    def test_network_overhead_matches_paper(self):
+        """Paper: 0.7% amortized over the whole network."""
+        assert ari_area_overhead()["network_overhead"] == pytest.approx(
+            0.007, abs=0.004
+        )
+
+
+class TestStructure:
+    def test_ari_tile_larger(self):
+        m = AreaModel()
+        assert m.ari_tile().total > m.baseline_tile().total
+
+    def test_crossbar_grows_with_speedup(self):
+        m = AreaModel()
+        assert (
+            m.ari_tile(injection_speedup=4).crossbar
+            > m.ari_tile(injection_speedup=2).crossbar
+        )
+
+    def test_buffers_unchanged(self):
+        """Fair comparison: ARI keeps the same total buffering."""
+        m = AreaModel()
+        base = m.baseline_tile()
+        ari = m.ari_tile()
+        assert ari.input_buffers == base.input_buffers
+        # split queues add only small periphery
+        assert ari.ni_queues < base.ni_queues * 1.2
+
+    def test_priority_logic_only_with_levels(self):
+        m = AreaModel()
+        assert m.ari_tile(priority_levels=1).priority_logic == 0.0
+        assert m.ari_tile(priority_levels=2).priority_logic > 0.0
+
+    def test_network_overhead_scales_with_mc_fraction(self):
+        m = AreaModel()
+        few = m.network_overhead(num_routers=72, num_mc_routers=4)
+        many = m.network_overhead(num_routers=72, num_mc_routers=16)
+        assert many > few
+
+    def test_breakdown_sums(self):
+        b = AreaModel().ari_tile()
+        assert b.total == pytest.approx(sum(b.as_dict().values()))

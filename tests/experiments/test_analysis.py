@@ -1,0 +1,90 @@
+"""Tests for multi-seed analysis."""
+
+import pytest
+
+from repro.experiments.analysis import (
+    SeedStats,
+    compare,
+    multi_seed,
+    significant_speedup,
+    summarize_grid,
+)
+from repro.experiments.runner import RunSpec
+
+
+SMALL = dict(cycles=150, warmup=40, mesh=4, warps_per_core=4)
+
+
+class TestSeedStats:
+    def test_basic_stats(self):
+        s = SeedStats("ipc", [1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.std == pytest.approx(1.0)
+        assert s.min == 1.0 and s.max == 3.0
+        assert s.n == 3
+
+    def test_single_value_no_std(self):
+        s = SeedStats("ipc", [5.0])
+        assert s.std == 0.0
+        assert s.ci95() == 0.0
+
+    def test_empty(self):
+        s = SeedStats("ipc", [])
+        assert s.mean == 0.0
+
+    def test_significance(self):
+        tight = SeedStats("r", [1.5, 1.52, 1.48])
+        assert significant_speedup(tight, 1.0)
+        noisy = SeedStats("r", [0.8, 1.6])
+        assert not significant_speedup(noisy, 1.0)
+
+
+class TestMultiSeed:
+    def test_runs_per_seed(self):
+        stats = multi_seed(
+            RunSpec("binomialOptions", "xy-baseline", **SMALL),
+            seeds=[1, 2, 3],
+            use_cache=False,
+        )
+        assert stats["ipc"].n == 3
+        assert stats["ipc"].mean > 0
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            multi_seed(RunSpec("bfs", "xy-baseline"), seeds=[])
+
+
+class TestCompare:
+    def test_paired_ratio(self):
+        stats = compare(
+            RunSpec("bfs", "ada-baseline", **SMALL),
+            RunSpec("bfs", "ada-ari", **SMALL),
+            seeds=[1, 2],
+            use_cache=False,
+        )
+        assert stats.n == 2
+        assert stats.mean > 0.8  # ARI never collapses IPC
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            compare(RunSpec("bfs", "a"), RunSpec("bfs", "b"), seeds=[])
+
+
+class TestSummarizeGrid:
+    def test_geomean_per_scheme(self):
+        from repro.gpu.system import SimulationResult
+
+        def res(ipc):
+            return SimulationResult(
+                benchmark="b", scheme="s", cycles=1, core_cycles=1,
+                instructions=1, ipc=ipc, mc_stall_cycles=0,
+                request_latency=0, reply_latency=0, reply_traffic_share=0,
+            )
+
+        grid = {
+            "bm1": {"a": res(2.0), "b": res(4.0)},
+            "bm2": {"a": res(8.0), "b": res(4.0)},
+        }
+        out = summarize_grid(grid)
+        assert out["a"] == pytest.approx(4.0)
+        assert out["b"] == pytest.approx(4.0)

@@ -1,0 +1,101 @@
+"""Tests for the ASCII table renderer."""
+
+from repro.experiments.report import render_grid, render_kv, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["name", "v"], [["a", 1.0], ["longer", 2.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "1.000" in out and "2.500" in out
+
+    def test_custom_float_format(self):
+        out = render_table(["v"], [[0.123456]], floatfmt="{:.1f}")
+        assert "0.1" in out
+
+    def test_non_float_cells(self):
+        out = render_table(["a", "b"], [[1, "x"]])
+        assert "1" in out and "x" in out
+
+    def test_empty_rows(self):
+        out = render_table(["h"], [])
+        assert "h" in out
+
+
+class TestRenderKV:
+    def test_basic(self):
+        out = render_kv({"alpha": 1.5, "b": "text"})
+        assert "alpha" in out
+        assert "1.5000" in out
+        assert "text" in out
+
+    def test_empty(self):
+        assert render_kv({}) == ""
+
+
+class TestRenderGrid:
+    def test_grid_with_summary(self):
+        grid = {"bm1": {"a": 1.0, "b": 2.0}, "bm2": {"a": 3.0, "b": 4.0}}
+        out = render_grid(grid, ["a", "b"], summary={"a": 2.0, "b": 3.0})
+        assert "geomean" in out
+        assert "bm1" in out and "bm2" in out
+
+    def test_columns_inferred(self):
+        grid = {"bm": {"x": 1.0}}
+        out = render_grid(grid)
+        assert "x" in out
+
+    def test_missing_cell_is_nan(self):
+        grid = {"bm": {"a": 1.0}}
+        out = render_grid(grid, ["a", "b"])
+        assert "nan" in out
+
+
+class TestMarkdownExport:
+    def test_structure(self):
+        from repro.experiments.report import to_markdown
+
+        out = to_markdown(["a", "b"], [[1.0, "x"]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1.000 | x |"
+
+    def test_empty_rows(self):
+        from repro.experiments.report import to_markdown
+
+        assert to_markdown(["h"], []).count("\n") == 1
+
+
+class TestCSVExport:
+    def test_basic(self):
+        from repro.experiments.report import to_csv
+
+        out = to_csv(["a", "b"], [[1.5, "x"]])
+        assert out.splitlines() == ["a,b", "1.5,x"]
+
+    def test_quoting(self):
+        from repro.experiments.report import to_csv
+
+        out = to_csv(["v"], [['has,comma'], ['has"quote']])
+        assert '"has,comma"' in out
+        assert '"has""quote"' in out
+
+
+class TestGridRows:
+    def test_flatten(self):
+        from repro.experiments.report import grid_rows
+
+        h, r = grid_rows({"bm": {"x": 1.0, "y": 2.0}}, columns=["y", "x"])
+        assert h == ["name", "y", "x"]
+        assert r == [["bm", 2.0, 1.0]]
+
+    def test_missing_cell_nan(self):
+        import math
+
+        from repro.experiments.report import grid_rows
+
+        _, r = grid_rows({"bm": {"x": 1.0}}, columns=["x", "z"])
+        assert math.isnan(r[0][2])

@@ -1,0 +1,97 @@
+"""Tests for the experiment runner and cache."""
+
+import pytest
+
+from repro.experiments.runner import (
+    RunSpec,
+    build_system,
+    geometric_mean,
+    normalized,
+    run_system,
+)
+
+
+class TestRunSpec:
+    def test_key_stable(self):
+        a = RunSpec("bfs", "xy-baseline")
+        b = RunSpec("bfs", "xy-baseline")
+        assert a.key() == b.key()
+
+    def test_key_differs_on_any_field(self):
+        base = RunSpec("bfs", "xy-baseline")
+        assert base.key() != RunSpec("bfs", "xy-ari").key()
+        assert base.key() != RunSpec("bfs", "xy-baseline", cycles=999).key()
+        assert base.key() != RunSpec("bfs", "xy-baseline", seed=4).key()
+        assert base.key() != RunSpec("bfs", "xy-baseline", mesh=8).key()
+
+
+class TestBuildSystem:
+    def test_spec_overrides_applied(self):
+        spec = RunSpec(
+            "bfs", "ada-ari", mesh=4, num_vcs=2, ni_queue_flits=18,
+            priority_levels=3, injection_speedup=2, warps_per_core=4,
+        )
+        sys_ = build_system(spec)
+        assert sys_.config.mesh_width == 4
+        assert sys_.config.warps_per_core == 4
+        assert sys_.reply_net.config.num_vcs == 2
+        assert sys_.reply_net.config.ni_queue_flits == 18
+        assert sys_.reply_net.config.priority_levels == 3
+        assert sys_.reply_net.config.injection_speedup == 2
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            build_system(RunSpec("quake", "xy-baseline"))
+
+
+class TestRunAndCache:
+    def test_result_cached(self, tmp_path, monkeypatch):
+        import repro.experiments.runner as runner
+
+        monkeypatch.setattr(runner, "_CACHE_PATH", str(tmp_path / "c.json"))
+        monkeypatch.setattr(runner, "_disk_loaded", False)
+        runner._memory_cache.clear()
+        spec = RunSpec("binomialOptions", "xy-baseline", cycles=120, warmup=30,
+                       mesh=4, warps_per_core=4)
+        r1 = run_system(spec)
+        assert (tmp_path / "c.json").exists()
+        r2 = run_system(spec)
+        assert r1.instructions == r2.instructions
+        assert r1.extras == r2.extras
+
+    def test_cache_bypass(self, tmp_path, monkeypatch):
+        import repro.experiments.runner as runner
+
+        monkeypatch.setattr(runner, "_CACHE_PATH", str(tmp_path / "c.json"))
+        monkeypatch.setattr(runner, "_disk_loaded", False)
+        runner._memory_cache.clear()
+        spec = RunSpec("binomialOptions", "xy-baseline", cycles=120, warmup=30,
+                       mesh=4, warps_per_core=4)
+        r1 = run_system(spec, use_cache=False)
+        assert not (tmp_path / "c.json").exists()
+        assert r1.instructions > 0
+
+
+class TestAggregation:
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([1.0, 1.0]) == 1.0
+
+    def test_geometric_mean_skips_nonpositive(self):
+        assert geometric_mean([0.0, 4.0]) == 4.0
+
+    def test_normalized(self):
+        from repro.gpu.system import SimulationResult
+
+        def res(ipc):
+            return SimulationResult(
+                benchmark="b", scheme="s", cycles=1, core_cycles=1,
+                instructions=1, ipc=ipc, mc_stall_cycles=0,
+                request_latency=0, reply_latency=0, reply_traffic_share=0,
+            )
+
+        grid = {"bm": {"base": res(2.0), "ari": res(3.0)}}
+        out = normalized(grid, "ipc", "base")
+        assert out["bm"]["ari"] == pytest.approx(1.5)
+        assert out["bm"]["base"] == 1.0

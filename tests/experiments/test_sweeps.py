@@ -1,0 +1,80 @@
+"""Tests for the cartesian sweep utility."""
+
+import pytest
+
+from repro.experiments.runner import RunSpec
+from repro.experiments.sweeps import (
+    best_by,
+    cartesian_sweep,
+    records_to_csv,
+    write_csv,
+)
+
+BASE = RunSpec("binomialOptions", "xy-baseline", cycles=120, warmup=30,
+               mesh=4, warps_per_core=4)
+
+
+class TestCartesianSweep:
+    def test_expands_all_combinations(self):
+        records = cartesian_sweep(
+            BASE,
+            axes={"num_vcs": [2, 4], "seed": [1, 2]},
+            metrics=("ipc",),
+            use_cache=False,
+        )
+        assert len(records) == 4
+        combos = {(r["num_vcs"], r["seed"]) for r in records}
+        assert combos == {(2, 1), (2, 2), (4, 1), (4, 2)}
+        assert all(r["ipc"] > 0 for r in records)
+        assert all(r["benchmark"] == "binomialOptions" for r in records)
+
+    def test_rejects_unknown_axis(self):
+        with pytest.raises(ValueError, match="unknown RunSpec field"):
+            cartesian_sweep(BASE, axes={"clock_speed": [1]})
+
+    def test_progress_callback(self):
+        seen = []
+        cartesian_sweep(
+            BASE,
+            axes={"seed": [1, 2]},
+            metrics=("ipc",),
+            use_cache=False,
+            progress=lambda i, n, spec: seen.append((i, n)),
+        )
+        assert seen == [(0, 2), (1, 2)]
+
+
+class TestExport:
+    def _records(self):
+        return [
+            {"seed": 1, "ipc": 2.0},
+            {"seed": 2, "ipc": 3.0, "extra": "x"},
+        ]
+
+    def test_csv_union_of_columns(self):
+        csv = records_to_csv(self._records())
+        lines = csv.splitlines()
+        assert lines[0] == "seed,ipc,extra"
+        assert lines[1].startswith("1,2.0")
+        assert lines[2].endswith("x")
+
+    def test_csv_empty(self):
+        assert records_to_csv([]) == ""
+
+    def test_write_csv(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        write_csv(self._records(), path)
+        assert open(path).read().startswith("seed,ipc")
+
+
+class TestBestBy:
+    def test_max(self):
+        recs = [{"ipc": 1.0}, {"ipc": 3.0}, {"ipc": 2.0}]
+        assert best_by(recs)["ipc"] == 3.0
+
+    def test_min(self):
+        recs = [{"lat": 9.0}, {"lat": 4.0}]
+        assert best_by(recs, "lat", maximize=False)["lat"] == 4.0
+
+    def test_empty(self):
+        assert best_by([]) is None

@@ -1,0 +1,112 @@
+"""Tests for the set-associative LRU cache."""
+
+import pytest
+
+from repro.gpu.cache import Cache
+
+
+class TestGeometry:
+    def test_sets_and_ways(self):
+        c = Cache(16 * 1024, 128, 4)
+        assert c.num_sets == 32
+        assert c.assoc == 4
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Cache(0, 128, 4)
+        with pytest.raises(ValueError):
+            Cache(128, 128, 4)  # smaller than one set
+
+
+class TestLookupAndFill:
+    def test_miss_then_hit(self):
+        c = Cache(1024, 128, 2)
+        assert not c.lookup(5)
+        c.fill(5)
+        assert c.lookup(5)
+
+    def test_probe_is_stateless(self):
+        c = Cache(1024, 128, 2)
+        c.fill(5)
+        h0 = c.stats.hits
+        assert c.probe(5)
+        assert not c.probe(6)
+        assert c.stats.hits == h0
+
+    def test_lru_eviction(self):
+        c = Cache(2 * 128, 128, 2)  # 1 set, 2 ways
+        c.fill(0)
+        c.fill(1)
+        c.lookup(0)   # 0 becomes MRU
+        c.fill(2)     # evicts 1 (LRU)
+        assert c.probe(0)
+        assert not c.probe(1)
+        assert c.probe(2)
+
+    def test_fill_existing_updates_lru(self):
+        c = Cache(2 * 128, 128, 2)
+        c.fill(0)
+        c.fill(1)
+        c.fill(0)  # refresh 0
+        c.fill(2)  # evicts 1
+        assert c.probe(0) and not c.probe(1)
+
+    def test_set_isolation(self):
+        c = Cache(4 * 128, 128, 2)  # 2 sets
+        c.fill(0)  # set 0
+        c.fill(1)  # set 1
+        c.fill(2)  # set 0
+        c.fill(4)  # set 0 -> evicts 0
+        assert c.probe(1)
+        assert not c.probe(0)
+
+    def test_occupancy(self):
+        c = Cache(1024, 128, 2)
+        for line in range(5):
+            c.fill(line)
+        assert c.occupancy == 5
+
+    def test_capacity_bound(self):
+        c = Cache(1024, 128, 2)  # 8 lines total
+        for line in range(100):
+            c.fill(line)
+        assert c.occupancy <= 8
+
+
+class TestWrites:
+    def test_write_through_hit(self):
+        c = Cache(1024, 128, 2)
+        c.fill(3)
+        assert c.write(3)
+        assert c.stats.write_hits == 1
+
+    def test_write_no_allocate(self):
+        c = Cache(1024, 128, 2)
+        assert not c.write(3)
+        assert not c.probe(3)
+
+
+class TestStatsAndControl:
+    def test_hit_rate(self):
+        c = Cache(1024, 128, 2)
+        c.fill(1)
+        c.lookup(1)
+        c.lookup(2)
+        assert c.stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_empty(self):
+        assert Cache(1024, 128, 2).stats.hit_rate == 0.0
+
+    def test_invalidate(self):
+        c = Cache(1024, 128, 2)
+        c.fill(1)
+        assert c.invalidate(1)
+        assert not c.probe(1)
+        assert not c.invalidate(1)
+
+    def test_flush(self):
+        c = Cache(1024, 128, 2)
+        for line in range(4):
+            c.fill(line)
+        c.flush()
+        assert c.occupancy == 0

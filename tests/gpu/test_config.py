@@ -1,0 +1,87 @@
+"""Tests for GPUConfig (Table I)."""
+
+import pytest
+
+from repro.gpu.config import GDDR5TimingParams, GPUConfig
+
+
+class TestDefaults:
+    def test_table1_values(self):
+        cfg = GPUConfig()
+        assert cfg.num_cores == 28
+        assert cfg.num_mcs == 8
+        assert cfg.warp_size == 32
+        assert cfg.simd_width == 8
+        assert cfg.l1_size_bytes == 16 * 1024
+        assert cfg.l2_size_bytes == 128 * 1024
+        assert cfg.link_width_bits == 128
+        assert cfg.num_vcs == 4
+        assert cfg.ni_queue_flits == 36
+        assert cfg.mem_clock_ratio == 1.75
+        d = cfg.dram
+        assert (d.tRP, d.tRC, d.tRRD, d.tRAS, d.tRCD, d.tCL) == (12, 40, 6, 28, 12, 12)
+
+    def test_derived_geometry(self):
+        cfg = GPUConfig()
+        assert cfg.flit_bytes == 16
+        assert cfg.long_packet_flits == 9
+        assert cfg.warp_issue_cycles == 4
+
+    def test_gddr5_bandwidth_matches_paper(self):
+        """1.75GHz x 32 pins x 4 (QDR) = 28 GB/s per MC (Sec. 3)."""
+        cfg = GPUConfig()
+        bytes_per_noc_cycle = (
+            cfg.dram.bus_bytes_per_cycle * cfg.mem_clock_ratio
+        )
+        assert bytes_per_noc_cycle == 28  # GB/s at 1 GHz NoC clock
+
+
+class TestValidation:
+    def test_nodes_must_fit_mesh(self):
+        with pytest.raises(ValueError):
+            GPUConfig(mesh_width=4, mesh_height=4, num_cores=14, num_mcs=4)
+
+    def test_warp_simd_divisibility(self):
+        with pytest.raises(ValueError):
+            GPUConfig(warp_size=30)
+
+    def test_line_flit_divisibility(self):
+        with pytest.raises(ValueError):
+            GPUConfig(line_bytes=100)
+
+
+class TestScaled:
+    @pytest.mark.parametrize(
+        "mesh,cores,mcs", [(4, 12, 4), (6, 28, 8), (8, 52, 12)]
+    )
+    def test_scalability_configs(self, mesh, cores, mcs):
+        cfg = GPUConfig.scaled(mesh)
+        assert cfg.mesh_width == cfg.mesh_height == mesh
+        assert cfg.num_cores == cores
+        assert cfg.num_mcs == mcs
+
+    def test_unknown_mesh(self):
+        with pytest.raises(ValueError):
+            GPUConfig.scaled(5)
+
+    def test_overrides(self):
+        cfg = GPUConfig.scaled(4, warps_per_core=8)
+        assert cfg.warps_per_core == 8
+
+
+class TestAddressMapping:
+    def test_mc_for_line_in_range(self):
+        cfg = GPUConfig()
+        for line in range(1000):
+            assert 0 <= cfg.mc_for_line(line) < cfg.num_mcs
+
+    def test_mc_distribution_roughly_uniform(self):
+        cfg = GPUConfig()
+        counts = [0] * cfg.num_mcs
+        for line in range(8000):
+            counts[cfg.mc_for_line(line)] += 1
+        assert min(counts) > 0.7 * (8000 / cfg.num_mcs)
+
+    def test_deterministic(self):
+        cfg = GPUConfig()
+        assert cfg.mc_for_line(1234) == cfg.mc_for_line(1234)

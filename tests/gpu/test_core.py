@@ -1,0 +1,137 @@
+"""Tests for the SIMT core model."""
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.core import Core
+from repro.workloads.profile import WorkloadProfile
+
+
+def make_core(mem_rate=0.5, write_fraction=0.0, reuse=0.0, warps=4, **kw):
+    cfg = GPUConfig(warps_per_core=warps)
+    prof = WorkloadProfile(
+        name="t",
+        sensitivity="high",
+        mem_rate=mem_rate,
+        write_fraction=write_fraction,
+        coalesce_lines=1,
+        reuse_prob=reuse,
+        working_set_lines=4096,
+        **kw,
+    )
+    return Core(0, node=0, config=cfg, profile=prof, seed=1)
+
+
+class TestIssue:
+    def test_compute_only_full_ipc(self):
+        core = make_core(mem_rate=0.0)
+        for t in range(100):
+            core.step_core_cycle(t)
+        assert core.stats.instructions == 100
+        assert core.ipc == 1.0
+
+    def test_loads_generate_requests(self):
+        core = make_core(mem_rate=1.0)
+        for t in range(20):
+            core.step_core_cycle(t)
+        assert core.stats.loads > 0
+        assert len(core.outbound) > 0
+        assert all(not w for (w, _) in core.outbound)
+
+    def test_stores_generate_write_requests(self):
+        core = make_core(mem_rate=1.0, write_fraction=1.0)
+        for t in range(10):
+            core.step_core_cycle(t)
+        assert core.stats.stores > 0
+        assert all(w for (w, _) in core.outbound)
+
+    def test_stores_do_not_block_warps(self):
+        core = make_core(mem_rate=1.0, write_fraction=1.0, warps=1)
+        for t in range(10):
+            core.step_core_cycle(t)
+        # The single warp keeps issuing (no blocking on stores).
+        assert core.stats.instructions >= 8
+
+    def test_loads_block_warps(self):
+        core = make_core(mem_rate=1.0, warps=1)
+        for t in range(20):
+            core.step_core_cycle(t)
+        # One warp, first load blocks it; nothing else can issue.
+        assert core.stats.instructions <= 2
+        assert core.outstanding_loads() > 0
+
+    def test_multithreading_hides_latency(self):
+        few = make_core(mem_rate=0.5, warps=2)
+        many = make_core(mem_rate=0.5, warps=16)
+        for t in range(200):
+            few.step_core_cycle(t)
+            many.step_core_cycle(t)
+        assert many.stats.instructions > few.stats.instructions
+
+
+class TestReplies:
+    def test_read_reply_unblocks_warp(self):
+        core = make_core(mem_rate=1.0, warps=1)
+        for t in range(5):
+            core.step_core_cycle(t)
+        assert core.outstanding_loads() == 1
+        (_, line) = core.outbound[0]
+        before = core.stats.instructions
+        core.on_read_reply(line, now=10)
+        assert core.outstanding_loads() == 0
+        core.step_core_cycle(11)
+        assert core.stats.instructions == before + 1
+
+    def test_reply_fills_l1(self):
+        core = make_core(mem_rate=1.0, warps=1)
+        for t in range(5):
+            core.step_core_cycle(t)
+        (_, line) = core.outbound[0]
+        core.on_read_reply(line, now=10)
+        assert core.l1.probe(line)
+
+    def test_mshr_merge_single_request(self):
+        """Two warps missing on the same line send one request."""
+        cfg = GPUConfig(warps_per_core=2)
+        prof = WorkloadProfile(
+            name="t", sensitivity="high", mem_rate=1.0, write_fraction=0.0,
+            coalesce_lines=1, reuse_prob=0.0, working_set_lines=16,
+            stream_prob=1.0,
+        )
+        core = Core(0, 0, cfg, prof, seed=1)
+        # Force both warps onto the same line by monkeypatching streams.
+        class FixedStream:
+            def next(self):
+                return ("ld", [7])
+
+        core.streams = [FixedStream(), FixedStream()]
+        core.step_core_cycle(0)
+        core.step_core_cycle(0)
+        assert core.outstanding_loads() == 2
+        assert len(core.outbound) == 1  # merged in the MSHR
+        core.on_read_reply(7, 5)
+        assert core.outstanding_loads() == 0
+
+    def test_write_reply_counted(self):
+        core = make_core()
+        core.on_write_reply(0)
+        assert core.stats.write_replies == 1
+
+
+class TestStructuralHazards:
+    def test_outbound_full_stalls_issue(self):
+        core = make_core(mem_rate=1.0, write_fraction=1.0, warps=4)
+        core.OUTBOUND_DEPTH = 2
+        for t in range(20):
+            core.step_core_cycle(t)
+        assert len(core.outbound) <= 2
+        assert core.stats.struct_stall_cycles > 0
+
+    def test_no_lost_instructions_on_stall(self):
+        """A stalled instruction is retried, not dropped: every issued
+        memory instruction corresponds to queued or outstanding work."""
+        core = make_core(mem_rate=1.0, warps=2)
+        core.OUTBOUND_DEPTH = 1
+        for t in range(30):
+            core.step_core_cycle(t)
+        assert core.stats.loads + core.stats.stores == core.stats.mem_instructions

@@ -1,0 +1,200 @@
+"""Tests for the GDDR5 channel: timing invariants, FR-FCFS, bandwidth."""
+
+import random
+
+import pytest
+
+from repro.gpu.config import GDDR5TimingParams
+from repro.gpu.dram import DRAMChannel, DRAMRequest
+
+
+def drain(ch, cycles):
+    done = []
+    for _ in range(cycles):
+        done.extend(ch.step_mem_cycle())
+    return done
+
+
+class TestBasics:
+    def test_single_read_latency(self):
+        """Cold access: ACT (tRCD) + CAS (tCL) + burst."""
+        p = GDDR5TimingParams()
+        ch = DRAMChannel(p)
+        req = DRAMRequest(0, False)
+        ch.enqueue(req)
+        done = drain(ch, 200)
+        assert done == [req]
+        expected = p.tRCD + 1 + p.tCL + 8  # ACT@0, CAS@tRCD, data burst
+        assert req.completed_at == pytest.approx(expected, abs=2)
+
+    def test_row_hit_faster_than_conflict(self):
+        p = GDDR5TimingParams()
+        # Same bank, same row -> hit; same bank, different row -> conflict.
+        ch = DRAMChannel(p)
+        a = DRAMRequest(0, False)
+        b = DRAMRequest(8 * 16, False)  # same bank 0, next row
+        c = DRAMRequest(0, False)       # row 0 again (conflict after b)
+        for r in (a, b, c):
+            ch.enqueue(r)
+        drain(ch, 500)
+        gap_conflict = b.completed_at - a.completed_at
+        assert gap_conflict > 8  # conflict costs precharge + activate
+
+    def test_queue_depth_respected(self):
+        ch = DRAMChannel(GDDR5TimingParams(), queue_depth=2)
+        assert ch.enqueue(DRAMRequest(0, False))
+        assert ch.enqueue(DRAMRequest(1, False))
+        assert not ch.enqueue(DRAMRequest(2, False))
+        assert ch.full
+
+    def test_all_requests_complete(self):
+        ch = DRAMChannel(GDDR5TimingParams(), queue_depth=64)
+        rng = random.Random(7)
+        reqs = [DRAMRequest(rng.randrange(10000), False) for _ in range(64)]
+        for r in reqs:
+            ch.enqueue(r)
+        done = drain(ch, 5000)
+        assert set(id(r) for r in done) == set(id(r) for r in reqs)
+        assert ch.pending == 0
+
+
+class TestBandwidth:
+    def _throughput(self, addr_fn, cycles=20000):
+        ch = DRAMChannel(GDDR5TimingParams(), queue_depth=32)
+        rng = random.Random(1)
+        state = {"cursor": 0}
+        served = 0
+        for _ in range(cycles):
+            while not ch.full:
+                ch.enqueue(DRAMRequest(addr_fn(rng, state), False))
+            served += len(ch.step_mem_cycle())
+        return served / cycles
+
+    def test_streaming_saturates_bus(self):
+        """Sequential access reaches the data-bus limit (1 line / 8 cycles),
+        i.e. the 28 GB/s of the paper's per-MC calculation."""
+        def seq(rng, st):
+            st["cursor"] += 1
+            return st["cursor"]
+
+        tput = self._throughput(seq)
+        assert tput == pytest.approx(1 / 8, rel=0.05)
+
+    def test_random_also_bus_bound_with_bank_parallelism(self):
+        tput = self._throughput(lambda rng, st: rng.randrange(1 << 20))
+        assert tput == pytest.approx(1 / 8, rel=0.15)
+
+    def test_single_bank_conflicts_limit_bandwidth(self):
+        """Strictly alternating rows on one bank (queue depth 1, so FR-FCFS
+        cannot batch row hits): every access is a conflict, tRC-limited."""
+        ch = DRAMChannel(GDDR5TimingParams(), queue_depth=1)
+        cursor = 0
+        served = 0
+        cycles = 10000
+        for _ in range(cycles):
+            if not ch.full:
+                cursor += 1
+                ch.enqueue(DRAMRequest((cursor % 2) * 8 * 16, False))
+            served += len(ch.step_mem_cycle())
+        assert served / cycles < 1 / 16  # far below the bus limit
+
+    def test_frfcfs_batches_row_hits_at_bus_rate(self):
+        """With a deep queue, FR-FCFS keeps serving the open row and stays
+        near the bus limit even with a conflicting row mixed in."""
+        def mixed(rng, st):
+            st["cursor"] += 1
+            return (st["cursor"] % 2) * 8 * 16 * 8
+
+        tput = self._throughput(mixed, cycles=10000)
+        assert tput > 1 / 12
+
+
+class TestFRFCFS:
+    def test_row_hits_served_first(self):
+        p = GDDR5TimingParams()
+        ch = DRAMChannel(p)
+        first = DRAMRequest(0, False)          # opens bank0 row0
+        conflict = DRAMRequest(8 * 16, False)  # bank0 row1 (older)
+        hit = DRAMRequest(8, False)            # bank1... make it bank0 row0:
+        hit = DRAMRequest(0 + 8 * 1, False)    # bank1 actually
+        # Use explicit same-bank addresses: bank = line % 8.
+        conflict = DRAMRequest(0 + 8 * 16, False)   # bank0, row 1
+        hit = DRAMRequest(0 + 8 * 2, False)         # bank0, row 0 (col 2)
+        ch.enqueue(first)
+        drain(ch, p.tRCD + p.tCL + 10)  # row 0 open now
+        ch.enqueue(conflict)
+        ch.enqueue(hit)
+        drain(ch, 500)
+        assert hit.completed_at < conflict.completed_at
+
+    def test_row_hit_rate_tracked(self):
+        ch = DRAMChannel(GDDR5TimingParams())
+        for i in range(8):
+            ch.enqueue(DRAMRequest(8 * i, False))  # same bank? no: bank=(8i)%8=0
+        drain(ch, 2000)
+        total = ch.row_hits + ch.row_misses + ch.row_conflicts
+        assert total > 0
+        assert 0.0 <= ch.row_hit_rate <= 1.0
+
+
+class TestTimingValidation:
+    def test_invalid_timing_rejected(self):
+        with pytest.raises(ValueError):
+            GDDR5TimingParams(tRP=0).validate()
+
+    def test_inconsistent_trc_rejected(self):
+        with pytest.raises(ValueError):
+            GDDR5TimingParams(tRAS=35, tRP=12, tRC=40).validate()
+
+    def test_burst_length(self):
+        from repro.gpu.dram import GDDR5Timing
+
+        t = GDDR5Timing(GDDR5TimingParams(), line_bytes=128)
+        assert t.burst == 8  # 128B / 16B-per-mem-cycle
+
+    def test_bank_row_mapping(self):
+        from repro.gpu.dram import GDDR5Timing
+
+        t = GDDR5Timing(GDDR5TimingParams())
+        assert t.bank_of(0) == 0
+        assert t.bank_of(9) == 1
+        assert t.row_of(0) == t.row_of(8 * 15)      # same row, last column
+        assert t.row_of(0) != t.row_of(8 * 16)      # next row
+
+
+class TestRefresh:
+    def test_disabled_by_default(self):
+        ch = DRAMChannel(GDDR5TimingParams())
+        drain(ch, 5000)
+        assert ch.refreshes == 0
+
+    def test_refresh_fires_periodically(self):
+        p = GDDR5TimingParams(tREFI=500, tRFC=88)
+        ch = DRAMChannel(p)
+        drain(ch, 2600)
+        assert ch.refreshes == 5  # at 500, 1000, 1500, 2000, 2500
+
+    def test_refresh_closes_rows_and_blocks(self):
+        p = GDDR5TimingParams(tREFI=100, tRFC=88)
+        ch = DRAMChannel(p)
+        ch.enqueue(DRAMRequest(0, False))
+        drain(ch, 60)  # row 0 open now
+        assert ch.banks[0].open_row is not None
+        drain(ch, 60)  # crosses the 100-cycle refresh point
+        assert ch.banks[0].open_row is None
+
+    def test_refresh_costs_bandwidth(self):
+        def tput(params):
+            ch = DRAMChannel(params, queue_depth=32)
+            cursor, served = 0, 0
+            for _ in range(20000):
+                while not ch.full:
+                    cursor += 1
+                    ch.enqueue(DRAMRequest(cursor, False))
+                served += len(ch.step_mem_cycle())
+            return served
+
+        base = tput(GDDR5TimingParams())
+        refreshed = tput(GDDR5TimingParams(tREFI=1000, tRFC=88))
+        assert refreshed < base
+        assert refreshed > 0.85 * base  # ~tRFC/tREFI = 8.8% worst case

@@ -1,0 +1,190 @@
+"""Tests for the memory-controller node."""
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.mc import MemoryController
+from repro.noc.flit import Packet, PacketType
+
+
+class FakeReplyNet:
+    """Accepts or rejects offers on command."""
+
+    def __init__(self, accept=True):
+        self.accept = accept
+        self.sent = []
+
+    def offer(self, node, pkt):
+        if self.accept:
+            self.sent.append(pkt)
+            return True
+        return False
+
+    def can_accept(self, node, pkt):
+        return self.accept
+
+
+def make_mc(accept=True, priority=0):
+    cfg = GPUConfig()
+    net = FakeReplyNet(accept)
+    mc = MemoryController(
+        0, node=7, config=cfg,
+        reply_offer=net.offer,
+        reply_can_accept=net.can_accept,
+        reply_sizes=(9, 1),
+        reply_priority=priority,
+    )
+    return mc, net
+
+
+def read_request(line=0, requester=3):
+    p = Packet(PacketType.READ_REQUEST, requester, 7, 1, 0, tag=(requester, line))
+    return p
+
+
+def write_request(line=0, requester=3):
+    p = Packet(PacketType.WRITE_REQUEST, requester, 7, 9, 0, tag=(requester, line))
+    return p
+
+
+def run(mc, cycles, start=0):
+    for t in range(start, start + cycles):
+        mc.step(t)
+    return start + cycles
+
+
+class TestReadPath:
+    def test_l2_hit_produces_reply_after_latency(self):
+        mc, net = make_mc()
+        mc.l2.fill(5)
+        mc.on_request(read_request(5), 0)
+        run(mc, mc.config.l2_latency)
+        assert not net.sent
+        run(mc, 5, start=mc.config.l2_latency)
+        assert len(net.sent) == 1
+        assert net.sent[0].ptype == PacketType.READ_REPLY
+        assert net.sent[0].size == 9
+        assert net.sent[0].dest == 3
+
+    def test_l2_miss_goes_to_dram(self):
+        mc, net = make_mc()
+        mc.on_request(read_request(5), 0)
+        run(mc, 5)
+        assert mc.stats.l2_read_misses == 1
+        assert mc.dram.pending > 0
+        run(mc, 100, start=5)
+        assert len(net.sent) == 1
+
+    def test_dram_fill_installs_in_l2(self):
+        mc, net = make_mc()
+        mc.on_request(read_request(5), 0)
+        run(mc, 150)
+        assert mc.l2.probe(5)
+        # A second read to the same line is now an L2 hit.
+        mc.on_request(read_request(5, requester=4), 150)
+        run(mc, 50, start=150)
+        assert mc.stats.l2_read_hits == 1
+
+
+class TestWritePath:
+    def test_write_acked_short_reply(self):
+        mc, net = make_mc()
+        mc.on_request(write_request(5), 0)
+        run(mc, 60)
+        assert len(net.sent) == 1
+        assert net.sent[0].ptype == PacketType.WRITE_REPLY
+        assert net.sent[0].size == 1
+
+    def test_write_consumes_dram_bandwidth(self):
+        mc, net = make_mc()
+        mc.on_request(write_request(5), 0)
+        run(mc, 5)
+        assert mc.dram.pending > 0
+
+
+class TestStallAccounting:
+    def test_stall_counted_when_ni_full(self):
+        mc, net = make_mc(accept=False)
+        mc.l2.fill(5)
+        mc.on_request(read_request(5), 0)
+        run(mc, 100)
+        assert mc.stats.stall_cycles > 0
+        assert len(mc.reply_queue) == 1
+
+    def test_stall_data_time_measures_wait(self):
+        mc, net = make_mc(accept=False)
+        mc.l2.fill(5)
+        mc.on_request(read_request(5), 0)
+        run(mc, 100)
+        net.accept = True
+        mc.step(100)
+        assert mc.stats.stall_data_time >= 50
+
+    def test_no_stall_when_accepting(self):
+        mc, net = make_mc(accept=True)
+        mc.l2.fill(5)
+        mc.on_request(read_request(5), 0)
+        run(mc, 100)
+        assert mc.stats.stall_cycles == 0
+
+
+class TestBackpressure:
+    def test_reply_gate_pauses_request_processing(self):
+        mc, net = make_mc(accept=False)
+        for line in range(64):
+            mc.l2.fill(line)
+        for line in range(64):
+            mc.on_request(read_request(line, requester=3), 0)
+        run(mc, 200)
+        # Processing stops once the reply queue hits the gate; the rest of
+        # the requests stay queued (propagating backpressure).
+        assert len(mc.request_queue) > 0
+
+    def test_release_callback_invoked(self):
+        released = []
+        cfg = GPUConfig()
+        net = FakeReplyNet(True)
+        mc = MemoryController(
+            0, 7, cfg, net.offer, net.can_accept, (9, 1),
+            request_release=released.append,
+        )
+        mc.l2.fill(5)
+        mc.on_request(read_request(5), 0)
+        run(mc, 10)
+        assert released == [1]  # one short read request released
+
+
+class TestPriority:
+    def test_reply_priority_applied(self):
+        mc, net = make_mc(priority=1)
+        mc.l2.fill(5)
+        mc.on_request(read_request(5), 0)
+        run(mc, 60)
+        assert net.sent[0].priority == 1
+
+
+class TestL2MissMerging:
+    def _mc(self, merge):
+        cfg = GPUConfig(l2_miss_merging=merge)
+        net = FakeReplyNet(True)
+        return MemoryController(
+            0, 7, cfg, net.offer, net.can_accept, (9, 1)
+        ), net
+
+    def test_concurrent_misses_merged(self):
+        mc, net = self._mc(merge=True)
+        mc.on_request(read_request(5, requester=3), 0)
+        mc.on_request(read_request(5, requester=4), 0)
+        run(mc, 3)
+        # Only one DRAM fetch is in flight for line 5.
+        assert mc.dram.pending == 1
+        run(mc, 200, start=3)
+        # Both requesters get replies.
+        assert sorted(p.dest for p in net.sent) == [3, 4]
+
+    def test_no_merging_duplicates_fetches(self):
+        mc, net = self._mc(merge=False)
+        mc.on_request(read_request(5, requester=3), 0)
+        mc.on_request(read_request(5, requester=4), 0)
+        run(mc, 3)
+        assert mc.dram.pending == 2

@@ -1,0 +1,71 @@
+"""Tests for the MSHR table."""
+
+import pytest
+
+from repro.gpu.mshr import MSHRTable
+
+
+class TestAllocation:
+    def test_new_miss_returns_true(self):
+        t = MSHRTable(4)
+        assert t.allocate(0x10, "w0") is True
+        assert t.occupancy == 1
+
+    def test_merge_returns_false(self):
+        t = MSHRTable(4)
+        t.allocate(0x10, "w0")
+        assert t.allocate(0x10, "w1") is False
+        assert t.occupancy == 1
+        assert t.merges == 1
+
+    def test_full_table_returns_none(self):
+        t = MSHRTable(1)
+        t.allocate(0x10, "w0")
+        assert t.allocate(0x20, "w1") is None
+        assert t.full_stalls == 1
+
+    def test_merge_cap(self):
+        t = MSHRTable(4, max_merged=2)
+        t.allocate(0x10, "a")
+        t.allocate(0x10, "b")
+        assert t.allocate(0x10, "c") is None
+
+    def test_can_handle_predicts_allocate(self):
+        t = MSHRTable(1, max_merged=2)
+        assert t.can_handle(0x10)
+        t.allocate(0x10, "a")
+        assert t.can_handle(0x10)       # merge possible
+        assert not t.can_handle(0x20)   # table full
+        t.allocate(0x10, "b")
+        assert not t.can_handle(0x10)   # merge cap reached
+
+    def test_needs_one_entry(self):
+        with pytest.raises(ValueError):
+            MSHRTable(0)
+
+
+class TestFill:
+    def test_fill_releases_all_waiters(self):
+        t = MSHRTable(4)
+        t.allocate(0x10, "a")
+        t.allocate(0x10, "b")
+        assert t.fill(0x10) == ["a", "b"]
+        assert t.occupancy == 0
+
+    def test_fill_unknown_raises(self):
+        t = MSHRTable(4)
+        with pytest.raises(KeyError):
+            t.fill(0x99)
+
+    def test_outstanding(self):
+        t = MSHRTable(4)
+        t.allocate(0x10, "a")
+        assert t.outstanding(0x10)
+        t.fill(0x10)
+        assert not t.outstanding(0x10)
+
+    def test_reallocation_after_fill(self):
+        t = MSHRTable(1)
+        t.allocate(0x10, "a")
+        t.fill(0x10)
+        assert t.allocate(0x20, "b") is True

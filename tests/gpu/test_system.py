@@ -1,0 +1,166 @@
+"""Full-system integration tests (kept small: hundreds of cycles each)."""
+
+import pytest
+
+from repro.core.schemes import scheme
+from repro.gpu.config import GPUConfig
+from repro.gpu.system import GPGPUSystem
+from repro.workloads.suite import benchmark
+
+
+def small_system(scheme_name="xy-baseline", bm="bfs", **kw):
+    cfg = GPUConfig.scaled(4, warps_per_core=8)
+    return GPGPUSystem(cfg, scheme(scheme_name), benchmark(bm), seed=1, **kw)
+
+
+class TestEndToEnd:
+    def test_instructions_flow(self):
+        sys_ = small_system()
+        res = sys_.simulate(cycles=300, warmup=50)
+        assert res.instructions > 0
+        assert res.ipc > 0
+
+    def test_memory_round_trip(self):
+        sys_ = small_system()
+        sys_.run(400)
+        reads = sum(m.stats.reads for m in sys_.mcs)
+        replies = sum(c.stats.read_replies for c in sys_.cores)
+        assert reads > 0
+        assert replies > 0
+
+    def test_request_and_reply_traffic_present(self):
+        sys_ = small_system()
+        res = sys_.simulate(cycles=300, warmup=50)
+        assert 0 < res.reply_traffic_share < 1
+        mix = res.traffic_mix
+        assert mix.get("read_request", 0) > 0
+        assert mix.get("read_reply", 0) > 0
+
+    def test_replies_dominate_flits(self):
+        """Fig. 5: the reply network carries most of the flit traffic."""
+        sys_ = small_system()
+        res = sys_.simulate(cycles=400, warmup=100)
+        assert res.reply_traffic_share > 0.5
+
+    def test_deterministic_given_seed(self):
+        r1 = small_system().simulate(cycles=200, warmup=0)
+        r2 = small_system().simulate(cycles=200, warmup=0)
+        assert r1.instructions == r2.instructions
+        assert r1.mc_stall_cycles == r2.mc_stall_cycles
+
+    def test_different_seeds_differ(self):
+        cfg = GPUConfig.scaled(4, warps_per_core=8)
+        a = GPGPUSystem(cfg, scheme("xy-baseline"), benchmark("bfs"), seed=1)
+        b = GPGPUSystem(cfg, scheme("xy-baseline"), benchmark("bfs"), seed=2)
+        ra = a.simulate(cycles=200, warmup=0)
+        rb = b.simulate(cycles=200, warmup=0)
+        assert ra.instructions != rb.instructions
+
+
+class TestPrewarm:
+    def test_prewarm_fills_l2(self):
+        sys_ = small_system()
+        sys_.prewarm_caches()
+        cap = sys_.config.l2_size_bytes // sys_.config.line_bytes
+        assert all(m.l2.occupancy == cap for m in sys_.mcs)
+
+    def test_prewarm_respects_mc_slices(self):
+        sys_ = small_system()
+        sys_.prewarm_caches()
+        # Every prewarmed line must belong to that MC's hash slice.
+        for idx, mc in enumerate(sys_.mcs):
+            for s in mc.l2._sets:
+                for line in s:
+                    assert sys_.config.mc_for_line(line) == idx
+
+
+class TestSchemes:
+    def test_ari_beats_baseline_on_high_sensitivity(self):
+        base = small_system("xy-baseline").simulate(cycles=500, warmup=100)
+        ari = small_system("xy-ari").simulate(cycles=500, warmup=100)
+        assert ari.ipc > base.ipc
+
+    def test_low_sensitivity_unaffected(self):
+        base = small_system("xy-baseline", bm="binomialOptions").simulate(
+            cycles=400, warmup=100
+        )
+        ari = small_system("xy-ari", bm="binomialOptions").simulate(
+            cycles=400, warmup=100
+        )
+        assert ari.ipc == pytest.approx(base.ipc, rel=0.05)
+
+    def test_multiport_router_built(self):
+        sys_ = small_system("ada-multiport")
+        for node in sys_.mc_nodes:
+            assert sys_.reply_net.routers[node].num_injection_ports == 2
+
+    def test_ari_reply_network_configured(self):
+        sys_ = small_system("ada-ari")
+        rcfg = sys_.reply_net.config
+        assert rcfg.injection_speedup == 4
+        assert rcfg.priority_enabled
+        from repro.noc.ni import SplitNI
+
+        for node in sys_.mc_nodes:
+            assert isinstance(sys_.reply_net.nis[node], SplitNI)
+        # Non-MC nodes keep the plain enhanced NI.
+        from repro.noc.ni import EnhancedNI
+
+        assert isinstance(sys_.reply_net.nis[sys_.cc_nodes[0]], EnhancedNI)
+
+    def test_request_network_never_accelerated(self):
+        sys_ = small_system("ada-ari")
+        assert sys_.request_net.config.injection_speedup == 1
+        assert not sys_.request_net.config.priority_enabled
+
+    def test_link_width_changes_packet_size(self):
+        wide = small_system("xy-baseline-256rep")
+        assert wide.rep_sizes[0] == 5  # 128B over 32B flits + head
+        assert wide.req_sizes[list(wide.req_sizes)[1]] == 9
+
+    def test_da2mesh_overlay_used(self):
+        from repro.noc.da2mesh import DA2MeshReplyNetwork
+
+        sys_ = small_system("da2mesh")
+        assert isinstance(sys_.reply_net, DA2MeshReplyNetwork)
+        res = sys_.simulate(cycles=300, warmup=50)
+        assert res.instructions > 0
+
+
+class TestStallMetric:
+    def test_stall_time_nonzero_under_load(self):
+        res = small_system("xy-baseline").simulate(cycles=500, warmup=100)
+        assert res.mc_stall_time > 0
+        assert res.mc_stall_per_reply > 0
+
+    def test_ari_reduces_stall_per_reply(self):
+        base = small_system("ada-baseline").simulate(cycles=500, warmup=100)
+        ari = small_system("ada-ari").simulate(cycles=500, warmup=100)
+        assert ari.mc_stall_per_reply < base.mc_stall_per_reply
+
+
+class TestExtrasMetrics:
+    def test_memory_latency_reported(self):
+        res = small_system("xy-baseline").simulate(cycles=300, warmup=50)
+        assert res.extras["mean_memory_latency"] > 0
+
+    def test_ari_reduces_memory_latency(self):
+        base = small_system("ada-baseline").simulate(cycles=500, warmup=100)
+        ari = small_system("ada-ari").simulate(cycles=500, warmup=100)
+        assert (
+            ari.extras["mean_memory_latency"]
+            < base.extras["mean_memory_latency"]
+        )
+
+
+class TestPlacementOption:
+    def test_placement_configurable(self):
+        from repro.gpu.config import GPUConfig
+        from repro.gpu.system import GPGPUSystem
+        from repro.core.schemes import scheme
+        from repro.workloads.suite import benchmark
+
+        cfg = GPUConfig.scaled(4, warps_per_core=4, mc_placement="edge")
+        sys_ = GPGPUSystem(cfg, scheme("xy-baseline"), benchmark("bfs"))
+        ys = {sys_.request_net.topology.coords(n)[1] for n in sys_.mc_nodes}
+        assert ys <= {0, 3}

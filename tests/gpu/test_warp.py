@@ -1,0 +1,105 @@
+"""Tests for warps and the greedy-then-oldest scheduler."""
+
+import pytest
+
+from repro.gpu.warp import GTOScheduler, LRRScheduler, Warp, WarpState, make_scheduler
+
+
+class TestWarp:
+    def test_starts_ready(self):
+        w = Warp(0)
+        assert w.is_ready(0)
+
+    def test_issue_occupies_pipeline(self):
+        w = Warp(0)
+        w.issue(now=0, pipeline_cycles=3)
+        assert not w.is_ready(1)
+        assert w.is_ready(3)
+        assert w.instructions_issued == 1
+
+    def test_block_and_unblock(self):
+        w = Warp(0)
+        w.outstanding_loads = 2
+        w.block(now=5)
+        assert not w.is_ready(10)
+        w.unblock_one(12)
+        assert not w.is_ready(12)
+        w.unblock_one(20)
+        assert w.is_ready(20)
+        assert w.blocked_cycles == 15
+
+    def test_spurious_return_raises(self):
+        w = Warp(0)
+        with pytest.raises(RuntimeError):
+            w.unblock_one(0)
+
+
+class TestGTO:
+    def test_greedy_sticks_with_current(self):
+        warps = [Warp(i) for i in range(4)]
+        sched = GTOScheduler(warps)
+        first = sched.pick(0)
+        first.issue(0, 1)
+        assert sched.pick(1) is first  # still ready -> greedy
+
+    def test_falls_back_to_oldest(self):
+        warps = [Warp(i) for i in range(4)]
+        sched = GTOScheduler(warps)
+        w = sched.pick(0)
+        assert w is warps[0]
+        w.outstanding_loads = 1
+        w.block(0)
+        nxt = sched.pick(1)
+        assert nxt is warps[1]  # oldest ready
+
+    def test_returns_to_unblocked_older_warp_only_after_stall(self):
+        warps = [Warp(i) for i in range(2)]
+        sched = GTOScheduler(warps)
+        w0 = sched.pick(0)
+        w0.outstanding_loads = 1
+        w0.block(0)
+        w1 = sched.pick(1)
+        assert w1 is warps[1]
+        w0.unblock_one(2)
+        # Greedy: stays on w1 while it is ready.
+        w1.issue(2, 1)
+        assert sched.pick(3) is w1
+
+    def test_all_blocked_returns_none(self):
+        warps = [Warp(i) for i in range(2)]
+        sched = GTOScheduler(warps)
+        for w in warps:
+            w.outstanding_loads = 1
+            w.block(0)
+        assert sched.pick(5) is None
+
+    def test_on_stall_releases_greed(self):
+        warps = [Warp(i) for i in range(2)]
+        sched = GTOScheduler(warps)
+        sched.pick(0)
+        sched.on_stall()
+        assert sched.current is None
+
+    def test_empty_warp_list_rejected(self):
+        with pytest.raises(ValueError):
+            GTOScheduler([])
+
+
+class TestLRR:
+    def test_round_robin_order(self):
+        warps = [Warp(i) for i in range(3)]
+        sched = LRRScheduler(warps)
+        picks = [sched.pick(0).wid for _ in range(3)]
+        assert picks == [0, 1, 2]
+
+
+class TestFactory:
+    def test_gto(self):
+        assert isinstance(make_scheduler("gto", [Warp(0)]), GTOScheduler)
+
+    def test_lrr(self):
+        assert isinstance(make_scheduler("lrr", [Warp(0)]), LRRScheduler)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_scheduler("two-level", [Warp(0)])

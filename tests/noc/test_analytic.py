@@ -1,0 +1,144 @@
+"""Analytic-model tests: formulas + simulator agreement with theory."""
+
+import random
+
+import pytest
+
+from repro.noc import Network, NetworkConfig
+from repro.noc.analytic import (
+    injection_queue_wait,
+    md1_wait,
+    saturation_throughput,
+    utilization,
+    zero_load_latency,
+)
+from repro.noc.flit import Packet, PacketType
+
+
+class TestFormulas:
+    def test_zero_load_latency(self):
+        assert zero_load_latency(hops=6, size_flits=9) == 1 + 6 + 1 + 8
+        assert zero_load_latency(0, 1) == 2
+
+    def test_zero_load_hop_latency(self):
+        assert zero_load_latency(4, 1, hop_latency=2) == 1 + 8 + 1
+
+    def test_zero_load_validation(self):
+        with pytest.raises(ValueError):
+            zero_load_latency(-1, 9)
+        with pytest.raises(ValueError):
+            zero_load_latency(2, 0)
+
+    def test_md1_zero_load(self):
+        assert md1_wait(0.0, 9) == 0.0
+
+    def test_md1_saturation_is_infinite(self):
+        assert md1_wait(0.2, 9) == float("inf")  # rho = 1.8
+
+    def test_md1_half_load(self):
+        # rho = 0.5: W = 0.5 * S / (2 * 0.5) = S / 2.
+        assert md1_wait(0.5 / 9, 9) == pytest.approx(4.5)
+
+    def test_saturation_throughput(self):
+        assert saturation_throughput(9) == pytest.approx(1 / 9)
+        assert saturation_throughput(9, 4.0) == pytest.approx(4 / 9)
+
+    def test_utilization(self):
+        assert utilization(0.05, 9) == pytest.approx(0.45)
+
+
+class TestSimulatorAgreement:
+    """The cycle-level simulator must match theory where theory is exact."""
+
+    def test_zero_load_latency_matches_sim(self):
+        net = Network(NetworkConfig(width=4, height=4))
+        for src, dest, size in [(0, 15, 9), (0, 3, 1), (5, 6, 9)]:
+            p = Packet(PacketType.READ_REPLY, src, dest, size, net.now)
+            net.offer(src, p)
+            net.drain(5000)
+            hops = abs(src % 4 - dest % 4) + abs(src // 4 - dest // 4)
+            assert p.latency == zero_load_latency(hops, size)
+
+    @pytest.mark.parametrize("rate", [0.02, 0.05, 0.08])
+    def test_injection_wait_tracks_md1(self, rate):
+        """Poisson reply arrivals at one NI: the measured NI wait must sit
+        near the M/D/1 prediction at light-to-moderate load (within a
+        factor accounting for non-Poisson drain jitter downstream)."""
+        from repro.noc.trace import PacketTracer
+
+        dests = [d for d in range(16) if d != 5]
+        net2 = Network(NetworkConfig(width=4, height=4, ni_queue_flits=360))
+        tracer = PacketTracer.attach(net2)
+        rng = random.Random(11)
+        for cyc in range(12000):
+            if rng.random() < rate:
+                net2.offer(
+                    5,
+                    Packet(PacketType.READ_REPLY, 5, rng.choice(dests), 9, net2.now),
+                )
+            net2.step()
+        net2.drain(20000)
+        measured = tracer.ni_wait.mean
+        predicted = injection_queue_wait(rate, 9)
+        # Exact M/D/1 at low rho; allow slack for head-of-line effects from
+        # downstream VC contention.
+        assert measured == pytest.approx(predicted, rel=0.5, abs=1.5)
+
+    def test_saturation_matches_ceiling(self):
+        """A hammered baseline NI converges to 1/size packets per cycle."""
+        net = Network(NetworkConfig(width=4, height=4))
+        dests = [d for d in range(16) if d != 5]
+        rng = random.Random(3)
+        cycles = 4000
+        for _ in range(cycles):
+            net.offer(5, Packet(PacketType.READ_REPLY, 5, rng.choice(dests), 9, net.now))
+            net.step()
+        tput = net.stats.packets_offered / cycles
+        assert tput == pytest.approx(saturation_throughput(9), rel=0.05)
+
+
+class TestBandwidthAnalysis:
+    """Pins the paper's Sec. 3 arithmetic word for word."""
+
+    def test_paper_numbers(self):
+        from repro.noc.analytic import bandwidth_analysis
+
+        r = bandwidth_analysis()
+        assert r["mc_in_gbps"] == 28.0            # 1.75GHz x 32b x 4 / 8
+        assert r["link_out_gbps"] == 16.0         # 128b x 1GHz / 8
+        assert r["edge_mc_out_gbps"] == 48.0      # 3 links from an edge MC
+        assert r["aggregate_mc_in_gbps"] == 224.0 # 28 x 8
+        assert r["needed_bisection_gbps"] == pytest.approx(179.2)  # 80% rule
+        assert r["bisection_gbps"] == 192.0       # 12 links x 16GB/s
+        assert r["links_sufficient"]
+
+    def test_non_edge_mc(self):
+        from repro.noc.analytic import bandwidth_analysis
+
+        r = bandwidth_analysis(mc_links=4)
+        assert r["edge_mc_out_gbps"] == 64.0      # paper: "4 links ... 64GB/s"
+
+    def test_narrower_links_insufficient(self):
+        from repro.noc.analytic import bandwidth_analysis
+
+        r = bandwidth_analysis(link_width_bits=64)
+        assert not r["links_sufficient"]
+
+
+class TestMD1Properties:
+    def test_wait_monotone_in_rate(self):
+        waits = [md1_wait(r / 100, 9) for r in range(0, 11)]
+        assert waits == sorted(waits)
+
+    def test_wait_monotone_in_service(self):
+        assert md1_wait(0.05, 9) < md1_wait(0.05, 12)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            md1_wait(-0.1, 9)
+        with pytest.raises(ValueError):
+            md1_wait(0.1, 0)
+        with pytest.raises(ValueError):
+            injection_queue_wait(0.1, 9, drain_flits_per_cycle=0)
+        with pytest.raises(ValueError):
+            saturation_throughput(0)

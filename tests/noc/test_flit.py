@@ -1,0 +1,128 @@
+"""Tests for packets and flits."""
+
+import pytest
+
+from repro.noc.flit import (
+    Flit,
+    Packet,
+    PacketType,
+    classify_pair,
+    packet_size_for,
+    reset_packet_ids,
+)
+
+
+class TestPacketType:
+    def test_four_types(self):
+        assert len(PacketType) == 4
+
+    def test_request_classification(self):
+        assert PacketType.READ_REQUEST.is_request
+        assert PacketType.WRITE_REQUEST.is_request
+        assert not PacketType.READ_REPLY.is_request
+        assert not PacketType.WRITE_REPLY.is_request
+
+    def test_reply_classification(self):
+        assert PacketType.READ_REPLY.is_reply
+        assert PacketType.WRITE_REPLY.is_reply
+        assert not PacketType.READ_REQUEST.is_reply
+
+    def test_long_packets_carry_data(self):
+        # Sec. 2.1: read replies and write requests are long (data-carrying).
+        assert PacketType.READ_REPLY.is_long
+        assert PacketType.WRITE_REQUEST.is_long
+        assert not PacketType.READ_REQUEST.is_long
+        assert not PacketType.WRITE_REPLY.is_long
+
+
+class TestPacketSize:
+    def test_short_packets_single_flit(self):
+        assert packet_size_for(PacketType.READ_REQUEST) == 1
+        assert packet_size_for(PacketType.WRITE_REPLY) == 1
+
+    def test_long_packet_default_geometry(self):
+        # 128B line over 128-bit (16B) flits: head + 8 body = 9.
+        assert packet_size_for(PacketType.READ_REPLY) == 9
+        assert packet_size_for(PacketType.WRITE_REQUEST) == 9
+
+    def test_wider_flits_shorten_long_packets(self):
+        # 256-bit links (Fig. 4): 128B / 32B = 4 body flits + head.
+        assert packet_size_for(PacketType.READ_REPLY, 128, 32) == 5
+
+    def test_rounds_up_partial_flits(self):
+        assert packet_size_for(PacketType.READ_REPLY, 100, 16) == 1 + 7
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            packet_size_for(PacketType.READ_REPLY, 0, 16)
+        with pytest.raises(ValueError):
+            packet_size_for(PacketType.READ_REPLY, 128, 0)
+
+
+class TestPacket:
+    def test_ids_monotonic(self):
+        reset_packet_ids()
+        a = Packet(PacketType.READ_REQUEST, 0, 1, 1, 0)
+        b = Packet(PacketType.READ_REQUEST, 0, 1, 1, 0)
+        assert b.pid == a.pid + 1
+
+    def test_rejects_self_send(self):
+        with pytest.raises(ValueError):
+            Packet(PacketType.READ_REQUEST, 3, 3, 1, 0)
+
+    def test_rejects_empty_packet(self):
+        with pytest.raises(ValueError):
+            Packet(PacketType.READ_REQUEST, 0, 1, 0, 0)
+
+    def test_make_flits_structure(self):
+        p = Packet(PacketType.READ_REPLY, 0, 1, 9, 0)
+        flits = p.make_flits()
+        assert len(flits) == 9
+        assert flits[0].is_head and not flits[0].is_tail
+        assert flits[-1].is_tail and not flits[-1].is_head
+        assert all(not f.is_head and not f.is_tail for f in flits[1:-1])
+        assert [f.seq for f in flits] == list(range(9))
+
+    def test_single_flit_packet_is_head_and_tail(self):
+        p = Packet(PacketType.READ_REQUEST, 0, 1, 1, 0)
+        (f,) = p.make_flits()
+        assert f.is_head and f.is_tail
+
+    def test_latency_none_until_received(self):
+        p = Packet(PacketType.READ_REPLY, 0, 1, 9, created_at=10)
+        assert p.latency is None
+        assert p.network_latency is None
+        p.injected_at = 12
+        p.received_at = 40
+        assert p.latency == 30
+        assert p.network_latency == 28
+
+    def test_flit_priority_follows_packet(self):
+        p = Packet(PacketType.READ_REPLY, 0, 1, 2, 0, priority=3)
+        flits = p.make_flits()
+        assert all(f.priority == 3 for f in flits)
+        p.priority = 1
+        assert all(f.priority == 1 for f in flits)
+
+
+class TestClassifyPair:
+    @pytest.mark.parametrize(
+        "ptype,expected",
+        [
+            (PacketType.READ_REQUEST, (PacketType.READ_REQUEST, PacketType.READ_REPLY)),
+            (PacketType.READ_REPLY, (PacketType.READ_REQUEST, PacketType.READ_REPLY)),
+            (PacketType.WRITE_REQUEST, (PacketType.WRITE_REQUEST, PacketType.WRITE_REPLY)),
+            (PacketType.WRITE_REPLY, (PacketType.WRITE_REQUEST, PacketType.WRITE_REPLY)),
+        ],
+    )
+    def test_pairs(self, ptype, expected):
+        assert classify_pair(ptype) == expected
+
+
+class TestResetPacketIds:
+    def test_reset_restarts_counter(self):
+        reset_packet_ids()
+        a = Packet(PacketType.READ_REQUEST, 0, 1, 1, 0)
+        reset_packet_ids()
+        b = Packet(PacketType.READ_REQUEST, 0, 1, 1, 0)
+        assert a.pid == b.pid == 0

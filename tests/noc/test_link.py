@@ -1,0 +1,65 @@
+"""Tests for the pipelined link model."""
+
+import pytest
+
+from repro.noc.flit import Packet, PacketType
+from repro.noc.link import Link
+
+
+def one_flit():
+    return Packet(PacketType.READ_REQUEST, 0, 1, 1, 0).make_flits()[0]
+
+
+class TestLink:
+    def test_unit_latency_delivery(self):
+        link = Link("l", latency=1)
+        f = one_flit()
+        link.send(f, now=0)
+        assert link.arrivals(0) == []
+        assert link.arrivals(1) == [f]
+
+    def test_longer_latency(self):
+        link = Link(latency=3)
+        f = one_flit()
+        link.send(f, now=2)
+        assert link.arrivals(4) == []
+        assert link.arrivals(5) == [f]
+
+    def test_pipelining_preserves_order(self):
+        link = Link(latency=2)
+        flits = [one_flit() for _ in range(3)]
+        for i, f in enumerate(flits):
+            link.send(f, now=i)
+        assert link.arrivals(2) == [flits[0]]
+        assert link.arrivals(3) == [flits[1]]
+        assert link.arrivals(4) == [flits[2]]
+
+    def test_in_flight_count(self):
+        link = Link(latency=5)
+        link.send(one_flit(), 0)
+        link.send(one_flit(), 1)
+        assert link.in_flight == 2
+        link.arrivals(10)
+        assert link.in_flight == 0
+
+    def test_utilization(self):
+        link = Link()
+        for t in range(5):
+            link.send(one_flit(), t)
+        assert link.utilization(10) == 0.5
+        assert link.utilization(0) == 0.0
+
+    def test_reset_stats(self):
+        link = Link()
+        link.send(one_flit(), 0)
+        link.reset_stats()
+        assert link.flits_carried == 0
+        assert link.busy_cycles == 0
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ValueError):
+            Link(latency=0)
+
+    def test_injection_flag(self):
+        assert Link(is_injection=True).is_injection
+        assert not Link().is_injection

@@ -1,0 +1,274 @@
+"""Integration tests for the assembled network."""
+
+import itertools
+
+import pytest
+
+from repro.noc import Network, NetworkConfig
+from repro.noc.flit import Packet, PacketType, packet_size_for
+from repro.noc.network import DeadlockError, PerfectNetwork
+from repro.noc.ni import NIKind
+
+
+def long_reply(src, dest, now=0, priority=0):
+    return Packet(PacketType.READ_REPLY, src, dest, 9, now, priority=priority)
+
+
+class TestBasicDelivery:
+    def test_single_packet(self, small_network):
+        p = long_reply(0, 15)
+        assert small_network.offer(0, p)
+        assert small_network.drain(2000)
+        assert p.received_at is not None
+        assert p.latency > 0
+
+    def test_zero_load_latency_matches_model(self, small_network):
+        p = long_reply(0, 15)
+        small_network.offer(0, p)
+        small_network.drain(2000)
+        assert p.latency == small_network.zero_load_latency(0, 15, 9)
+
+    def test_neighbor_delivery(self, small_network):
+        p = long_reply(0, 1)
+        small_network.offer(0, p)
+        small_network.drain(100)
+        assert p.received_at is not None
+
+    def test_short_packet(self, small_network):
+        p = Packet(PacketType.READ_REQUEST, 3, 12, 1, 0)
+        small_network.offer(3, p)
+        assert small_network.drain(200)
+
+    def test_delivery_callback(self, small_network):
+        got = []
+        small_network.on_delivery = lambda node, pkt, now: got.append((node, pkt.pid))
+        p = long_reply(5, 10)
+        small_network.offer(5, p)
+        small_network.drain(500)
+        assert got == [(10, p.pid)]
+
+    def test_all_pairs_xy(self):
+        net = Network(NetworkConfig(width=3, height=3))
+        pkts = []
+        for src, dest in itertools.permutations(range(9), 2):
+            p = Packet(PacketType.WRITE_REPLY, src, dest, 1, net.now)
+            # Offer over time to avoid NI overflow.
+            while not net.offer(src, p):
+                net.step()
+            pkts.append(p)
+        assert net.drain(5000)
+        assert all(p.received_at is not None for p in pkts)
+
+    def test_all_pairs_adaptive(self, adaptive_network):
+        net = adaptive_network
+        pkts = []
+        for src, dest in itertools.permutations(range(16), 2):
+            p = Packet(PacketType.READ_REQUEST, src, dest, 1, net.now)
+            while not net.offer(src, p):
+                net.step()
+            pkts.append(p)
+        assert net.drain(8000)
+        assert all(p.received_at is not None for p in pkts)
+
+
+class TestFlowControlSaturation:
+    def _hammer(self, net, src, cycles=600):
+        dests = itertools.cycle(d for d in range(16) if d != src)
+        offered = 0
+        for _ in range(cycles):
+            p = long_reply(src, next(dests), net.now)
+            if net.offer(src, p):
+                offered += 1
+            net.step()
+        net.drain(20000)
+        return offered
+
+    def test_enhanced_ni_caps_at_one_flit_per_cycle(self):
+        net = Network(NetworkConfig(width=4, height=4))
+        offered = self._hammer(net, src=5)
+        # 600 cycles at 1 flit/cycle = at most ~67 nine-flit packets.
+        assert offered <= 70
+        assert net.stats.packets_delivered == offered
+
+    def test_ari_injects_faster(self):
+        base = Network(NetworkConfig(width=4, height=4))
+        ari = Network(
+            NetworkConfig(
+                width=4,
+                height=4,
+                accelerated_nodes={5},
+                ni_kind=NIKind.SPLIT,
+                injection_speedup=4,
+            )
+        )
+        n_base = self._hammer(base, 5)
+        n_ari = self._hammer(ari, 5)
+        assert n_ari > 1.5 * n_base
+
+    def test_no_packet_loss_under_pressure(self):
+        net = Network(NetworkConfig(width=4, height=4))
+        self._hammer(net, 5, cycles=400)
+        assert net.stats.in_flight == 0
+
+
+class TestConservation:
+    @pytest.mark.parametrize("routing", ["xy", "adaptive"])
+    def test_offered_equals_delivered(self, routing):
+        import random
+
+        rng = random.Random(42)
+        net = Network(NetworkConfig(width=4, height=4, routing=routing))
+        offered = 0
+        for _ in range(500):
+            src = rng.randrange(16)
+            dest = rng.randrange(16)
+            if src == dest:
+                dest = (dest + 1) % 16
+            size = rng.choice([1, 9])
+            ptype = PacketType.READ_REPLY if size == 9 else PacketType.WRITE_REPLY
+            if net.offer(src, Packet(ptype, src, dest, size, net.now)):
+                offered += 1
+            net.step()
+        assert net.drain(30000)
+        assert net.stats.packets_delivered == offered
+
+
+class TestARIPriority:
+    def test_priority_decays_per_hop(self):
+        net = Network(
+            NetworkConfig(
+                width=4,
+                height=4,
+                accelerated_nodes={0},
+                ni_kind=NIKind.SPLIT,
+                injection_speedup=4,
+                priority_enabled=True,
+                priority_levels=2,
+            )
+        )
+        p = long_reply(0, 15, priority=1)
+        net.offer(0, p)
+        net.drain(1000)
+        assert p.priority == 0  # decremented on entering the second router
+
+    def test_priority_levels_cap_at_zero(self):
+        net = Network(
+            NetworkConfig(
+                width=4, height=4, priority_enabled=True, priority_levels=2
+            )
+        )
+        p = long_reply(0, 15, priority=1)
+        net.offer(0, p)
+        net.drain(1000)
+        assert p.priority >= 0
+
+
+class TestEjectionBackpressure:
+    def test_bounded_ejector_stalls_network(self):
+        net = Network(
+            NetworkConfig(width=4, height=4, bounded_ejectors={15: 9})
+        )
+        pkts = [long_reply(0, 15, 0) for _ in range(4)]
+        for p in pkts:
+            net.offer(0, p)
+        net.run(300)
+        # Only what fits in the 9-flit sink (plus the in-flight flit budget)
+        # can have been delivered; at least one packet must still be stuck.
+        assert net.stats.in_flight >= 2
+        # Releasing the sink lets everything through.
+        ej = net.ejectors[15]
+        for _ in range(200):
+            if ej.flit_occupancy:
+                ej.release(ej.flit_occupancy)
+            net.step()
+        assert net.stats.in_flight == 0
+
+
+class TestDeadlockWatchdog:
+    def test_raises_on_permanent_blockage(self):
+        net = Network(
+            NetworkConfig(
+                width=4, height=4, bounded_ejectors={15: 9}, deadlock_cycles=500
+            )
+        )
+        for _ in range(4):
+            net.offer(0, long_reply(0, 15, 0))
+        with pytest.raises(DeadlockError):
+            net.run(3000)  # sink never drained -> watchdog fires
+
+
+class TestNetworkConfigValidation:
+    def test_adaptive_needs_two_vcs(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(routing="adaptive", num_vcs=1).validate()
+
+    def test_split_queues_bounded_by_vcs(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(
+                num_split_queues=5,
+                num_vcs=4,
+                ni_kind=NIKind.SPLIT,
+                accelerated_nodes={5},
+            ).validate()
+
+    def test_split_queue_bound_ignored_without_split_ni(self):
+        # The bound only applies where a split NI is actually instantiated.
+        NetworkConfig(num_split_queues=5, num_vcs=4).validate()
+
+    def test_speedup_eq2_bound(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(injection_speedup=5).validate()
+
+    def test_priority_levels_positive(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(priority_levels=0).validate()
+
+
+class TestStats:
+    def test_traffic_mix_flit_weighted(self, small_network):
+        net = small_network
+        net.offer(0, Packet(PacketType.READ_REPLY, 0, 15, 9, 0))
+        net.offer(1, Packet(PacketType.WRITE_REPLY, 1, 14, 1, 0))
+        net.drain(2000)
+        mix = net.stats.traffic_mix()
+        assert mix[PacketType.READ_REPLY] == pytest.approx(0.9)
+        assert mix[PacketType.WRITE_REPLY] == pytest.approx(0.1)
+
+    def test_injection_link_utilization_counted(self, small_network):
+        net = small_network
+        net.offer(0, long_reply(0, 15))
+        net.drain(2000)
+        assert net.injection_link_utilization() > 0
+        assert net.mesh_link_utilization() > 0
+
+    def test_ni_occupancy_sampled(self):
+        net = Network(NetworkConfig(width=4, height=4, sample_interval=1))
+        for _ in range(4):
+            net.offer(5, long_reply(5, 10, 0))
+        net.run(5)
+        assert net.ni_occupancy(5) > 0
+
+
+class TestPerfectNetwork:
+    def test_always_accepts(self):
+        net = PerfectNetwork(NetworkConfig(width=4, height=4))
+        for _ in range(100):
+            assert net.offer(5, long_reply(5, 10, net.now))
+            net.step()
+        assert net.stats.packets_offered == 100
+
+    def test_delivers_at_zero_load_latency(self):
+        net = PerfectNetwork(NetworkConfig(width=4, height=4))
+        p = long_reply(0, 15, 0)
+        net.offer(0, p)
+        net.run(50)
+        assert p.received_at == 1 + 6 + 9  # NI link + hops + size
+
+    def test_injection_rate_measurement(self):
+        net = PerfectNetwork(NetworkConfig(width=4, height=4))
+        for i in range(100):
+            if i % 2 == 0:
+                net.offer(5, long_reply(5, 10, net.now))
+            net.step()
+        assert net.injection_rate(5) == pytest.approx(0.5)
+        assert net.injection_rate(7) == 0.0

@@ -1,0 +1,136 @@
+"""Tests for XY and minimal adaptive routing."""
+
+import pytest
+
+from repro.noc.routing import (
+    EAST,
+    LOCAL,
+    NORTH,
+    SOUTH,
+    WEST,
+    MinimalAdaptiveRouting,
+    XYRouting,
+    hop_count,
+    make_routing,
+    opposite,
+    productive_directions,
+    xy_direction,
+)
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize(
+        "cur,dest,expected",
+        [
+            ((0, 0), (2, 0), [EAST]),
+            ((2, 0), (0, 0), [WEST]),
+            ((0, 0), (0, 3), [NORTH]),
+            ((0, 3), (0, 0), [SOUTH]),
+            ((0, 0), (1, 1), [EAST, NORTH]),
+            ((1, 1), (0, 0), [WEST, SOUTH]),
+            ((1, 1), (1, 1), []),
+        ],
+    )
+    def test_productive_directions(self, cur, dest, expected):
+        assert sorted(productive_directions(cur, dest)) == sorted(expected)
+
+    def test_xy_goes_x_first(self):
+        assert xy_direction((0, 0), (2, 2)) == EAST
+        assert xy_direction((2, 0), (0, 2)) == WEST
+        assert xy_direction((2, 0), (2, 2)) == NORTH
+
+    def test_xy_at_destination_is_local(self):
+        assert xy_direction((1, 1), (1, 1)) == LOCAL
+
+    @pytest.mark.parametrize(
+        "a,b", [(NORTH, SOUTH), (SOUTH, NORTH), (EAST, WEST), (WEST, EAST)]
+    )
+    def test_opposite(self, a, b):
+        assert opposite(a) == b
+
+    def test_hop_count(self):
+        assert hop_count((0, 0), (3, 2)) == 5
+        assert hop_count((2, 2), (2, 2)) == 0
+
+
+class TestXYRouting:
+    def test_single_candidate(self):
+        r = XYRouting()
+        assert r.candidates((0, 0), (3, 3)) == [EAST]
+        assert r.candidates((3, 0), (3, 3)) == [NORTH]
+
+    def test_local_at_destination(self):
+        assert XYRouting().candidates((1, 1), (1, 1)) == [LOCAL]
+
+    def test_all_vcs_allowed(self):
+        r = XYRouting()
+        for vc in range(4):
+            assert r.vc_allowed(vc, EAST, escape=EAST)
+            assert r.vc_allowed(vc, NORTH, escape=EAST)
+
+    def test_not_adaptive(self):
+        assert not XYRouting().adaptive
+
+
+class TestAdaptiveRouting:
+    def test_both_productive_directions(self):
+        r = MinimalAdaptiveRouting()
+        cands = r.candidates((0, 0), (2, 2))
+        assert sorted(cands) == sorted([EAST, NORTH])
+
+    def test_xy_choice_listed_first(self):
+        r = MinimalAdaptiveRouting()
+        assert r.candidates((0, 0), (2, 2))[0] == EAST  # X-first preference
+
+    def test_single_dimension_left(self):
+        r = MinimalAdaptiveRouting()
+        assert r.candidates((2, 0), (2, 3)) == [NORTH]
+
+    def test_escape_vc_restricted_to_xy(self):
+        """Duato deadlock freedom: VC 0 may only take the XY hop."""
+        r = MinimalAdaptiveRouting()
+        escape = r.escape_port((0, 0), (2, 2))
+        assert escape == EAST
+        assert r.vc_allowed(0, EAST, escape)
+        assert not r.vc_allowed(0, NORTH, escape)
+
+    def test_non_escape_vcs_unrestricted(self):
+        r = MinimalAdaptiveRouting()
+        for vc in (1, 2, 3):
+            assert r.vc_allowed(vc, NORTH, escape=EAST)
+            assert r.vc_allowed(vc, EAST, escape=EAST)
+
+    def test_is_adaptive(self):
+        assert MinimalAdaptiveRouting().adaptive
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["xy", "dor"])
+    def test_xy_aliases(self, name):
+        assert isinstance(make_routing(name), XYRouting)
+
+    @pytest.mark.parametrize("name", ["adaptive", "ada", "min-adaptive"])
+    def test_adaptive_aliases(self, name):
+        assert isinstance(make_routing(name), MinimalAdaptiveRouting)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_routing("torus-goal")
+
+    def test_minimality_exhaustive_4x4(self):
+        """Every candidate hop strictly reduces distance (minimal routing)."""
+        for routing in (XYRouting(), MinimalAdaptiveRouting()):
+            for cx in range(4):
+                for cy in range(4):
+                    for dx in range(4):
+                        for dy in range(4):
+                            if (cx, cy) == (dx, dy):
+                                continue
+                            before = hop_count((cx, cy), (dx, dy))
+                            for port in routing.candidates((cx, cy), (dx, dy)):
+                                step = {NORTH: (0, 1), EAST: (1, 0),
+                                        SOUTH: (0, -1), WEST: (-1, 0)}[port]
+                                after = hop_count(
+                                    (cx + step[0], cy + step[1]), (dx, dy)
+                                )
+                                assert after == before - 1

@@ -1,0 +1,109 @@
+"""Tests for network statistics collection."""
+
+import pytest
+
+from repro.noc.flit import Packet, PacketType
+from repro.noc.link import Link
+from repro.noc.stats import LatencyAccumulator, NetworkStats, mean_link_utilization
+
+
+def delivered(ptype=PacketType.READ_REPLY, size=9, created=0, injected=2, received=20):
+    p = Packet(ptype, 0, 1, size, created)
+    p.injected_at = injected
+    p.received_at = received
+    return p
+
+
+class TestLatencyAccumulator:
+    def test_records(self):
+        acc = LatencyAccumulator()
+        acc.record(delivered(received=20))
+        acc.record(delivered(received=40))
+        assert acc.count == 2
+        assert acc.mean == 30.0
+        assert acc.max == 40
+
+    def test_network_latency(self):
+        acc = LatencyAccumulator()
+        acc.record(delivered(injected=5, received=25))
+        assert acc.mean_network == 20.0
+
+    def test_ignores_undelivered(self):
+        acc = LatencyAccumulator()
+        acc.record(Packet(PacketType.READ_REPLY, 0, 1, 9, 0))
+        assert acc.count == 0
+
+    def test_empty_means(self):
+        acc = LatencyAccumulator()
+        assert acc.mean == 0.0
+        assert acc.mean_network == 0.0
+
+
+class TestNetworkStats:
+    def test_in_flight(self):
+        s = NetworkStats()
+        s.on_offer()
+        s.on_offer()
+        s.on_delivery(delivered())
+        assert s.in_flight == 1
+
+    def test_traffic_mix(self):
+        s = NetworkStats()
+        s.on_delivery(delivered(PacketType.READ_REPLY, size=9))
+        s.on_delivery(delivered(PacketType.WRITE_REPLY, size=1))
+        mix = s.traffic_mix()
+        assert mix[PacketType.READ_REPLY] == pytest.approx(0.9)
+        assert mix[PacketType.WRITE_REPLY] == pytest.approx(0.1)
+
+    def test_traffic_mix_empty(self):
+        assert all(v == 0.0 for v in NetworkStats().traffic_mix().values())
+
+    def test_flit_hops_delivered(self):
+        s = NetworkStats()
+        s.on_delivery(delivered(size=9), hops=5)
+        s.on_delivery(delivered(size=1), hops=3)
+        assert s.flit_hops_delivered == 9 * 5 + 1 * 3
+
+    def test_mean_latency_by_type(self):
+        s = NetworkStats()
+        s.on_delivery(delivered(PacketType.READ_REPLY, received=10))
+        s.on_delivery(delivered(PacketType.READ_REQUEST, size=1, received=50))
+        assert s.mean_latency([PacketType.READ_REPLY]) == 10.0
+        assert s.mean_latency([PacketType.READ_REQUEST]) == 50.0
+        assert s.mean_latency() == 30.0
+
+    def test_throughput(self):
+        s = NetworkStats()
+        s.cycles = 100
+        s.on_delivery(delivered())
+        assert s.throughput() == 0.01
+
+
+class TestLinkUtilization:
+    def test_mean_over_links(self):
+        links = [Link(), Link()]
+        f = Packet(PacketType.WRITE_REPLY, 0, 1, 1, 0).make_flits()[0]
+        links[0].send(f, 0)
+        assert mean_link_utilization(links, 10) == pytest.approx(0.05)
+
+    def test_degenerate_inputs(self):
+        assert mean_link_utilization([], 10) == 0.0
+        assert mean_link_utilization([Link()], 0) == 0.0
+
+
+class TestExpectedFlitHops:
+    def test_system_accounting(self):
+        """Charged at request issue: request + predicted reply flits times
+        the (minimal) path length; monotone and positive under load."""
+        from repro.core.schemes import scheme
+        from repro.gpu.config import GPUConfig
+        from repro.gpu.system import GPGPUSystem
+        from repro.workloads.suite import benchmark
+
+        cfg = GPUConfig.scaled(4, warps_per_core=4)
+        system = GPGPUSystem(cfg, scheme("xy-baseline"), benchmark("bfs"), seed=1)
+        system.run(120)
+        first = system.expected_flit_hops
+        assert first > 0
+        system.run(120)
+        assert system.expected_flit_hops > first

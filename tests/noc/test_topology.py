@@ -1,0 +1,149 @@
+"""Tests for mesh topology and diamond MC placement."""
+
+import pytest
+
+from repro.noc.routing import EAST, NORTH, SOUTH, WEST
+from repro.noc.topology import (
+    MeshTopology,
+    default_placement,
+    diamond_mc_placement,
+)
+
+
+class TestMeshTopology:
+    def test_coords_roundtrip(self):
+        mesh = MeshTopology(6, 6)
+        for r in range(36):
+            x, y = mesh.coords(r)
+            assert mesh.router_at(x, y) == r
+
+    def test_out_of_range_raises(self):
+        mesh = MeshTopology(4, 4)
+        with pytest.raises(ValueError):
+            mesh.router_at(4, 0)
+        with pytest.raises(ValueError):
+            mesh.router_at(0, -1)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            MeshTopology(1, 5)
+
+    def test_corner_degree(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.degree(mesh.router_at(0, 0)) == 2
+        assert mesh.degree(mesh.router_at(3, 3)) == 2
+
+    def test_edge_degree(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.degree(mesh.router_at(1, 0)) == 3
+
+    def test_inner_degree(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.degree(mesh.router_at(1, 1)) == 4
+
+    def test_neighbor_symmetry(self):
+        mesh = MeshTopology(5, 3)
+        for r in range(mesh.num_routers):
+            for d, n in mesh.neighbors(r).items():
+                back = mesh.neighbors(n)[mesh.reverse_port(d)]
+                assert back == r
+
+    def test_neighbor_directions(self):
+        mesh = MeshTopology(4, 4)
+        r = mesh.router_at(1, 1)
+        nb = mesh.neighbors(r)
+        assert mesh.coords(nb[NORTH]) == (1, 2)
+        assert mesh.coords(nb[EAST]) == (2, 1)
+        assert mesh.coords(nb[SOUTH]) == (1, 0)
+        assert mesh.coords(nb[WEST]) == (0, 1)
+
+    def test_link_count(self):
+        # 2 * (w*(h-1) + h*(w-1)) unidirectional links.
+        mesh = MeshTopology(4, 4)
+        assert len(mesh.links()) == 2 * (4 * 3 + 4 * 3)
+
+    def test_bisection_links(self):
+        assert MeshTopology(6, 6).bisection_links() == 12  # paper Sec. 3
+
+
+class TestDiamondPlacement:
+    def test_paper_configuration(self):
+        mcs = diamond_mc_placement(6, 6, 8)
+        assert len(mcs) == len(set(mcs)) == 8
+
+    def test_no_corners(self):
+        mesh = MeshTopology(6, 6)
+        corners = {
+            mesh.router_at(x, y) for x in (0, 5) for y in (0, 5)
+        }
+        mcs = set(diamond_mc_placement(6, 6, 8))
+        assert not (mcs & corners)
+
+    def test_spread_over_rows_and_columns(self):
+        mesh = MeshTopology(6, 6)
+        mcs = diamond_mc_placement(6, 6, 8)
+        rows = [mesh.coords(r)[1] for r in mcs]
+        cols = [mesh.coords(r)[0] for r in mcs]
+        # The diamond pattern never piles MCs on one line.
+        assert max(rows.count(v) for v in set(rows)) <= 2
+        assert max(cols.count(v) for v in set(cols)) <= 2
+
+    @pytest.mark.parametrize("mesh,mcs", [(4, 4), (6, 8), (8, 12)])
+    def test_scalability_configurations(self, mesh, mcs):
+        out = diamond_mc_placement(mesh, mesh, mcs)
+        assert len(out) == len(set(out)) == mcs
+
+    def test_too_many_mcs_rejected(self):
+        with pytest.raises(ValueError):
+            diamond_mc_placement(4, 4, 9)
+
+    def test_zero_mcs_rejected(self):
+        with pytest.raises(ValueError):
+            diamond_mc_placement(4, 4, 0)
+
+    def test_deterministic(self):
+        assert diamond_mc_placement(6, 6, 8) == diamond_mc_placement(6, 6, 8)
+
+    def test_default_placement_partition(self):
+        mcs, ccs = default_placement(6, 6, 8)
+        assert len(mcs) == 8
+        assert len(ccs) == 28
+        assert not (set(mcs) & set(ccs))
+        assert sorted(mcs + ccs) == list(range(36))
+
+
+class TestAlternativePlacements:
+    def test_edge_placement_on_edges(self):
+        from repro.noc.topology import edge_mc_placement
+
+        mesh = MeshTopology(6, 6)
+        for r in edge_mc_placement(6, 6, 8):
+            _, y = mesh.coords(r)
+            assert y in (0, 5)
+
+    def test_edge_placement_counts(self):
+        from repro.noc.topology import edge_mc_placement
+
+        assert len(edge_mc_placement(6, 6, 8)) == 8
+        with pytest.raises(ValueError):
+            edge_mc_placement(4, 4, 9)
+
+    def test_column_placement_centered(self):
+        from repro.noc.topology import column_mc_placement
+
+        mesh = MeshTopology(6, 6)
+        cols = {mesh.coords(r)[0] for r in column_mc_placement(6, 6, 8)}
+        assert cols <= {2, 3}
+
+    def test_default_placement_styles(self):
+        from repro.noc.topology import default_placement
+
+        for style in ("diamond", "edge", "column"):
+            mcs, ccs = default_placement(6, 6, 8, style=style)
+            assert len(mcs) == 8 and len(ccs) == 28
+
+    def test_unknown_style(self):
+        from repro.noc.topology import default_placement
+
+        with pytest.raises(ValueError):
+            default_placement(6, 6, 8, style="spiral")

@@ -1,0 +1,90 @@
+"""Tests for the packet tracer."""
+
+import pytest
+
+from repro.noc import Network, NetworkConfig
+from repro.noc.flit import Packet, PacketType
+from repro.noc.trace import PacketTracer, TraceEvent
+
+
+def traced_network():
+    net = Network(NetworkConfig(width=4, height=4))
+    tracer = PacketTracer.attach(net)
+    return net, tracer
+
+
+class TestLifecycle:
+    def test_offer_and_deliver_recorded(self):
+        net, tracer = traced_network()
+        p = Packet(PacketType.READ_REPLY, 0, 15, 9, 0)
+        net.offer(0, p)
+        net.drain(2000)
+        kinds = [e.kind for e in tracer.events_for(p.pid)]
+        assert "offer" in kinds
+        assert "deliver" in kinds
+        assert "inject" in kinds
+
+    def test_rejected_offer_not_recorded(self):
+        net, tracer = traced_network()
+        for _ in range(10):
+            net.offer(0, Packet(PacketType.READ_REPLY, 0, 15, 9, 0))
+        # NI holds 4 long packets; 6 rejections.
+        assert tracer.count("offer") == 4
+
+    def test_existing_callback_chained(self):
+        net = Network(NetworkConfig(width=4, height=4))
+        seen = []
+        net.on_delivery = lambda node, pkt, now: seen.append(pkt.pid)
+        tracer = PacketTracer.attach(net)
+        p = Packet(PacketType.READ_REPLY, 0, 15, 9, 0)
+        net.offer(0, p)
+        net.drain(2000)
+        assert seen == [p.pid]
+        assert tracer.count("deliver") == 1
+
+    def test_latency_histograms_populated(self):
+        net, tracer = traced_network()
+        for i in range(3):
+            net.offer(0, Packet(PacketType.READ_REPLY, 0, 15, 9, net.now))
+            net.step()
+        net.drain(3000)
+        s = tracer.lifecycle_summary()
+        assert s["network_latency"]["count"] == 3
+        assert s["network_latency"]["mean"] > 0
+
+    def test_timeline_format(self):
+        net, tracer = traced_network()
+        p = Packet(PacketType.READ_REPLY, 0, 15, 9, 0)
+        net.offer(0, p)
+        net.drain(2000)
+        txt = tracer.format_timeline(p.pid)
+        assert f"pid={p.pid}" in txt
+        assert "deliver" in txt
+
+    def test_timeline_unknown_pid(self):
+        _, tracer = traced_network()
+        assert "no events" in tracer.format_timeline(999)
+
+
+class TestBounds:
+    def test_max_events_drops(self):
+        tracer = PacketTracer(max_events=2)
+        for i in range(5):
+            tracer.record(0, "offer", i)
+        assert tracer.count() == 2
+        assert tracer.dropped == 3
+
+    def test_events_of_kind(self):
+        tracer = PacketTracer()
+        tracer.record(0, "offer", 1)
+        tracer.record(1, "deliver", 1)
+        tracer.record(2, "offer", 2)
+        assert len(tracer.events_of_kind("offer")) == 2
+        assert tracer.count("deliver") == 1
+
+    def test_custom_events(self):
+        tracer = PacketTracer()
+        tracer.record(5, "stall", 7, node=3, info="NI full")
+        ev = tracer.events_for(7)[0]
+        assert ev.kind == "stall"
+        assert "NI full" in str(ev)

@@ -1,0 +1,153 @@
+"""Tests for the invariant checker, including failure injection."""
+
+import random
+
+import pytest
+
+from repro.noc import Network, NetworkConfig
+from repro.noc.flit import Packet, PacketType
+from repro.noc.ni import NIKind
+from repro.noc.validation import InvariantChecker, InvariantViolation
+
+
+def loaded_network(routing="xy", ari=False, seed=5, packets=60):
+    cfg = NetworkConfig(
+        width=4, height=4, routing=routing,
+        accelerated_nodes={5} if ari else set(),
+        ni_kind=NIKind.SPLIT if ari else NIKind.ENHANCED,
+        injection_speedup=4 if ari else 1,
+        priority_enabled=ari, priority_levels=2 if ari else 1,
+    )
+    net = Network(cfg)
+    rng = random.Random(seed)
+    remaining = packets
+
+    def pump():
+        nonlocal remaining
+        if remaining <= 0:
+            return
+        src = rng.randrange(16)
+        dest = (src + rng.randrange(1, 16)) % 16
+        size = rng.choice([1, 9])
+        ptype = PacketType.READ_REPLY if size == 9 else PacketType.WRITE_REPLY
+        if net.offer(src, Packet(ptype, src, dest, size, net.now,
+                                 priority=1 if ari else 0)):
+            remaining -= 1
+
+    return net, pump
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("routing,ari", [
+        ("xy", False), ("adaptive", False), ("adaptive", True),
+    ])
+    def test_audit_passes_under_load(self, routing, ari):
+        net, pump = loaded_network(routing, ari)
+        checker = InvariantChecker(net)
+        for _ in range(150):
+            pump()
+            net.step()
+            checker.audit()
+        assert checker.audits == 150
+
+    def test_quiescent_conservation(self):
+        net, pump = loaded_network()
+        checker = InvariantChecker(net)
+        for _ in range(100):
+            pump()
+            net.step()
+        assert net.drain(20000)
+        checker.audit(quiescent=True)
+
+    def test_run_audited_helper(self):
+        net, pump = loaded_network()
+        for _ in range(30):
+            pump()
+            net.step()
+        InvariantChecker(net).run_audited(50, every=5)
+
+
+class TestFailureInjection:
+    """Corrupt simulator state on purpose; the checker must localize it."""
+
+    def _busy_network(self):
+        net, pump = loaded_network()
+        for _ in range(60):
+            pump()
+            net.step()
+        return net
+
+    def test_detects_occupancy_drift(self):
+        net = self._busy_network()
+        # Corrupt a router's maintained counter.
+        victim = max(net.routers, key=lambda r: r.occupancy())
+        victim._occ += 1
+        with pytest.raises(InvariantViolation, match="occupancy"):
+            InvariantChecker(net).audit()
+
+    def test_detects_port_counter_drift(self):
+        net = self._busy_network()
+        victim = max(net.routers, key=lambda r: r.occupancy())
+        port = max(victim.input_ports, key=lambda p: p.occ)
+        port.occ += 1
+        victim._occ += 1  # keep the router-level sum consistent
+        with pytest.raises(InvariantViolation, match="port counter"):
+            InvariantChecker(net).audit()
+
+    def test_detects_credit_leak(self):
+        net = self._busy_network()
+        for router in net.routers:
+            out = router.output_ports[0]
+            if out is not None and out.credits is not None:
+                if out.credits.available(0) > 0:
+                    out.credits.counts[0] -= 1  # leak one credit
+                    break
+        with pytest.raises(InvariantViolation, match="credit leak"):
+            InvariantChecker(net).audit()
+
+    def test_detects_dangling_writer_lock(self):
+        net = self._busy_network()
+        out = net.routers[0].output_ports[1] or net.routers[0].output_ports[0]
+        out.writer[0] = 12345
+        out.writer_left[0] = 0
+        with pytest.raises(InvariantViolation, match="locked with zero"):
+            InvariantChecker(net).audit()
+
+    def test_detects_orphan_writer_count(self):
+        net = self._busy_network()
+        out = net.routers[0].output_ports[1] or net.routers[0].output_ports[0]
+        out.writer[0] = None
+        out.writer_left[0] = 3
+        with pytest.raises(InvariantViolation, match="unlocked with"):
+            InvariantChecker(net).audit()
+
+    def test_detects_interleaved_packets(self):
+        # Construct the forbidden state directly: a body flit of packet B
+        # spliced between packet A's head and body in one VC.
+        net = Network(NetworkConfig(width=4, height=4))
+        a = Packet(PacketType.READ_REPLY, 0, 15, 3, 0).make_flits()
+        b = Packet(PacketType.READ_REPLY, 1, 15, 3, 0).make_flits()
+        vc = net.routers[0].input_ports[4].vcs[0]
+        vc.push(a[0], 0)
+        vc.fifo.append(b[1])  # bypass push() to fake the corruption
+        vc.fifo.append(a[1])
+        with pytest.raises(InvariantViolation, match="interleaved"):
+            InvariantChecker(net).check_no_interleaving()
+
+    def test_detects_foreign_head_mid_packet(self):
+        net = Network(NetworkConfig(width=4, height=4))
+        a = Packet(PacketType.READ_REPLY, 0, 15, 3, 0).make_flits()
+        b = Packet(PacketType.READ_REPLY, 1, 15, 3, 0).make_flits()
+        vc = net.routers[0].input_ports[4].vcs[0]
+        vc.push(a[0], 0)
+        vc.fifo.append(b[0])  # a second head before A's tail
+        with pytest.raises(InvariantViolation, match="head of"):
+            InvariantChecker(net).check_no_interleaving()
+
+    def test_quiescence_check_requires_quiescence(self):
+        net, pump = loaded_network()
+        for _ in range(20):
+            pump()
+            net.step()
+        with pytest.raises(InvariantViolation, match="in flight"):
+            InvariantChecker(net).check_quiescent_conservation()

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_args(self):
+        args = build_parser().parse_args(
+            ["run", "bfs", "ada-ari", "--cycles", "200", "--mesh", "4"]
+        )
+        assert args.benchmark == "bfs"
+        assert args.scheme == "ada-ari"
+        assert args.cycles == 200
+        assert args.mesh == 4
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "doom3", "ada-ari"])
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "bfs", "warp-drive"])
+
+    def test_figure_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig11", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bfs" in out
+        assert "ada-ari" in out
+        assert "fig11" in out
+
+    def test_area_output(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "pair_overhead" in out
+
+    def test_unknown_figure_fails_cleanly(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_run_small(self, capsys):
+        rc = main(
+            ["run", "binomialOptions", "xy-baseline",
+             "--cycles", "150", "--mesh", "4", "--no-cache"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+
+
+class TestViz:
+    def test_viz_small(self, capsys):
+        from repro.cli import main
+
+        rc = main(["viz", "binomialOptions", "xy-baseline",
+                   "--cycles", "100", "--mesh", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "request network" in out
+        assert "reply network" in out
+        assert "NI injection queues" in out
+
+    def test_viz_da2mesh_overlay(self, capsys):
+        from repro.cli import main
+
+        rc = main(["viz", "binomialOptions", "da2mesh",
+                   "--cycles", "80", "--mesh", "4"])
+        assert rc == 0
+        assert "no mesh to render" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_output(self, capsys, tmp_path, monkeypatch):
+        import repro.experiments.runner as runner
+
+        monkeypatch.setattr(runner, "_CACHE_PATH", str(tmp_path / "c.json"))
+        monkeypatch.setattr(runner, "_disk_loaded", True)
+        saved = dict(runner._memory_cache)
+        runner._memory_cache.clear()
+        try:
+            rc = main(["compare", "binomialOptions",
+                       "--cycles", "150", "--mesh", "4"])
+            assert rc == 0
+            out = capsys.readouterr().out
+            for sch in ("xy-baseline", "xy-ari", "ada-ari"):
+                assert sch in out
+            assert "vs base" in out
+        finally:
+            runner._memory_cache.clear()
+            runner._memory_cache.update(saved)
+
+
+class TestFigureCommand:
+    def test_figure_area_via_cli(self, capsys):
+        rc = main(["figure", "sec61_area"])
+        assert rc == 0
+        assert "pair_overhead" in capsys.readouterr().out
+
+
+class TestModuleEntry:
+    def test_dunder_main_imports(self):
+        import importlib
+
+        mod = importlib.import_module("repro.__main__")
+        assert hasattr(mod, "main")

@@ -1,0 +1,102 @@
+"""Round-trip tests for JSON serialization."""
+
+import pytest
+
+from repro.core.ari import ARIConfig
+from repro.core.schemes import Scheme, scheme
+from repro.gpu.config import GDDR5TimingParams, GPUConfig
+from repro.gpu.system import SimulationResult
+from repro.noc.ni import NIKind
+from repro.serialization import (
+    dump_gpu_config,
+    dump_result,
+    dump_scheme,
+    gpu_config_from_dict,
+    gpu_config_to_dict,
+    load_gpu_config,
+    load_result,
+    load_scheme,
+    result_from_dict,
+    result_to_dict,
+    scheme_from_dict,
+    scheme_to_dict,
+)
+
+
+class TestGPUConfig:
+    def test_roundtrip_default(self):
+        cfg = GPUConfig()
+        assert gpu_config_from_dict(gpu_config_to_dict(cfg)) == cfg
+
+    def test_roundtrip_customized(self):
+        cfg = GPUConfig.scaled(
+            4, warps_per_core=8, dram=GDDR5TimingParams(tCL=14),
+            mc_placement="edge",
+        )
+        back = gpu_config_from_dict(gpu_config_to_dict(cfg))
+        assert back == cfg
+        assert back.dram.tCL == 14
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "gpu.json")
+        cfg = GPUConfig.scaled(8)
+        dump_gpu_config(cfg, path)
+        assert load_gpu_config(path) == cfg
+
+    def test_invalid_config_rejected_on_load(self, tmp_path):
+        path = str(tmp_path / "gpu.json")
+        d = gpu_config_to_dict(GPUConfig())
+        d["warp_size"] = 30  # not divisible by simd_width
+        import json
+
+        with open(path, "w") as fh:
+            json.dump(d, fh)
+        with pytest.raises(ValueError):
+            load_gpu_config(path)
+
+
+class TestScheme:
+    @pytest.mark.parametrize(
+        "name", ["xy-baseline", "ada-ari", "ada-multiport", "da2mesh-ari",
+                 "xy-naive-baseline"]
+    )
+    def test_roundtrip_named(self, name):
+        s = scheme(name)
+        assert scheme_from_dict(scheme_to_dict(s)) == s
+
+    def test_roundtrip_custom(self):
+        s = Scheme(
+            "custom", routing="adaptive",
+            ari=ARIConfig(supply=True, consume=False, priority_levels=3),
+            force_ni_kind=NIKind.BASELINE_NARROW,
+        )
+        back = scheme_from_dict(scheme_to_dict(s))
+        assert back == s
+        assert back.force_ni_kind == NIKind.BASELINE_NARROW
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "scheme.json")
+        dump_scheme(scheme("ada-ari"), path)
+        assert load_scheme(path) == scheme("ada-ari")
+
+
+class TestResult:
+    def _result(self):
+        return SimulationResult(
+            benchmark="bfs", scheme="ada-ari", cycles=100, core_cycles=2800,
+            instructions=3000, ipc=1.07, mc_stall_cycles=5,
+            request_latency=100.0, reply_latency=40.0,
+            reply_traffic_share=0.7, mc_stall_time=55, replies_sent=10,
+            mc_stall_per_reply=5.5, traffic_mix={"read_reply": 0.6},
+            extras={"energy_per_instr": 12.0},
+        )
+
+    def test_roundtrip(self):
+        r = self._result()
+        assert result_from_dict(result_to_dict(r)) == r
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "result.json")
+        r = self._result()
+        dump_result(r, path)
+        assert load_result(path) == r

@@ -1,0 +1,65 @@
+"""Property-based serialization round-trips (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ari import ARIConfig
+from repro.core.schemes import Scheme
+from repro.gpu.config import GDDR5TimingParams, GPUConfig
+from repro.serialization import (
+    gpu_config_from_dict,
+    gpu_config_to_dict,
+    scheme_from_dict,
+    scheme_to_dict,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    warps=st.integers(1, 64),
+    l1_kb=st.sampled_from([8, 16, 32]),
+    tcl=st.integers(8, 20),
+    placement=st.sampled_from(["diamond", "edge", "column"]),
+    hop=st.integers(1, 4),
+)
+def test_gpu_config_roundtrip_random(warps, l1_kb, tcl, placement, hop):
+    cfg = GPUConfig(
+        warps_per_core=warps,
+        l1_size_bytes=l1_kb * 1024,
+        dram=GDDR5TimingParams(tCL=tcl),
+        mc_placement=placement,
+        noc_hop_latency=hop,
+    )
+    assert gpu_config_from_dict(gpu_config_to_dict(cfg)) == cfg
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    supply=st.booleans(),
+    consume=st.booleans(),
+    levels=st.integers(1, 6),
+    queues=st.integers(1, 8),
+    speedup=st.integers(1, 8),
+    routing=st.sampled_from(["xy", "adaptive"]),
+    ports=st.integers(1, 3),
+    req_mult=st.sampled_from([1, 2]),
+    accel_req=st.booleans(),
+)
+def test_scheme_roundtrip_random(
+    supply, consume, levels, queues, speedup, routing, ports, req_mult,
+    accel_req,
+):
+    sch = Scheme(
+        "prop-test",
+        routing=routing,
+        ari=ARIConfig(
+            supply=supply,
+            consume=consume,
+            priority_levels=levels,
+            num_split_queues=queues,
+            injection_speedup=speedup,
+        ),
+        num_injection_ports=ports,
+        request_width_mult=req_mult,
+        accelerate_request=accel_req,
+    )
+    assert scheme_from_dict(scheme_to_dict(sch)) == sch

@@ -1,0 +1,108 @@
+"""Tests for workload profiles and instruction streams."""
+
+import pytest
+
+from repro.workloads.profile import InstructionStream, WorkloadProfile
+
+
+def profile(**kw):
+    base = dict(
+        name="t",
+        sensitivity="high",
+        mem_rate=0.5,
+        write_fraction=0.2,
+        coalesce_lines=2,
+        reuse_prob=0.3,
+        working_set_lines=4096,
+    )
+    base.update(kw)
+    return WorkloadProfile(**base)
+
+
+class TestValidation:
+    def test_sensitivity_values(self):
+        with pytest.raises(ValueError):
+            profile(sensitivity="extreme")
+
+    def test_mem_rate_range(self):
+        with pytest.raises(ValueError):
+            profile(mem_rate=1.5)
+
+    def test_write_fraction_range(self):
+        with pytest.raises(ValueError):
+            profile(write_fraction=-0.1)
+
+    def test_coalesce_minimum(self):
+        with pytest.raises(ValueError):
+            profile(coalesce_lines=0)
+
+    def test_reuse_range(self):
+        with pytest.raises(ValueError):
+            profile(reuse_prob=1.0)
+
+    def test_working_set_minimum(self):
+        with pytest.raises(ValueError):
+            profile(working_set_lines=4)
+
+
+class TestStream:
+    def test_deterministic(self):
+        p = profile()
+        s1 = p.make_stream(0, 0, seed=42)
+        s2 = p.make_stream(0, 0, seed=42)
+        assert [s1.next() for _ in range(50)] == [s2.next() for _ in range(50)]
+
+    def test_different_warps_differ(self):
+        p = profile()
+        s1 = p.make_stream(0, 0, seed=42)
+        s2 = p.make_stream(0, 1, seed=42)
+        assert [s1.next() for _ in range(50)] != [s2.next() for _ in range(50)]
+
+    def test_mem_rate_respected(self):
+        p = profile(mem_rate=0.25)
+        s = p.make_stream(0, 0, seed=1)
+        instrs = [s.next() for _ in range(4000)]
+        mem = sum(1 for k, _ in instrs if k != "c")
+        assert mem / len(instrs) == pytest.approx(0.25, abs=0.03)
+
+    def test_write_fraction_respected(self):
+        p = profile(mem_rate=1.0, write_fraction=0.4)
+        s = p.make_stream(0, 0, seed=1)
+        instrs = [s.next() for _ in range(4000)]
+        writes = sum(1 for k, _ in instrs if k == "st")
+        assert writes / len(instrs) == pytest.approx(0.4, abs=0.03)
+
+    def test_coalesce_lines_count(self):
+        p = profile(mem_rate=1.0, coalesce_lines=3)
+        s = p.make_stream(0, 0, seed=1)
+        for _ in range(100):
+            kind, lines = s.next()
+            assert len(lines) == 3
+
+    def test_addresses_within_working_set(self):
+        p = profile(mem_rate=1.0, working_set_lines=256)
+        s = p.make_stream(0, 0, seed=1)
+        for _ in range(500):
+            _, lines = s.next()
+            assert all(0 <= l < 256 for l in lines)
+
+    def test_reuse_produces_repeats(self):
+        hot = profile(mem_rate=1.0, reuse_prob=0.8, coalesce_lines=1)
+        cold = profile(mem_rate=1.0, reuse_prob=0.0, coalesce_lines=1)
+        def distinct(p):
+            s = p.make_stream(0, 0, seed=5)
+            seen = [s.next()[1][0] for _ in range(500)]
+            return len(set(seen))
+        assert distinct(hot) < distinct(cold)
+
+    def test_streaming_locality(self):
+        p = profile(mem_rate=1.0, reuse_prob=0.0, stream_prob=1.0, coalesce_lines=1)
+        s = p.make_stream(0, 0, seed=1)
+        lines = [s.next()[1][0] for _ in range(50)]
+        deltas = [(b - a) % 4096 for a, b in zip(lines, lines[1:])]
+        assert all(d == 1 for d in deltas)
+
+    def test_expected_l2_hit_rate(self):
+        p = profile(working_set_lines=16384)
+        assert p.expected_l2_hit_rate(8192) == pytest.approx(0.5)
+        assert profile(working_set_lines=1024).expected_l2_hit_rate(8192) == 1.0

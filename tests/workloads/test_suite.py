@@ -1,0 +1,68 @@
+"""Tests for the 30-benchmark suite."""
+
+import pytest
+
+from repro.workloads.suite import (
+    PAPER_FIG6_BENCHMARKS,
+    PAPER_FIG9_BENCHMARKS,
+    PAPER_FIG15_BENCHMARKS,
+    SUITE,
+    benchmark,
+    benchmark_names,
+    by_sensitivity,
+)
+
+
+class TestSuiteComposition:
+    def test_thirty_benchmarks(self):
+        assert len(SUITE) == 30
+
+    def test_paper_sensitivity_split(self):
+        """Paper Sec. 6.2: 9 highly sensitive, 11 medium, 10 low."""
+        split = by_sensitivity()
+        assert len(split["high"]) == 9
+        assert len(split["medium"]) == 11
+        assert len(split["low"]) == 10
+
+    def test_paper_named_benchmarks_present(self):
+        for name in ["bfs", "mummerGPU", "kmeans", "pathfinder", "hotspot",
+                     "srad", "b+tree", "blackScholes"]:
+            assert name in SUITE
+
+    def test_figure_subsets_exist(self):
+        for lst in (PAPER_FIG6_BENCHMARKS, PAPER_FIG9_BENCHMARKS,
+                    PAPER_FIG15_BENCHMARKS):
+            for name in lst:
+                assert name in SUITE
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            benchmark("doom3")
+
+    def test_benchmark_names_filter(self):
+        assert set(benchmark_names("high")) == set(by_sensitivity()["high"])
+        assert len(benchmark_names()) == 30
+
+
+class TestCalibration:
+    def test_high_sensitivity_memory_intensive(self):
+        """High-sensitivity demand must exceed medium, which exceeds low
+        (miss traffic per instruction, the NoC-load proxy)."""
+        def demand(p):
+            return p.mem_rate * (1 - p.reuse_prob) * p.coalesce_lines
+
+        split = by_sensitivity()
+        high = min(demand(SUITE[n]) for n in split["high"])
+        med = max(demand(SUITE[n]) for n in split["medium"])
+        low = max(demand(SUITE[n]) for n in split["low"])
+        assert high > med > low
+
+    def test_reads_dominate(self):
+        """Fig. 5: read transactions outnumber writes in most benchmarks."""
+        read_heavy = sum(1 for p in SUITE.values() if p.write_fraction < 0.5)
+        assert read_heavy == 30
+
+    def test_high_working_sets_exceed_l2(self):
+        total_l2_lines = 8 * 128 * 1024 // 128
+        for name in by_sensitivity()["high"]:
+            assert SUITE[name].working_set_lines > total_l2_lines

@@ -1,0 +1,69 @@
+"""Tests for the synthetic NoC-only traffic generators."""
+
+import pytest
+
+from repro.noc import Network, NetworkConfig
+from repro.noc.flit import PacketType
+from repro.workloads.traffic import ReplyTrafficPattern, SyntheticTrafficGenerator
+
+
+class TestReplyTrafficPattern:
+    def test_packets_target_cc_nodes(self):
+        pat = ReplyTrafficPattern([5], [0, 1, 2], seed=1)
+        for _ in range(50):
+            p = pat.make_packet(5, 0)
+            assert p.dest in (0, 1, 2)
+            assert p.src == 5
+
+    def test_read_fraction(self):
+        pat = ReplyTrafficPattern([5], [0], read_reply_fraction=1.0)
+        assert all(
+            pat.make_packet(5, 0).ptype == PacketType.READ_REPLY
+            for _ in range(20)
+        )
+
+    def test_sizes(self):
+        pat = ReplyTrafficPattern([5], [0], read_reply_fraction=1.0)
+        assert pat.make_packet(5, 0).size == 9
+        pat2 = ReplyTrafficPattern([5], [0], read_reply_fraction=0.0)
+        assert pat2.make_packet(5, 0).size == 1
+
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            ReplyTrafficPattern([], [0])
+
+    def test_priority_stamped(self):
+        pat = ReplyTrafficPattern([5], [0])
+        assert pat.make_packet(5, 0, priority=1).priority == 1
+
+
+class TestSyntheticGenerator:
+    def test_accounting(self):
+        net = Network(NetworkConfig(width=4, height=4))
+        pat = ReplyTrafficPattern([5], [r for r in range(16) if r != 5], seed=2)
+        gen = SyntheticTrafficGenerator(net, pat, rate=0.05, seed=3)
+        gen.run(400)
+        net.drain(20000)
+        assert gen.offered > 0
+        assert net.stats.packets_delivered == gen.offered
+
+    def test_backlog_models_mc_stall(self):
+        net = Network(NetworkConfig(width=4, height=4))
+        pat = ReplyTrafficPattern([5], [r for r in range(16) if r != 5], seed=2)
+        gen = SyntheticTrafficGenerator(net, pat, rate=0.9, seed=3)
+        gen.run(300)
+        assert gen.stall_cycles > 0
+        assert gen.backlog_packets > 0
+
+    def test_zero_rate(self):
+        net = Network(NetworkConfig(width=4, height=4))
+        pat = ReplyTrafficPattern([5], [0], seed=2)
+        gen = SyntheticTrafficGenerator(net, pat, rate=0.0)
+        gen.run(100)
+        assert gen.offered == 0
+
+    def test_negative_rate_rejected(self):
+        net = Network(NetworkConfig(width=4, height=4))
+        pat = ReplyTrafficPattern([5], [0])
+        with pytest.raises(ValueError):
+            SyntheticTrafficGenerator(net, pat, rate=-0.1)
