@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench figures figures-paper clean-cache loc help
+.PHONY: install test bench figures figures-paper telemetry-demo clean-cache loc help
 
 help:
 	@echo "make install        editable install"
@@ -10,6 +10,7 @@ help:
 	@echo "make bench          regenerate every figure at CI scale"
 	@echo "make figures        regenerate figures at quick scale (9 benchmarks)"
 	@echo "make figures-paper  full 30-benchmark regeneration (~1h)"
+	@echo "make telemetry-demo time-series telemetry, baseline vs ARI"
 	@echo "make clean-cache    drop the simulation result cache"
 	@echo "make loc            count lines of code"
 
@@ -27,6 +28,14 @@ figures:
 
 figures-paper:
 	$(PY) examples/reproduce_paper.py paper
+
+# The Fig. 6 dynamic as time series: NI queues pin under the baseline,
+# flatten under ARI.
+telemetry-demo:
+	$(PY) -m repro telemetry --benchmark bfs --scheme baseline \
+		--cycles 800 --mesh 4 --interval 100
+	$(PY) -m repro telemetry --benchmark bfs --scheme ari \
+		--cycles 800 --mesh 4 --interval 100
 
 clean-cache:
 	rm -f results/cache.json

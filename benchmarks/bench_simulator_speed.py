@@ -3,7 +3,15 @@
 Not a paper figure — a performance-regression guard for the simulator
 itself. Times fixed-size full-system and NoC-only stepping so a future
 change that slows the hot loop shows up in `--benchmark-compare` runs.
+
+Each test also feeds a :class:`~repro.telemetry.HostProfiler` and merges
+its best observed rates into ``results/bench_tables/BENCH_simulator_speed.json``
+(cycles/sec, packets/sec per scenario), so the simulator's perf
+trajectory is machine-readable across PRs.
 """
+
+import json
+import os
 
 import pytest
 
@@ -12,8 +20,41 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.system import GPGPUSystem
 from repro.noc import Network, NetworkConfig
 from repro.noc.topology import default_placement
+from repro.telemetry import HostProfiler
 from repro.workloads.suite import benchmark as get_benchmark
 from repro.workloads.traffic import ReplyTrafficPattern, SyntheticTrafficGenerator
+
+SPEED_JSON = os.path.join(
+    os.path.dirname(__file__), "..", "results", "bench_tables",
+    "BENCH_simulator_speed.json",
+)
+
+
+def _record_speed(scenario: str, profiler: HostProfiler) -> None:
+    """Merge this scenario's best observed rates into the speed JSON."""
+    entry = {
+        "cycles_per_sec": profiler.rate("cycles", "measure"),
+        "packets_per_sec": profiler.rate("packets", "measure"),
+        "wall_s": profiler.phase_seconds("measure"),
+        "cycles": profiler.counters.get("cycles", 0),
+        "packets": profiler.counters.get("packets", 0),
+    }
+    path = os.path.abspath(SPEED_JSON)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    payload = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            payload = {}
+    prev = payload.get(scenario)
+    # pedantic() re-runs the scenario; keep the best (least-noisy) rate.
+    if prev is None or entry["cycles_per_sec"] > prev.get("cycles_per_sec", 0):
+        payload[scenario] = entry
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def test_full_system_cycles_per_second(benchmark):
@@ -22,7 +63,16 @@ def test_full_system_cycles_per_second(benchmark):
             GPUConfig(), scheme("ada-ari"), get_benchmark("bfs"), seed=1
         )
         system.prewarm_caches()
-        system.run(300)
+        prof = HostProfiler()
+        with prof.phase("measure"):
+            system.run(300)
+        prof.count("cycles", 300)
+        prof.count(
+            "packets",
+            system.request_net.stats.packets_delivered
+            + system.reply_net.stats.packets_delivered,
+        )
+        _record_speed("full_system", prof)
         return system.now
 
     cycles = benchmark.pedantic(build_and_run, rounds=3, iterations=1)
@@ -39,7 +89,12 @@ def test_noc_only_cycles_per_second(benchmark):
         gen = SyntheticTrafficGenerator(
             net, ReplyTrafficPattern(mcs, ccs, seed=2), rate=0.15, seed=3
         )
-        gen.run(1000)
+        prof = HostProfiler()
+        with prof.phase("measure"):
+            gen.run(1000)
+        prof.count("cycles", 1000)
+        prof.count("packets", net.stats.packets_delivered)
+        _record_speed("noc_only", prof)
         return net.now
 
     cycles = benchmark.pedantic(build_and_run, rounds=3, iterations=1)
@@ -52,8 +107,25 @@ def test_idle_network_is_cheap(benchmark):
 
     def run_idle():
         net = Network(NetworkConfig(width=6, height=6))
-        net.run(5000)
+        prof = HostProfiler()
+        with prof.phase("measure"):
+            net.run(5000)
+        prof.count("cycles", 5000)
+        _record_speed("idle_mesh", prof)
         return net.now
 
     cycles = benchmark.pedantic(run_idle, rounds=3, iterations=1)
     assert cycles == 5000
+
+
+def test_speed_json_written():
+    """The machine-readable perf artifact exists and has the right shape."""
+    prof = HostProfiler()
+    with prof.phase("measure"):
+        Network(NetworkConfig(width=4, height=4)).run(100)
+    prof.count("cycles", 100)
+    _record_speed("smoke_4x4", prof)
+    with open(os.path.abspath(SPEED_JSON)) as fh:
+        payload = json.load(fh)
+    assert "smoke_4x4" in payload
+    assert payload["smoke_4x4"]["cycles_per_sec"] > 0

@@ -8,6 +8,8 @@ Usage::
     python -m repro figure fig11 [--scale quick]
     python -m repro area                         # Sec. 6.1 overheads
     python -m repro viz bfs ada-ari [--cycles N] # congestion heatmaps
+    python -m repro telemetry --benchmark bfs --scheme ari \\
+        --interval 100 --out out.jsonl           # time-series telemetry
 """
 
 from __future__ import annotations
@@ -134,6 +136,74 @@ def _cmd_area(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_scheme(name: str) -> str:
+    """Accept short scheme aliases: ``ari`` -> ``ada-ari`` etc."""
+    names = scheme_names()
+    if name in names:
+        return name
+    for prefix in ("ada", "xy"):
+        candidate = f"{prefix}-{name}"
+        if candidate in names:
+            return candidate
+    raise SystemExit(
+        f"unknown scheme {name!r}; available: {', '.join(names)}"
+    )
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import RunSpec, run_with_telemetry
+    from repro.telemetry import occupancy_heatmap, summary_table
+
+    if args.interval < 1:
+        raise SystemExit("--interval must be >= 1 cycle")
+    spec = RunSpec(
+        benchmark=args.benchmark,
+        scheme=_resolve_scheme(args.scheme),
+        cycles=args.cycles,
+        warmup=args.cycles // 4,
+        seed=args.seed,
+        mesh=args.mesh,
+    )
+    result, collector, system = run_with_telemetry(
+        spec,
+        interval=args.interval,
+        jsonl_path=args.out,
+        csv_path=args.csv,
+    )
+    mem = collector.memory
+    print(
+        f"benchmark={result.benchmark} scheme={result.scheme} "
+        f"cycles={args.cycles} interval={collector.interval} "
+        f"samples={collector.samples_taken}"
+    )
+    print("\n--- channel summaries ---")
+    key_channels = [
+        "rep.ni_occ_flits", "rep.inj_link_util", "rep.mesh_link_util",
+        "rep.in_flight", "rep.lat_mean", "rep.lat_p95",
+        "rep.speedup_extra_flits", "rep.starvation_demotions",
+        "rep.priority_decays", "req.in_flight",
+        "sys.mc_reply_backlog", "sys.instructions",
+    ]
+    present = set()
+    for s in mem.samples:
+        present.update(s.channels)
+    print(summary_table(mem, [c for c in key_channels if c in present]))
+    print("\n--- reply NI queue occupancy over time (Fig. 6 dynamic) ---")
+    print(occupancy_heatmap(mem, "rep.ni_occ_flits", mc_nodes=system.mc_nodes))
+    if "rep.router_occ" in present:
+        print("\n--- reply router occupancy over time (hot region) ---")
+        print(
+            occupancy_heatmap(mem, "rep.router_occ", mc_nodes=system.mc_nodes)
+        )
+    print("\n--- host profiling ---")
+    print(collector.profiler.format())
+    if args.out:
+        print(f"\nwrote JSONL telemetry to {args.out}")
+    if args.csv:
+        print(f"wrote CSV telemetry to {args.csv}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -168,6 +238,29 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--scale", default="quick", choices=sorted(figures.SCALES))
 
     sub.add_parser("area", help="Sec. 6.1 area overheads")
+
+    tel = sub.add_parser(
+        "telemetry",
+        help="run one benchmark with periodic telemetry sampling and "
+             "render time-series summaries + occupancy heatmaps",
+    )
+    tel.add_argument(
+        "--benchmark", required=True, choices=benchmark_names(),
+        metavar="benchmark",
+    )
+    tel.add_argument(
+        "--scheme", default="ada-ari", metavar="scheme",
+        help="scheme name; short aliases allowed (ari -> ada-ari)",
+    )
+    tel.add_argument("--interval", type=int, default=100,
+                     help="cycles between samples")
+    tel.add_argument("--cycles", type=int, default=1500)
+    tel.add_argument("--mesh", type=int, default=6, choices=(4, 6, 8))
+    tel.add_argument("--seed", type=int, default=3)
+    tel.add_argument("--out", default=None,
+                     help="write the sample stream as JSONL")
+    tel.add_argument("--csv", default=None,
+                     help="write the sample stream as CSV")
     return p
 
 
@@ -180,6 +273,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "area": _cmd_area,
         "viz": _cmd_viz,
+        "telemetry": _cmd_telemetry,
     }
     return handlers[args.command](args)
 

@@ -20,6 +20,7 @@ from repro.core.schemes import Scheme, scheme as get_scheme
 from repro.energy.gpuwattch import energy_per_work
 from repro.gpu.config import GPUConfig
 from repro.gpu.system import GPGPUSystem, SimulationResult
+from repro.telemetry.profiler import HostProfiler
 from repro.workloads.suite import benchmark as get_benchmark
 
 _CACHE_LOCK = threading.Lock()
@@ -141,7 +142,12 @@ def build_system(spec: RunSpec) -> GPGPUSystem:
 
 
 def run_system(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
-    """Simulate one spec (or fetch it from the cache)."""
+    """Simulate one spec (or fetch it from the cache).
+
+    Fresh runs also record host-side profiling (build / simulate wall time
+    and simulated cycles per second) in ``result.extras`` so every cached
+    artifact carries the perf trajectory of the simulator itself.
+    """
     key = spec.key()
     if use_cache:
         with _CACHE_LOCK:
@@ -150,17 +156,72 @@ def run_system(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
         if hit is not None:
             return SimulationResult(**hit)
 
-    system = build_system(spec)
-    result = system.simulate(cycles=spec.cycles, warmup=spec.warmup)
+    profiler = HostProfiler()
+    with profiler.phase("build"):
+        system = build_system(spec)
+    with profiler.phase("measure"):
+        result = system.simulate(cycles=spec.cycles, warmup=spec.warmup)
+    profiler.count("cycles", spec.cycles + spec.warmup)
     # Attach the energy-model output (Fig. 14) while we still hold the system.
     ari_on = "ari" in spec.scheme
     result.extras["energy_per_instr"] = energy_per_work(system, ari_enabled=ari_on)
+    result.extras["build_wall_s"] = profiler.phase_seconds("build")
+    result.extras["sim_wall_s"] = profiler.phase_seconds("measure")
+    result.extras["sim_cycles_per_sec"] = profiler.rate("cycles", "measure")
 
     if use_cache:
         with _CACHE_LOCK:
             _memory_cache[key] = dataclasses.asdict(result)
             _save_disk_cache()
     return result
+
+
+def run_with_telemetry(
+    spec: RunSpec,
+    collector=None,
+    interval: int = 100,
+    jsonl_path: Optional[str] = None,
+    csv_path: Optional[str] = None,
+):
+    """Simulate one spec with a telemetry collector attached.
+
+    Telemetry needs a *live* run, so this never consults the result cache.
+    Returns ``(result, collector, system)``; the collector always carries
+    an in-memory sink (for rendering) plus optional JSONL/CSV artifact
+    sinks, and its profiler times the build/measure phases.  Figure
+    drivers and the ``repro telemetry`` CLI both sit on this entry point,
+    so any experiment can emit a telemetry artifact next to its results.
+    """
+    from repro.telemetry import (
+        CSVSink,
+        JSONLSink,
+        MemorySink,
+        TelemetryCollector,
+    )
+
+    if collector is None:
+        sinks = [MemorySink()]
+        if jsonl_path:
+            sinks.append(JSONLSink(jsonl_path))
+        if csv_path:
+            sinks.append(CSVSink(csv_path))
+        collector = TelemetryCollector(interval=interval, sinks=sinks)
+    profiler = collector.profiler
+    with profiler.phase("build"):
+        system = build_system(spec)
+    system.attach_telemetry(collector)
+    with profiler.phase("measure"):
+        result = system.simulate(cycles=spec.cycles, warmup=spec.warmup)
+    profiler.count("cycles", spec.cycles + spec.warmup)
+    profiler.count(
+        "packets",
+        system.request_net.stats.packets_delivered
+        + system.reply_net.stats.packets_delivered,
+    )
+    result.extras["sim_wall_s"] = profiler.phase_seconds("measure")
+    result.extras["sim_cycles_per_sec"] = profiler.rate("cycles", "measure")
+    collector.close()
+    return result, collector, system
 
 
 def sweep(

@@ -184,6 +184,9 @@ class GPGPUSystem:
 
         self._core_clock_acc = 0.0
         self.now = 0
+        # Opt-in periodic sampling (repro.telemetry); None = untracked hot
+        # path, a single comparison per cycle.
+        self.telemetry = None
         # Work-proportional network-energy accounting: flit-hops charged at
         # request issue (request packet + its reply over the same minimal
         # path), so dynamic energy tracks issued work with no in-flight
@@ -267,11 +270,20 @@ class GPGPUSystem:
             mc.step(now)
         self.request_net.step()
         self.reply_net.step()
+        t = self.telemetry
+        if t is not None:
+            t.on_cycle(now)
         self.now = now + 1
 
     def run(self, cycles: int) -> None:
         for _ in range(cycles):
             self.step()
+
+    def attach_telemetry(self, collector) -> None:
+        """Instrument this system with a
+        :class:`~repro.telemetry.TelemetryCollector` (``req.*`` / ``rep.*``
+        network channels plus ``sys.*`` GPU channels)."""
+        collector.attach_system(self)
 
     def _reply_injection_util(self) -> float:
         try:

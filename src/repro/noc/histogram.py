@@ -74,13 +74,27 @@ class LatencyHistogram:
             seen += n
         return float(self.max_value)
 
+    # Named percentile queries — the tail views every latency report uses.
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
     def summary(self) -> Dict[str, float]:
         return {
             "count": self.count,
             "mean": self.mean,
-            "p50": self.percentile(50),
+            "p50": self.p50,
             "p90": self.percentile(90),
-            "p99": self.percentile(99),
+            "p95": self.p95,
+            "p99": self.p99,
             "max": float(self.max_value or 0),
         }
 

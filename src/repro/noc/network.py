@@ -142,6 +142,9 @@ class Network:
         self._attach_interfaces()
 
         self.on_delivery: Optional[Callable[[int, Packet, int], None]] = None
+        # Opt-in periodic sampling (repro.telemetry).  None keeps the hot
+        # path to a single comparison per cycle — the PacketTracer contract.
+        self.telemetry = None
         self._last_progress = 0
 
     # ------------------------------------------------------------------
@@ -285,12 +288,27 @@ class Network:
         if now % self.config.sample_interval == 0:
             for ni in self.nis:
                 ni.sample()
+        t = self.telemetry
+        if t is not None:
+            t.on_cycle(now)
         self.now = now + 1
         self.stats.cycles = self.now
 
     def run(self, cycles: int) -> None:
         for _ in range(cycles):
             self.step()
+
+    def set_hop_hook(
+        self, fn: Optional[Callable[[int, Packet, int], None]]
+    ) -> None:
+        """Install (or clear) a per-router head-flit observer.
+
+        ``fn(router_id, packet, cycle)`` fires once per route computation,
+        after ARI priority decay — the PacketTracer uses this for
+        ``hop`` events.
+        """
+        for router in self.routers:
+            router.on_hop = fn
 
     def drain(self, max_cycles: int = 100000) -> bool:
         """Step until all offered packets are delivered (True on success)."""
@@ -362,6 +380,7 @@ class PerfectNetwork:
         self.now = 0
         self.stats = NetworkStats()
         self.on_delivery: Optional[Callable[[int, Packet, int], None]] = None
+        self.telemetry = None
         self._in_flight: List[Tuple[int, Packet]] = []
         self.injections_per_node: Dict[int, int] = {}
 
@@ -396,6 +415,9 @@ class PerfectNetwork:
             else:
                 remaining.append((arrival, packet))
         self._in_flight = remaining
+        t = self.telemetry
+        if t is not None:
+            t.on_cycle(now)
         self.now = now + 1
         self.stats.cycles = self.now
 

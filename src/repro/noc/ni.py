@@ -143,6 +143,12 @@ class InjectionInterface:
     def queued_packets(self) -> int:
         raise NotImplementedError
 
+    def queue_depths(self) -> List[int]:
+        """Flits queued per internal queue (one entry for single-queue NIs;
+        one per split queue for :class:`SplitNI`) — the telemetry view of
+        the supply side."""
+        return [self.queued_flits()]
+
     def sample(self) -> None:
         self.stats.sample_occupancy(self.queued_packets())
 
@@ -401,6 +407,9 @@ class SplitNI(InjectionInterface):
 
     def queued_packets(self) -> int:
         return sum(self._queue_pkts)
+
+    def queue_depths(self) -> List[int]:
+        return [len(q) for q in self.queues]
 
 
 class EjectionInterface:

@@ -139,6 +139,12 @@ class Router:
         # by the network to the attached ejection interface's buffer state.
         self.ejection_gate = None  # type: Optional[callable]
 
+        # Optional per-hop observer: called once per head flit accepted
+        # into this router (i.e. per route computation), after the ARI
+        # priority decay has been applied.  Same opt-in contract as the
+        # telemetry hook: None (the default) costs one comparison.
+        self.on_hop = None  # type: Optional[callable]
+
         # Maintained flit occupancy (sum over input ports).
         self._occ = 0
 
@@ -146,6 +152,10 @@ class Router:
         self.flits_switched = 0
         self.flits_injected = 0  # flits that crossed the switch from injection ports
         self.starvation_demotions = 0
+        self.priority_decays = 0   # head flits whose ARI priority dropped here
+        # Flits beyond the 1/cycle baseline that the injection crossbar
+        # speedup moved in a single cycle (Sec. 4.2 usage telemetry).
+        self.speedup_extra_flits = 0
 
     # -- wiring -----------------------------------------------------------
     def set_output(
@@ -197,8 +207,11 @@ class Router:
                         pkt = flit.packet
                         if pkt.priority > 0:
                             pkt.priority -= 1
+                            self.priority_decays += 1
                     if flit.packet.injected_at is None:
                         flit.packet.injected_at = now
+                    if self.on_hop is not None:
+                        self.on_hop(self.router_id, flit.packet, now)
                 # Reset transient routing state; it belongs to this router now.
                 flit.out_port = None
                 flit.out_vc = None
@@ -304,6 +317,7 @@ class Router:
 
     def _traverse(self, winners: List[Bid], now: int) -> int:
         moved = 0
+        injected = 0
         for bid in winners:
             port = self.input_ports[bid.in_port]
             vc = port.vcs[bid.vc]
@@ -327,11 +341,14 @@ class Router:
                 if self.ni is not None:
                     self.ni.on_credit(port.port_id, bid.vc)
                 self.flits_injected += 1
+                injected += 1
             else:
                 ch = self.credit_out[bid.in_port]
                 if ch is not None:
                     ch.send(bid.vc, now)
             moved += 1
+        if injected > 1:
+            self.speedup_extra_flits += injected - 1
         self.flits_switched += moved
         return moved
 

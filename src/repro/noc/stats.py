@@ -12,17 +12,26 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional
 
 from repro.noc.flit import Packet, PacketType
+from repro.noc.histogram import LatencyHistogram
 from repro.noc.link import Link
 
 
 class LatencyAccumulator:
-    __slots__ = ("count", "total", "net_total", "max")
+    """Running latency stats for one packet type.
+
+    Keeps the full distribution in a log-bucketed histogram, so the
+    bottleneck's tail (a few packets stuck behind a full NI queue) is
+    queryable as p50/p95/p99, not hidden behind the mean.
+    """
+
+    __slots__ = ("count", "total", "net_total", "max", "hist")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0
         self.net_total = 0
         self.max = 0
+        self.hist = LatencyHistogram()
 
     def record(self, packet: Packet) -> None:
         lat = packet.latency
@@ -30,6 +39,7 @@ class LatencyAccumulator:
             return
         self.count += 1
         self.total += lat
+        self.hist.record(lat)
         if packet.network_latency is not None:
             self.net_total += packet.network_latency
         if lat > self.max:
@@ -42,6 +52,18 @@ class LatencyAccumulator:
     @property
     def mean_network(self) -> float:
         return self.net_total / self.count if self.count else 0.0
+
+    @property
+    def p50(self) -> float:
+        return self.hist.p50
+
+    @property
+    def p95(self) -> float:
+        return self.hist.p95
+
+    @property
+    def p99(self) -> float:
+        return self.hist.p99
 
 
 class NetworkStats:
@@ -91,6 +113,38 @@ class NetworkStats:
     def throughput(self) -> float:
         """Delivered packets per cycle."""
         return self.packets_delivered / self.cycles if self.cycles else 0.0
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-type latency distributions (mean + p50/p95/p99 tails).
+
+        ``"all"`` merges every type into one distribution; types with no
+        delivered packets are omitted.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        merged = LatencyHistogram()
+        for t in PacketType:
+            acc = self.latency[t]
+            if not acc.count:
+                continue
+            out[t.name.lower()] = {
+                "count": acc.count,
+                "mean": acc.mean,
+                "p50": acc.p50,
+                "p95": acc.p95,
+                "p99": acc.p99,
+                "max": float(acc.max),
+            }
+            merged.merge(acc.hist)
+        if merged.count:
+            out["all"] = {
+                "count": merged.count,
+                "mean": merged.mean,
+                "p50": merged.p50,
+                "p95": merged.p95,
+                "p99": merged.p99,
+                "max": float(merged.max_value or 0),
+            }
+        return out
 
 
 def mean_link_utilization(links: Iterable[Link], cycles: int) -> float:

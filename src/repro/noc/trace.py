@@ -67,11 +67,17 @@ class PacketTracer:
 
     # -- attachment ----------------------------------------------------------
     @classmethod
-    def attach(cls, network, **kwargs) -> "PacketTracer":
+    def attach(cls, network, hops: bool = True, **kwargs) -> "PacketTracer":
         """Wrap the network's offer/delivery paths with trace recording.
 
         The network's existing ``on_delivery`` callback (if any) keeps
         working; the tracer chains in front of it.
+
+        With ``hops=True`` (and a network exposing ``set_hop_hook``) a
+        ``hop`` event is also recorded at every route computation — once
+        per router a head flit enters — carrying the packet's ARI priority
+        *after* the Sec. 5.3 per-hop decrement, so priority demotion is
+        visible hop by hop in the trace.
         """
         tracer = cls(**kwargs)
         original_offer = network.offer
@@ -97,7 +103,37 @@ class PacketTracer:
 
         network.offer = traced_offer
         network.on_delivery = traced_delivery
+        if hops and hasattr(network, "set_hop_hook"):
+
+            def on_hop(router_id: int, packet: Packet, now: int) -> None:
+                tracer.record(
+                    now, "hop", packet.pid, router_id,
+                    info=f"prio={packet.priority}",
+                )
+
+            network.set_hop_hook(on_hop)
         return tracer
+
+    # -- hop queries ---------------------------------------------------------
+    def hop_path(self, pid: int) -> List[int]:
+        """Router ids a packet's head flit visited, in order."""
+        evs = sorted(
+            (e for e in self.events_for(pid) if e.kind == "hop"),
+            key=lambda e: e.cycle,
+        )
+        return [e.node for e in evs if e.node is not None]
+
+    def priority_trace(self, pid: int) -> List[int]:
+        """The packet's ARI priority after each route computation."""
+        evs = sorted(
+            (e for e in self.events_for(pid) if e.kind == "hop"),
+            key=lambda e: e.cycle,
+        )
+        out: List[int] = []
+        for e in evs:
+            if e.info and e.info.startswith("prio="):
+                out.append(int(e.info[5:]))
+        return out
 
     # -- queries ------------------------------------------------------------
     def events_for(self, pid: int) -> List[TraceEvent]:

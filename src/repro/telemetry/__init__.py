@@ -1,0 +1,60 @@
+"""Time-series telemetry and host-side profiling.
+
+The rest of the repo reports *end-of-run aggregates* (``noc/stats.py``) or
+per-packet events (``noc/trace.py``).  This subpackage adds the third view
+the paper's dynamic argument needs: *periodic snapshots*.  Every ``K``
+cycles a :class:`TelemetryCollector` samples per-router buffer occupancy,
+per-link utilization over the interval, NI (split-)queue depths,
+crossbar-speedup usage, priority/starvation counters, and a rolling
+packet-latency window, then hands the sample to pluggable sinks
+(in-memory, JSONL, CSV).
+
+Attachment follows the :class:`~repro.noc.trace.PacketTracer` contract:
+collectors are opt-in, the collector *pulls* state out of the simulator at
+sample time, and the only cost on an untraced hot path is one
+``is None`` check per network cycle.
+
+:class:`HostProfiler` covers the other axis — how fast the *simulator*
+runs (wall-clock per phase, simulated cycles/sec, events/sec) — so the
+perf trajectory of the codebase itself is measurable across PRs.
+"""
+
+from repro.telemetry.collector import (
+    NetworkProbe,
+    SystemProbe,
+    TelemetryCollector,
+    TelemetrySample,
+)
+from repro.telemetry.profiler import HostProfiler
+from repro.telemetry.render import (
+    occupancy_heatmap,
+    series_sparkline,
+    series_summary,
+    summary_table,
+)
+from repro.telemetry.sinks import (
+    CSVSink,
+    JSONLSink,
+    MemorySink,
+    TelemetrySink,
+    load_csv,
+    load_jsonl,
+)
+
+__all__ = [
+    "TelemetryCollector",
+    "TelemetrySample",
+    "NetworkProbe",
+    "SystemProbe",
+    "HostProfiler",
+    "TelemetrySink",
+    "MemorySink",
+    "JSONLSink",
+    "CSVSink",
+    "load_jsonl",
+    "load_csv",
+    "series_summary",
+    "series_sparkline",
+    "summary_table",
+    "occupancy_heatmap",
+]

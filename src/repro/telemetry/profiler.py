@@ -1,0 +1,100 @@
+"""Host-side profiling: how fast is the *simulator* itself?
+
+The ROADMAP's north star ("fast as the hardware allows") needs a
+measurement, not a feeling.  :class:`HostProfiler` times named phases of a
+run (build / prewarm / warmup / measure), counts work items (simulated
+cycles, delivered packets, switched flits), and derives rates such as
+simulated cycles per wall-clock second.  It is pure host-side bookkeeping:
+it never touches simulated state and costs nothing unless used.
+
+Example::
+
+    prof = HostProfiler()
+    with prof.phase("build"):
+        system = build_system(spec)
+    with prof.phase("measure"):
+        system.run(cycles)
+    prof.count("cycles", cycles)
+    print(prof.summary())   # {"phases": {...}, "rates": {"cycles_per_sec": ...}}
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+class HostProfiler:
+    """Wall-clock phase timing plus work counters and derived rates."""
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, float] = {}      # name -> accumulated seconds
+        self.phase_calls: Dict[str, int] = {}
+        self.counters: Dict[str, int] = {}
+        self._created = time.perf_counter()
+
+    # -- phases ------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block; re-entering the same name accumulates."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+            self.phase_calls[name] = self.phase_calls.get(name, 0) + 1
+
+    def add_phase_time(self, name: str, seconds: float) -> None:
+        """Fold externally-measured time into a phase (e.g. bench harness)."""
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+        self.phase_calls[name] = self.phase_calls.get(name, 0) + 1
+
+    # -- counters ----------------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    # -- queries -----------------------------------------------------------
+    def phase_seconds(self, name: str) -> float:
+        return self.phases.get(name, 0.0)
+
+    def total_seconds(self) -> float:
+        return sum(self.phases.values())
+
+    def rate(self, counter: str, phase: Optional[str] = None) -> float:
+        """``counter`` items per second of ``phase`` (or of all phases)."""
+        elapsed = self.phase_seconds(phase) if phase else self.total_seconds()
+        if elapsed <= 0.0:
+            return 0.0
+        return self.counters.get(counter, 0) / elapsed
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """JSON-ready snapshot: per-phase seconds, counters, derived rates.
+
+        Every counter gets an ``<name>_per_sec`` rate against the
+        ``measure`` phase if present, else against total phase time.
+        """
+        rate_phase = "measure" if "measure" in self.phases else None
+        rates = {
+            f"{name}_per_sec": self.rate(name, rate_phase)
+            for name in self.counters
+        }
+        return {
+            "phases": dict(self.phases),
+            "counters": dict(self.counters),
+            "rates": rates,
+        }
+
+    def format(self) -> str:
+        """Human-readable two-column report."""
+        lines = ["phase              seconds"]
+        for name, secs in sorted(self.phases.items()):
+            lines.append(f"{name:<18s}{secs:>9.3f}")
+        if self.counters:
+            lines.append("")
+            lines.append("rate                         /sec")
+            summary = self.summary()
+            for name, value in sorted(summary["rates"].items()):
+                lines.append(f"{name:<24s}{value:>12,.0f}")
+        return "\n".join(lines)

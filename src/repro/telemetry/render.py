@@ -1,0 +1,136 @@
+"""Terminal rendering of telemetry time series.
+
+Reuses the heat ramp from :mod:`repro.noc.visual` so telemetry output
+reads like the existing congestion snapshots — but where ``MeshRenderer``
+shows one instant, these helpers show *evolution*: sparklines per channel
+and a heatmap-over-time whose rows are sampling intervals and whose
+columns are nodes (the Fig. 6 "NI queues back up over time" dynamic, and
+the Sec. 3 hot region forming around the MCs, as pictures).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.noc.visual import heat_char
+from repro.telemetry.sinks import MemorySink, TelemetrySample
+
+Number = Union[int, float]
+
+
+def _scalarize(value) -> float:
+    """Reduce a channel value to one number (lists/dicts sum their leaves)."""
+    if isinstance(value, list):
+        return float(sum(_scalarize(v) for v in value))
+    if isinstance(value, dict):
+        return float(sum(_scalarize(v) for v in value.values()))
+    return float(value)
+
+
+def _samples(source) -> List[TelemetrySample]:
+    if isinstance(source, MemorySink):
+        return source.samples
+    return list(source)
+
+
+def series_summary(source, channel: str) -> Dict[str, float]:
+    """min/mean/max/last over one channel (list channels sum per sample)."""
+    values = [
+        _scalarize(s.channels[channel])
+        for s in _samples(source)
+        if channel in s.channels
+    ]
+    if not values:
+        return {"count": 0, "min": 0.0, "mean": 0.0, "max": 0.0, "last": 0.0}
+    return {
+        "count": len(values),
+        "min": min(values),
+        "mean": sum(values) / len(values),
+        "max": max(values),
+        "last": values[-1],
+    }
+
+
+def series_sparkline(values: Sequence[Number], width: int = 40) -> str:
+    """Downsample a series onto ``width`` heat characters."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if len(vals) > width:
+        # Bucket-mean downsampling keeps spikes visible without aliasing.
+        bucketed = []
+        for i in range(width):
+            lo = i * len(vals) // width
+            hi = max(lo + 1, (i + 1) * len(vals) // width)
+            chunk = vals[lo:hi]
+            bucketed.append(sum(chunk) / len(chunk))
+        vals = bucketed
+    peak = max(vals)
+    return "".join(heat_char(v, peak) for v in vals)
+
+
+def summary_table(
+    source, channels: Optional[Iterable[str]] = None, width: int = 32
+) -> str:
+    """One row per channel: min/mean/max/last plus a sparkline."""
+    samples = _samples(source)
+    if channels is None:
+        seen: Dict[str, None] = {}
+        for s in samples:
+            for name in s.channels:
+                seen.setdefault(name)
+        channels = list(seen)
+    header = (
+        f"{'channel':<28s}{'min':>10s}{'mean':>10s}{'max':>10s}"
+        f"{'last':>10s}  trend"
+    )
+    lines = [header]
+    for ch in channels:
+        summ = series_summary(samples, ch)
+        if not summ["count"]:
+            continue
+        values = [
+            _scalarize(s.channels[ch]) for s in samples if ch in s.channels
+        ]
+        lines.append(
+            f"{ch:<28s}{summ['min']:>10.1f}{summ['mean']:>10.1f}"
+            f"{summ['max']:>10.1f}{summ['last']:>10.1f}  "
+            f"|{series_sparkline(values, width)}|"
+        )
+    return "\n".join(lines)
+
+
+def occupancy_heatmap(
+    source,
+    channel: str,
+    mc_nodes: Optional[Iterable[int]] = None,
+    max_rows: int = 40,
+) -> str:
+    """Heatmap-over-time: rows = samples (top = earliest), cols = nodes.
+
+    ``channel`` must hold a per-node list (e.g. ``rep.ni_occ_flits`` or
+    ``rep.router_occ``).  MC columns are marked ``M`` in the header so the
+    paper's hot region is visually anchored.  Heat is normalized to the
+    global peak across the whole series, so rows are comparable in time.
+    """
+    samples = [s for s in _samples(source) if isinstance(s.get(channel), list)]
+    if not samples:
+        return f"(no per-node samples for channel {channel!r})"
+    if len(samples) > max_rows:
+        stride = -(-len(samples) // max_rows)  # ceil; keeps first + spread
+        samples = samples[::stride]
+    n_nodes = len(samples[0].channels[channel])
+    peak = max(
+        (max(s.channels[channel]) for s in samples), default=0
+    )
+    mc_set = set(mc_nodes or [])
+    marker = "".join("M" if i in mc_set else "." for i in range(n_nodes))
+    lines = [
+        f"{channel}  (rows = samples, cols = {n_nodes} nodes, "
+        f"peak = {peak})",
+        f"{'cycle':>8s}  {marker}",
+    ]
+    for s in samples:
+        row = "".join(heat_char(v, peak) for v in s.channels[channel])
+        lines.append(f"{s.cycle:>8d}  {row}")
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Telemetry sinks: where periodic samples go.
+
+A sample is a ``(cycle, channels)`` pair where ``channels`` maps dotted
+channel names (``"rep.ni_occ_flits"``) to JSON-native values: scalars,
+lists (one entry per node/router), or string-keyed dicts (sparse per-node
+maps).  Three sinks are provided:
+
+* :class:`MemorySink` — keeps samples in RAM for queries and rendering;
+* :class:`JSONLSink` — one JSON object per line, lossless round-trip via
+  :func:`load_jsonl`;
+* :class:`CSVSink` — flattens lists/dicts into ``name[i]`` / ``name.key``
+  columns for spreadsheet-style consumers.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from typing import Dict, IO, List, Optional, Tuple, Union
+
+Channels = Dict[str, Union[int, float, list, dict]]
+
+
+@dataclass(frozen=True)
+class TelemetrySample:
+    """One periodic snapshot of simulator state."""
+
+    cycle: int
+    channels: Channels = field(default_factory=dict)
+
+    def get(self, channel: str, default=None):
+        return self.channels.get(channel, default)
+
+
+class TelemetrySink:
+    """Interface: receives samples in cycle order."""
+
+    def emit(self, sample: TelemetrySample) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; emit() must not be called after."""
+
+
+class MemorySink(TelemetrySink):
+    """Keeps every sample; the query surface for rendering and tests."""
+
+    def __init__(self) -> None:
+        self.samples: List[TelemetrySample] = []
+
+    def emit(self, sample: TelemetrySample) -> None:
+        self.samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def channels(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for s in self.samples:
+            for name in s.channels:
+                seen.setdefault(name)
+        return list(seen)
+
+    def series(self, channel: str) -> Tuple[List[int], List]:
+        """(cycles, values) for one channel, skipping samples without it."""
+        cycles, values = [], []
+        for s in self.samples:
+            if channel in s.channels:
+                cycles.append(s.cycle)
+                values.append(s.channels[channel])
+        return cycles, values
+
+
+class JSONLSink(TelemetrySink):
+    """Streams one compact JSON object per sample to a path or file."""
+
+    def __init__(self, path_or_file: Union[str, IO[str]]) -> None:
+        if isinstance(path_or_file, str):
+            self._fh: IO[str] = open(path_or_file, "w")
+            self._owns = True
+        else:
+            self._fh = path_or_file
+            self._owns = False
+
+    def emit(self, sample: TelemetrySample) -> None:
+        record = {"cycle": sample.cycle, "channels": sample.channels}
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+
+class CSVSink(TelemetrySink):
+    """Flattens samples into a fixed-column CSV.
+
+    The header is taken from the *first* sample (collectors emit a stable
+    channel set); later samples missing a column write an empty cell, and
+    columns that appear later are dropped — CSV is the lossy convenience
+    format, JSONL the lossless one.
+    """
+
+    def __init__(self, path_or_file: Union[str, IO[str]]) -> None:
+        if isinstance(path_or_file, str):
+            self._fh: IO[str] = open(path_or_file, "w", newline="")
+            self._owns = True
+        else:
+            self._fh = path_or_file
+            self._owns = False
+        self._writer = csv.writer(self._fh)
+        self._columns: Optional[List[str]] = None
+
+    @staticmethod
+    def _flatten(channels: Channels) -> Dict[str, Union[int, float, str]]:
+        flat: Dict[str, Union[int, float, str]] = {}
+
+        def put(name, value):
+            if isinstance(value, list):
+                for i, v in enumerate(value):
+                    put(f"{name}[{i}]", v)
+            elif isinstance(value, dict):
+                for k, v in value.items():
+                    put(f"{name}.{k}", v)
+            else:
+                flat[name] = value
+
+        for name, value in channels.items():
+            put(name, value)
+        return flat
+
+    def emit(self, sample: TelemetrySample) -> None:
+        flat = self._flatten(sample.channels)
+        if self._columns is None:
+            self._columns = ["cycle"] + sorted(flat)
+            self._writer.writerow(self._columns)
+        row = [sample.cycle] + [flat.get(c, "") for c in self._columns[1:]]
+        self._writer.writerow(row)
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+
+def load_jsonl(path: str) -> List[TelemetrySample]:
+    """Reload a JSONL telemetry artifact (lossless inverse of JSONLSink)."""
+    samples: List[TelemetrySample] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            samples.append(
+                TelemetrySample(record["cycle"], record.get("channels", {}))
+            )
+    return samples
+
+
+def load_csv(path: str) -> List[TelemetrySample]:
+    """Reload a CSV artifact; flattened columns stay flat, cells numeric."""
+    samples: List[TelemetrySample] = []
+    with open(path, newline="") as fh:
+        for row in csv.DictReader(fh):
+            cycle = int(row.pop("cycle"))
+            channels: Channels = {}
+            for name, cell in row.items():
+                if cell == "":
+                    continue
+                try:
+                    channels[name] = int(cell)
+                except ValueError:
+                    channels[name] = float(cell)
+            samples.append(TelemetrySample(cycle, channels))
+    return samples

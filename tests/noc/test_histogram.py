@@ -70,7 +70,15 @@ class TestPercentiles:
         h = LatencyHistogram()
         h.record(10)
         s = h.summary()
-        assert set(s) == {"count", "mean", "p50", "p90", "p99", "max"}
+        assert set(s) == {"count", "mean", "p50", "p90", "p95", "p99", "max"}
+
+    def test_named_percentile_properties(self):
+        h = LatencyHistogram()
+        h.record_many(range(100))
+        assert h.p50 == h.percentile(50)
+        assert h.p95 == h.percentile(95)
+        assert h.p99 == h.percentile(99)
+        assert h.p50 <= h.p95 <= h.p99
 
 
 class TestMerge:

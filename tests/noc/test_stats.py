@@ -79,6 +79,38 @@ class TestNetworkStats:
         assert s.throughput() == 0.01
 
 
+class TestSummary:
+    def test_per_type_and_merged_percentiles(self):
+        s = NetworkStats()
+        for lat in (10, 20, 30, 40, 200):
+            s.on_delivery(delivered(PacketType.READ_REPLY, received=lat))
+        s.on_delivery(delivered(PacketType.WRITE_REPLY, size=1, received=50))
+        summ = s.summary()
+        rep = summ["read_reply"]
+        assert rep["count"] == 5
+        assert set(rep) == {"count", "mean", "p50", "p95", "p99", "max"}
+        assert rep["p50"] <= rep["p95"] <= rep["p99"] <= rep["max"]
+        assert rep["max"] == 200.0
+        assert summ["all"]["count"] == 6
+
+    def test_empty_types_omitted(self):
+        s = NetworkStats()
+        s.on_delivery(delivered(PacketType.READ_REPLY))
+        summ = s.summary()
+        assert "write_reply" not in summ
+        assert set(summ) == {"read_reply", "all"}
+
+    def test_empty_stats(self):
+        assert NetworkStats().summary() == {}
+
+    def test_accumulator_percentile_properties(self):
+        acc = LatencyAccumulator()
+        for lat in range(1, 101):
+            acc.record(delivered(received=lat, injected=0, created=0))
+        assert acc.p50 <= acc.p95 <= acc.p99
+        assert acc.p95 > acc.mean / 2
+
+
 class TestLinkUtilization:
     def test_mean_over_links(self):
         links = [Link(), Link()]

@@ -66,6 +66,46 @@ class TestLifecycle:
         assert "no events" in tracer.format_timeline(999)
 
 
+class TestHopEvents:
+    def test_hop_recorded_per_router(self):
+        net, tracer = traced_network()
+        p = Packet(PacketType.READ_REPLY, 0, 15, 9, 0)
+        net.offer(0, p)
+        net.drain(2000)
+        # 0 -> 15 on a 4x4 mesh: 6 mesh hops, 7 routers entered.
+        path = tracer.hop_path(p.pid)
+        assert len(path) == 7
+        assert path[0] == 0
+        assert path[-1] == 15
+
+    def test_priority_demotion_visible_in_trace(self):
+        """Sec. 5.3: priority drops one level per route computation; the
+        hop trace must show the staircase."""
+        net, tracer = traced_network()
+        p = Packet(PacketType.READ_REPLY, 0, 15, 9, 0, priority=3)
+        net.offer(0, p)
+        net.drain(2000)
+        prios = tracer.priority_trace(p.pid)
+        # Injection router sees the initial level; each later router
+        # decays it by one until it bottoms out at zero.
+        assert prios == [3, 2, 1, 0, 0, 0, 0]
+        assert prios == sorted(prios, reverse=True)
+
+    def test_hops_opt_out(self):
+        net = Network(NetworkConfig(width=4, height=4))
+        tracer = PacketTracer.attach(net, hops=False)
+        p = Packet(PacketType.READ_REPLY, 0, 15, 9, 0)
+        net.offer(0, p)
+        net.drain(2000)
+        assert tracer.count("hop") == 0
+        assert tracer.count("deliver") == 1
+
+    def test_hop_queries_unknown_pid(self):
+        _, tracer = traced_network()
+        assert tracer.hop_path(999) == []
+        assert tracer.priority_trace(999) == []
+
+
 class TestBounds:
     def test_max_events_drops(self):
         tracer = PacketTracer(max_events=2)

@@ -1,0 +1,152 @@
+"""Tests for the telemetry collector: cadence, probes, attachment."""
+
+import pytest
+
+from repro.noc import Network, NetworkConfig
+from repro.noc.flit import Packet, PacketType
+from repro.noc.ni import NIKind
+from repro.noc.topology import default_placement
+from repro.telemetry import (
+    JSONLSink,
+    MemorySink,
+    TelemetryCollector,
+    load_jsonl,
+)
+from repro.workloads.traffic import ReplyTrafficPattern, SyntheticTrafficGenerator
+
+
+def loaded_network(**cfg_overrides):
+    """A 4x4 reply-traffic network with its generator (not yet run)."""
+    mcs, ccs = default_placement(4, 4, 4)
+    cfg = dict(width=4, height=4, routing="adaptive",
+               accelerated_nodes=set(mcs))
+    cfg.update(cfg_overrides)
+    net = Network(NetworkConfig(**cfg))
+    gen = SyntheticTrafficGenerator(
+        net, ReplyTrafficPattern(mcs, ccs, seed=2), rate=0.2, seed=3
+    )
+    return net, gen, mcs
+
+
+class TestCadence:
+    def test_samples_every_interval(self):
+        net, gen, _ = loaded_network()
+        col = TelemetryCollector(interval=50)
+        col.attach_network(net, "net")
+        gen.run(500)
+        cycles = [s.cycle for s in col.memory.samples]
+        assert cycles == list(range(0, 500, 50))
+        assert col.samples_taken == 10
+
+    def test_on_cycle_skips_off_interval(self):
+        col = TelemetryCollector(interval=100)
+        col.on_cycle(37)
+        col.on_cycle(101)
+        assert col.samples_taken == 0
+
+    def test_on_cycle_deduplicates_shared_clock(self):
+        # Request net, reply net and the system share one clock; the
+        # collector must sample each interval exactly once.
+        col = TelemetryCollector(interval=100)
+        col.on_cycle(100)
+        col.on_cycle(100)
+        col.on_cycle(100)
+        assert col.samples_taken == 1
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            TelemetryCollector(interval=0)
+
+    def test_forced_sample(self):
+        col = TelemetryCollector(interval=1000)
+        sample = col.sample(now=42)
+        assert sample.cycle == 42
+        assert col.samples_taken == 1
+
+
+class TestNetworkProbe:
+    def test_delivered_deltas_sum_to_stats(self):
+        net, gen, _ = loaded_network()
+        col = TelemetryCollector(interval=50)
+        col.attach_network(net, "net")
+        gen.run(400)
+        col.sample(net.now)  # final flush so deltas cover the whole run
+        _, deltas = col.memory.series("net.delivered")
+        assert sum(deltas) == net.stats.packets_delivered
+        assert net.stats.packets_delivered > 0
+
+    def test_per_node_channels_shape(self):
+        net, gen, _ = loaded_network()
+        col = TelemetryCollector(interval=50)
+        col.attach_network(net, "net")
+        gen.run(200)
+        last = col.memory.samples[-1]
+        assert len(last.channels["net.router_occ"]) == 16
+        assert len(last.channels["net.ni_occ_flits"]) == 16
+
+    def test_split_queue_depths_only_for_split_nis(self):
+        net, gen, mcs = loaded_network(
+            ni_kind=NIKind.SPLIT, num_split_queues=4
+        )
+        col = TelemetryCollector(interval=50)
+        col.attach_network(net, "net")
+        gen.run(300)
+        last = col.memory.samples[-1]
+        split = last.channels["net.split_q_depths"]
+        assert sorted(int(k) for k in split) == sorted(mcs)
+        assert all(len(depths) == 4 for depths in split.values())
+
+    def test_latency_window(self):
+        net, gen, _ = loaded_network()
+        col = TelemetryCollector(interval=50)
+        col.attach_network(net, "net")
+        gen.run(400)
+        _, counts = col.memory.series("net.lat_count")
+        _, means = col.memory.series("net.lat_mean")
+        assert sum(counts) > 0
+        assert any(m > 0 for m in means)
+
+    def test_existing_delivery_callback_chained(self):
+        net = Network(NetworkConfig(width=4, height=4))
+        seen = []
+        net.on_delivery = lambda node, pkt, now: seen.append(pkt.pid)
+        col = TelemetryCollector(interval=10)
+        probe = col.attach_network(net, "net")
+        p = Packet(PacketType.READ_REPLY, 0, 15, 9, 0)
+        net.offer(0, p)
+        net.drain(2000)
+        assert seen == [p.pid]
+        assert probe._window  # latency reached the probe too
+
+    def test_jsonl_sink_round_trips_live_run(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        net, gen, _ = loaded_network()
+        col = TelemetryCollector(interval=50, sinks=[MemorySink(), JSONLSink(path)])
+        col.attach_network(net, "net")
+        gen.run(400)
+        col.close()
+        reloaded = load_jsonl(path)
+        live = col.memory.samples
+        assert [s.cycle for s in reloaded] == [s.cycle for s in live]
+        assert [s.channels for s in reloaded] == [s.channels for s in live]
+
+
+class TestSystemAttachment:
+    def test_attach_system_samples_all_prefixes(self):
+        from repro.core.schemes import scheme
+        from repro.gpu.config import GPUConfig
+        from repro.gpu.system import GPGPUSystem
+        from repro.workloads.suite import benchmark
+
+        cfg = GPUConfig.scaled(4, warps_per_core=4)
+        system = GPGPUSystem(cfg, scheme("ada-ari"), benchmark("bfs"), seed=1)
+        col = TelemetryCollector(interval=100)
+        system.attach_telemetry(col)
+        system.run(300)
+        assert col.samples_taken == 3  # cycles 0, 100, 200
+        last = col.memory.samples[-1]
+        prefixes = {name.split(".", 1)[0] for name in last.channels}
+        assert {"req", "rep", "sys"} <= prefixes
+        # ARI puts SplitNIs at the reply-net MC nodes.
+        assert "rep.split_q_depths" in last.channels
+        assert last.channels["sys.instructions"] >= 0

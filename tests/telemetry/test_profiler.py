@@ -1,0 +1,76 @@
+"""Tests for host-side profiling."""
+
+import pytest
+
+from repro.telemetry import HostProfiler
+
+
+class TestPhases:
+    def test_phase_accumulates(self):
+        prof = HostProfiler()
+        with prof.phase("measure"):
+            pass
+        with prof.phase("measure"):
+            pass
+        assert prof.phase_calls["measure"] == 2
+        assert prof.phase_seconds("measure") >= 0.0
+
+    def test_add_phase_time(self):
+        prof = HostProfiler()
+        prof.add_phase_time("measure", 2.0)
+        prof.add_phase_time("measure", 1.0)
+        assert prof.phase_seconds("measure") == pytest.approx(3.0)
+        assert prof.total_seconds() == pytest.approx(3.0)
+
+    def test_exception_still_recorded(self):
+        prof = HostProfiler()
+        with pytest.raises(ValueError):
+            with prof.phase("bad"):
+                raise ValueError("boom")
+        assert "bad" in prof.phases
+
+
+class TestRates:
+    def test_rate_against_phase(self):
+        prof = HostProfiler()
+        prof.add_phase_time("measure", 2.0)
+        prof.count("cycles", 1000)
+        assert prof.rate("cycles", "measure") == pytest.approx(500.0)
+
+    def test_rate_zero_time(self):
+        prof = HostProfiler()
+        prof.count("cycles", 100)
+        assert prof.rate("cycles") == 0.0
+
+    def test_counter_accumulates(self):
+        prof = HostProfiler()
+        prof.count("packets", 3)
+        prof.count("packets", 4)
+        assert prof.counters["packets"] == 7
+
+
+class TestSummary:
+    def test_rates_prefer_measure_phase(self):
+        prof = HostProfiler()
+        prof.add_phase_time("build", 100.0)
+        prof.add_phase_time("measure", 1.0)
+        prof.count("cycles", 500)
+        s = prof.summary()
+        # Rates exclude the build phase when a measure phase exists.
+        assert s["rates"]["cycles_per_sec"] == pytest.approx(500.0)
+
+    def test_summary_shape(self):
+        prof = HostProfiler()
+        prof.add_phase_time("measure", 1.0)
+        prof.count("cycles", 10)
+        s = prof.summary()
+        assert set(s) == {"phases", "counters", "rates"}
+        assert s["counters"]["cycles"] == 10
+
+    def test_format_lists_phases_and_rates(self):
+        prof = HostProfiler()
+        prof.add_phase_time("measure", 1.0)
+        prof.count("cycles", 10)
+        txt = prof.format()
+        assert "measure" in txt
+        assert "cycles_per_sec" in txt

@@ -1,0 +1,101 @@
+"""Tests for terminal rendering of telemetry series."""
+
+from repro.telemetry import (
+    MemorySink,
+    TelemetrySample,
+    occupancy_heatmap,
+    series_sparkline,
+    series_summary,
+    summary_table,
+)
+
+
+def sink_with(samples):
+    mem = MemorySink()
+    for s in samples:
+        mem.emit(s)
+    return mem
+
+
+class TestSeriesSummary:
+    def test_scalar_channel(self):
+        mem = sink_with([
+            TelemetrySample(0, {"x": 1}),
+            TelemetrySample(10, {"x": 5}),
+            TelemetrySample(20, {"x": 3}),
+        ])
+        s = series_summary(mem, "x")
+        assert s == {"count": 3, "min": 1.0, "mean": 3.0, "max": 5.0,
+                     "last": 3.0}
+
+    def test_list_channel_sums_per_sample(self):
+        mem = sink_with([TelemetrySample(0, {"occ": [1, 2, 3]})])
+        assert series_summary(mem, "occ")["last"] == 6.0
+
+    def test_dict_channel_sums_leaves(self):
+        mem = sink_with([TelemetrySample(0, {"q": {"5": [1, 2], "9": [3]}})])
+        assert series_summary(mem, "q")["last"] == 6.0
+
+    def test_missing_channel(self):
+        assert series_summary(sink_with([]), "nope")["count"] == 0
+
+
+class TestSparkline:
+    def test_width_capped(self):
+        line = series_sparkline(list(range(100)), width=20)
+        assert len(line) == 20
+
+    def test_short_series_not_padded(self):
+        assert len(series_sparkline([1, 2, 3], width=20)) == 3
+
+    def test_empty(self):
+        assert series_sparkline([]) == ""
+
+    def test_peak_is_hottest(self):
+        line = series_sparkline([0, 0, 10, 0], width=4)
+        assert line[2] != line[0]
+
+
+class TestSummaryTable:
+    def test_rows_for_present_channels(self):
+        mem = sink_with([
+            TelemetrySample(0, {"a": 1, "b": [2, 3]}),
+            TelemetrySample(10, {"a": 4, "b": [5, 6]}),
+        ])
+        table = summary_table(mem)
+        assert "a" in table and "b" in table
+        assert "mean" in table.splitlines()[0]
+
+    def test_explicit_channel_subset(self):
+        mem = sink_with([TelemetrySample(0, {"a": 1, "b": 2})])
+        table = summary_table(mem, channels=["a"])
+        assert "\nb" not in table
+
+
+class TestOccupancyHeatmap:
+    def samples(self, n=5, nodes=4):
+        return [
+            TelemetrySample(i * 100, {"occ": [i * (j + 1) for j in range(nodes)]})
+            for i in range(n)
+        ]
+
+    def test_one_row_per_sample(self):
+        mem = sink_with(self.samples(5))
+        out = occupancy_heatmap(mem, "occ")
+        # header + marker line + 5 sample rows
+        assert len(out.splitlines()) == 7
+        assert "4 nodes" in out
+
+    def test_mc_columns_marked(self):
+        mem = sink_with(self.samples())
+        marker_line = occupancy_heatmap(mem, "occ", mc_nodes=[1, 3]).splitlines()[1]
+        assert marker_line.endswith(".M.M")
+
+    def test_row_cap_downsamples(self):
+        mem = sink_with(self.samples(100))
+        out = occupancy_heatmap(mem, "occ", max_rows=10)
+        assert len(out.splitlines()) <= 12
+
+    def test_non_list_channel_degrades(self):
+        mem = sink_with([TelemetrySample(0, {"x": 3})])
+        assert "no per-node samples" in occupancy_heatmap(mem, "x")

@@ -1,0 +1,108 @@
+"""Tests for telemetry sinks and their load() inverses."""
+
+import pytest
+
+from repro.telemetry import (
+    CSVSink,
+    JSONLSink,
+    MemorySink,
+    TelemetrySample,
+    load_csv,
+    load_jsonl,
+)
+
+SAMPLES = [
+    TelemetrySample(0, {"a": 1, "b": [0, 0], "c": {"5": [1, 2]}, "d": 0.5}),
+    TelemetrySample(100, {"a": 2, "b": [3, 4], "c": {"5": [5, 6]}, "d": 1.5}),
+    TelemetrySample(200, {"a": 3, "b": [7, 8], "c": {"5": [9, 10]}, "d": 2.5}),
+]
+
+
+class TestMemorySink:
+    def test_series(self):
+        mem = MemorySink()
+        for s in SAMPLES:
+            mem.emit(s)
+        cycles, values = mem.series("a")
+        assert cycles == [0, 100, 200]
+        assert values == [1, 2, 3]
+        assert len(mem) == 3
+
+    def test_series_skips_missing(self):
+        mem = MemorySink()
+        mem.emit(TelemetrySample(0, {"a": 1}))
+        mem.emit(TelemetrySample(50, {"b": 2}))
+        cycles, values = mem.series("a")
+        assert cycles == [0]
+        assert values == [1]
+
+    def test_channel_listing_preserves_order(self):
+        mem = MemorySink()
+        for s in SAMPLES:
+            mem.emit(s)
+        assert mem.channels() == ["a", "b", "c", "d"]
+
+    def test_sample_get(self):
+        s = SAMPLES[0]
+        assert s.get("a") == 1
+        assert s.get("zz", -1) == -1
+
+
+class TestJSONLRoundTrip:
+    def test_lossless(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = JSONLSink(path)
+        for s in SAMPLES:
+            sink.emit(s)
+        sink.close()
+        reloaded = load_jsonl(path)
+        # Lossless inverse: cycles, channel names, scalars, lists and
+        # nested dicts all survive exactly.
+        assert [s.cycle for s in reloaded] == [s.cycle for s in SAMPLES]
+        assert [s.channels for s in reloaded] == [s.channels for s in SAMPLES]
+
+    def test_one_object_per_line(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = JSONLSink(path)
+        for s in SAMPLES:
+            sink.emit(s)
+        sink.close()
+        with open(path) as fh:
+            lines = [l for l in fh.read().splitlines() if l.strip()]
+        assert len(lines) == len(SAMPLES)
+
+
+class TestCSV:
+    def test_flattens_lists_and_dicts(self, tmp_path):
+        path = str(tmp_path / "t.csv")
+        sink = CSVSink(path)
+        for s in SAMPLES:
+            sink.emit(s)
+        sink.close()
+        reloaded = load_csv(path)
+        assert reloaded[1].cycle == 100
+        assert reloaded[1].channels["a"] == 2
+        assert reloaded[1].channels["b[0]"] == 3
+        assert reloaded[1].channels["b[1]"] == 4
+        assert reloaded[1].channels["c.5[0]"] == 5  # dict-of-lists recurses
+        assert reloaded[1].channels["d"] == pytest.approx(1.5)
+
+    def test_header_fixed_by_first_sample(self, tmp_path):
+        path = str(tmp_path / "t.csv")
+        sink = CSVSink(path)
+        sink.emit(TelemetrySample(0, {"a": 1}))
+        sink.emit(TelemetrySample(100, {"a": 2, "late": 9}))
+        sink.close()
+        reloaded = load_csv(path)
+        # CSV is the lossy format: columns not in the first sample drop.
+        assert "late" not in reloaded[1].channels
+        assert reloaded[1].channels["a"] == 2
+
+    def test_missing_cell_left_empty(self, tmp_path):
+        path = str(tmp_path / "t.csv")
+        sink = CSVSink(path)
+        sink.emit(TelemetrySample(0, {"a": 1, "b": 2}))
+        sink.emit(TelemetrySample(100, {"a": 3}))
+        sink.close()
+        reloaded = load_csv(path)
+        assert "b" not in reloaded[1].channels

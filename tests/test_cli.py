@@ -108,6 +108,44 @@ class TestFigureCommand:
         assert "pair_overhead" in capsys.readouterr().out
 
 
+class TestTelemetry:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["telemetry", "--benchmark", "bfs"])
+        assert args.scheme == "ada-ari"
+        assert args.interval == 100
+
+    def test_benchmark_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["telemetry"])
+
+    def test_scheme_alias_resolution(self):
+        from repro.cli import _resolve_scheme
+
+        assert _resolve_scheme("ari") == "ada-ari"
+        assert _resolve_scheme("baseline") == "ada-baseline"
+        assert _resolve_scheme("xy-ari") == "xy-ari"
+        with pytest.raises(SystemExit):
+            _resolve_scheme("warp-drive")
+
+    def test_telemetry_smoke(self, capsys, tmp_path):
+        out_path = tmp_path / "t.jsonl"
+        rc = main(
+            ["telemetry", "--benchmark", "binomialOptions",
+             "--scheme", "ari", "--cycles", "150", "--mesh", "4",
+             "--interval", "50", "--out", str(out_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scheme=ada-ari" in out
+        assert "rep.ni_occ_flits" in out
+        assert "host profiling" in out
+        from repro.telemetry import load_jsonl
+
+        samples = load_jsonl(str(out_path))
+        assert samples
+        assert all(s.cycle % 50 == 0 for s in samples)
+
+
 class TestModuleEntry:
     def test_dunder_main_imports(self):
         import importlib
