@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench figures figures-paper telemetry-demo clean-cache loc help
+.PHONY: install test bench figures figures-paper telemetry-demo sweep-demo clean-cache loc help
 
 help:
 	@echo "make install        editable install"
@@ -11,6 +11,7 @@ help:
 	@echo "make figures        regenerate figures at quick scale (9 benchmarks)"
 	@echo "make figures-paper  full 30-benchmark regeneration (~1h)"
 	@echo "make telemetry-demo time-series telemetry, baseline vs ARI"
+	@echo "make sweep-demo     parallel design-space sweep across 2 workers"
 	@echo "make clean-cache    drop the simulation result cache"
 	@echo "make loc            count lines of code"
 
@@ -37,8 +38,14 @@ telemetry-demo:
 	$(PY) -m repro telemetry --benchmark bfs --scheme ari \
 		--cycles 800 --mesh 4 --interval 100
 
+# A small VC x speedup grid sharded across two worker processes.
+sweep-demo:
+	$(PY) -m repro sweep bfs ada-ari \
+		--axis num_vcs=2,4 --axis injection_speedup=1,2 \
+		--workers 2 --cycles 600 --mesh 4
+
 clean-cache:
-	rm -f results/cache.json
+	rm -rf results/cache results/cache.json
 
 loc:
 	@find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1

@@ -5,7 +5,8 @@ VC (4).  Sec. 4.1 notes "[W/N] narrow links" is the upper bound but "fewer
 narrow links can be used without blocking" — this bench sweeps the count.
 """
 
-from repro.experiments.runner import RunSpec, geometric_mean, run_system
+from repro.experiments.api import run
+from repro.experiments.runner import RunSpec, geometric_mean
 
 BMS = ["bfs", "hotspot"]
 BUDGET = dict(cycles=400, warmup=150)
@@ -14,8 +15,8 @@ BUDGET = dict(cycles=400, warmup=150)
 def _gain(queues: int) -> float:
     vals = []
     for bm in BMS:
-        base = run_system(RunSpec(bm, "ada-baseline", **BUDGET))
-        ari = run_system(
+        base = run(RunSpec(bm, "ada-baseline", **BUDGET))
+        ari = run(
             RunSpec(bm, "ada-ari", num_split_queues=queues, **BUDGET)
         )
         vals.append(ari.ipc / base.ipc)

@@ -5,7 +5,8 @@ this kind is rare, and our further simulation shows that the overall
 performance is very insensitive to the threshold value."
 """
 
-from repro.experiments.runner import RunSpec, run_system
+from repro.experiments.api import run
+from repro.experiments.runner import RunSpec
 
 BM = "bfs"
 BUDGET = dict(cycles=400, warmup=150)
@@ -14,7 +15,7 @@ BUDGET = dict(cycles=400, warmup=150)
 def test_starvation_threshold_insensitive(benchmark, save_table):
     def sweep():
         return {
-            thr: run_system(
+            thr: run(
                 RunSpec(BM, "ada-ari", starvation_threshold=thr, **BUDGET)
             ).ipc
             for thr in (100, 1000, 10000)

@@ -6,7 +6,8 @@ is indeed slower (so the enhanced baseline is the conservative comparison
 point) — and that ARI's gain is measured against the *enhanced* one.
 """
 
-from repro.experiments.runner import RunSpec, run_system
+from repro.experiments.api import run
+from repro.experiments.runner import RunSpec
 
 BM = "bfs"
 BUDGET = dict(cycles=400, warmup=150)
@@ -15,7 +16,7 @@ BUDGET = dict(cycles=400, warmup=150)
 def test_enhanced_baseline_is_conservative(benchmark, save_table):
     def runs():
         return {
-            name: run_system(RunSpec(BM, name, **BUDGET)).ipc
+            name: run(RunSpec(BM, name, **BUDGET)).ipc
             for name in ("xy-naive-baseline", "xy-baseline", "xy-ari")
         }
 

@@ -30,30 +30,28 @@ def save_table():
 
 @pytest.fixture(autouse=True)
 def bench_cache(tmp_path):
-    """Redirect the run cache so benches never clobber paper-scale results.
+    """Redirect the result store so benches never clobber paper-scale results.
 
-    The bench-local cache persists for the whole pytest session (module
-    temp dir), so figure drivers that share a sweep (Figs. 10-13) reuse
-    each other's runs while the first timing of each is still honest.
+    Each bench gets a fresh :class:`ResultStore` rooted in a temp dir,
+    preloaded with the session-shared memory layer, so figure drivers
+    that share a sweep (Figs. 10-13) reuse each other's runs while the
+    first timing of each is still honest.
     """
-    import repro.experiments.runner as runner
+    from repro.experiments.store import ResultStore, set_default_store
 
-    old_path = runner._CACHE_PATH
-    old_loaded = runner._disk_loaded
-    old_mem = dict(runner._memory_cache)
-    runner._CACHE_PATH = os.path.join(
-        os.environ.get("PYTEST_BENCH_CACHE_DIR", str(tmp_path)), "bench_cache.json"
+    store = ResultStore(
+        os.path.join(
+            os.environ.get("PYTEST_BENCH_CACHE_DIR", str(tmp_path)),
+            "bench_cache",
+        ),
+        migrate=False,
     )
-    runner._disk_loaded = True  # skip disk: in-memory only
-    runner._memory_cache.clear()
-    runner._memory_cache.update(_session_cache)
+    store.preload(_session_cache)
+    previous = set_default_store(store)
     yield
     _session_cache.clear()
-    _session_cache.update(runner._memory_cache)
-    runner._CACHE_PATH = old_path
-    runner._disk_loaded = old_loaded
-    runner._memory_cache.clear()
-    runner._memory_cache.update(old_mem)
+    _session_cache.update(store.memory_snapshot())
+    set_default_store(previous)
 
 
 _session_cache: dict = {}

@@ -1,19 +1,22 @@
 #!/usr/bin/env python
 """Design-space sweep: VC count x injection speedup, exported to CSV.
 
-Uses the cartesian sweep utility to map ARI's design space on one
+Uses the parallel sweep API to map ARI's design space on one
 benchmark — the Sec. 4.2 trade-off (how much consumption-side speedup a
 given number of VCs can exploit) as a grid — and writes
 ``results/vc_speedup_sweep.csv`` plus a small console pivot table.
+Set ``REPRO_WORKERS`` (or pass a worker count) to shard the grid
+across processes.
 
-Run:  python examples/design_space_sweep.py [benchmark] [cycles]
+Run:  python examples/design_space_sweep.py [benchmark] [cycles] [workers]
 """
 
 import os
 import sys
 
+from repro.experiments.api import sweep
 from repro.experiments.runner import RunSpec
-from repro.experiments.sweeps import best_by, cartesian_sweep, write_csv
+from repro.experiments.sweeps import best_by, write_csv
 
 OUT = os.path.join(os.path.dirname(__file__), "..", "results")
 
@@ -21,20 +24,22 @@ OUT = os.path.join(os.path.dirname(__file__), "..", "results")
 def main() -> None:
     bm = sys.argv[1] if len(sys.argv) > 1 else "hotspot"
     cycles = int(sys.argv[2]) if len(sys.argv) > 2 else 700
+    workers = int(sys.argv[3]) if len(sys.argv) > 3 else None
 
     base = RunSpec(bm, "ada-ari", cycles=cycles, warmup=cycles // 4)
     axes = {"num_vcs": [2, 3, 4], "injection_speedup": [1, 2, 3, 4]}
 
-    def progress(i, n, spec):
+    def progress(done, n, spec, source):
         print(
-            f"  [{i + 1}/{n}] vcs={spec.num_vcs} speedup={spec.injection_speedup}",
+            f"  [{done}/{n}] vcs={spec.num_vcs} speedup={spec.injection_speedup}"
+            f" ({source})",
             flush=True,
         )
 
     print(f"sweeping {bm}: VCs x speedup ({cycles} cycles per point)")
     records = [
         r
-        for r in cartesian_sweep(base, axes, progress=progress)
+        for r in sweep(base, axes, workers=workers, progress=progress)
         # Eq. (2): speedup may not exceed the VC count.
         if r["injection_speedup"] <= r["num_vcs"]
     ]

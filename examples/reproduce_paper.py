@@ -4,8 +4,10 @@
 Runs all experiment drivers (Figs. 3-6, 9-16, the Sec. 3 utilization
 analysis, Sec. 6.1 area, Sec. 7.5 scalability) at the requested scale and
 writes the tables + paper side-by-sides to stdout and to
-``results/figures/<name>.txt``.  Results are cached in
-``results/cache.json``, so interrupted runs resume where they stopped.
+``results/figures/<name>.txt``.  Results are cached in the per-run
+result store (``results/cache/``), so interrupted runs resume where they
+stopped; set ``REPRO_WORKERS`` to shard each figure's grid across
+worker processes.
 
 Run:  python examples/reproduce_paper.py [smoke|quick|paper] [fig ...]
 e.g.  python examples/reproduce_paper.py quick

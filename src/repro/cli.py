@@ -5,7 +5,10 @@ Usage::
     python -m repro list                         # benchmarks + schemes
     python -m repro run bfs ada-ari [--cycles N] [--mesh 6] [--seed S]
     python -m repro compare bfs [--cycles N]     # all 5 main schemes
-    python -m repro figure fig11 [--scale quick]
+    python -m repro figure fig11 [--scale quick] [--workers N]
+    python -m repro sweep bfs ada-ari --axis num_vcs=2,4 \\
+        --axis injection_speedup=1,2 --workers 4 # parallel design-space sweep
+    python -m repro cache [--clear]              # result-store info
     python -m repro area                         # Sec. 6.1 overheads
     python -m repro viz bfs ada-ari [--cycles N] # congestion heatmaps
     python -m repro telemetry --benchmark bfs --scheme ari \\
@@ -20,7 +23,8 @@ from typing import List, Optional
 
 from repro.core.schemes import scheme_names
 from repro.experiments import figures
-from repro.experiments.runner import RunSpec, run_system
+from repro.experiments.api import run, run_many, run_live, sweep
+from repro.experiments.runner import RunSpec, cache_info, clear_cache
 from repro.workloads.suite import benchmark_names, by_sensitivity
 
 MAIN_SCHEMES = [
@@ -60,32 +64,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         mesh=args.mesh,
     )
-    res = run_system(spec, use_cache=not args.no_cache)
+    res = run(spec, use_cache=not args.no_cache)
     _print_result(res)
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    rows = []
-    base_ipc = None
-    for sch in MAIN_SCHEMES:
-        res = run_system(
-            RunSpec(
-                benchmark=args.benchmark,
-                scheme=sch,
-                cycles=args.cycles,
-                warmup=args.cycles // 4,
-                seed=args.seed,
-                mesh=args.mesh,
-            ),
-            use_cache=not args.no_cache,
+    specs = [
+        RunSpec(
+            benchmark=args.benchmark,
+            scheme=sch,
+            cycles=args.cycles,
+            warmup=args.cycles // 4,
+            seed=args.seed,
+            mesh=args.mesh,
         )
-        if base_ipc is None:
-            base_ipc = res.ipc or 1.0
-        rows.append((sch, res.ipc, res.ipc / base_ipc, res.mc_stall_per_reply))
+        for sch in MAIN_SCHEMES
+    ]
+    results = run_many(
+        specs, workers=args.workers, use_cache=not args.no_cache
+    )
+    base_ipc = results[0].ipc or 1.0
     print(f"{'scheme':16s}{'ipc':>8s}{'vs base':>9s}{'stall/rep':>11s}")
-    for sch, ipc, rel, stall in rows:
-        print(f"{sch:16s}{ipc:>8.3f}{rel:>8.2f}x{stall:>11.1f}")
+    for sch, res in zip(MAIN_SCHEMES, results):
+        print(
+            f"{sch:16s}{res.ipc:>8.3f}{res.ipc / base_ipc:>8.2f}x"
+            f"{res.mc_stall_per_reply:>11.1f}"
+        )
     return 0
 
 
@@ -95,7 +100,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(f"unknown figure {args.name!r}; options: "
               f"{', '.join(figures.ALL_FIGURES)}", file=sys.stderr)
         return 2
-    kwargs = {} if args.name == "sec61_area" else {"scale": args.scale}
+    kwargs = (
+        {}
+        if args.name == "sec61_area"
+        else {"scale": args.scale, "workers": args.workers}
+    )
     result = driver(**kwargs)
     print(result["table"])
     print(f"\nsummary : {result['summary']}")
@@ -103,8 +112,87 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_axis(text: str):
+    """``name=v1,v2,...`` with values coerced to int/float where possible."""
+    name, _, values = text.partition("=")
+    if not values:
+        raise SystemExit(
+            f"bad --axis {text!r}; expected name=value[,value...]"
+        )
+
+    def coerce(tok: str):
+        if tok.lower() == "none":
+            return None
+        for conv in (int, float):
+            try:
+                return conv(tok)
+            except ValueError:
+                continue
+        return tok
+
+    return name, [coerce(tok) for tok in values.split(",")]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweeps import best_by, records_to_csv
+
+    axes = dict(_parse_axis(a) for a in args.axis)
+    base = RunSpec(
+        benchmark=args.benchmark,
+        scheme=args.scheme,
+        cycles=args.cycles,
+        warmup=args.cycles // 4,
+        seed=args.seed,
+        mesh=args.mesh,
+    )
+    total = 1
+    for values in axes.values():
+        total *= len(values)
+    print(
+        f"sweeping {args.benchmark}/{args.scheme}: "
+        f"{' x '.join(f'{n}[{len(v)}]' for n, v in axes.items()) or 'base only'}"
+        f" = {total} runs, workers={args.workers or 'auto'}"
+    )
+
+    def progress(done, n, spec, source):
+        marker = {"cache": "cached", "run": "ran", "retry": "retrying"}[source]
+        print(f"  [{done}/{n}] {marker}: "
+              + " ".join(f"{k}={getattr(spec, k)}" for k in axes),
+              flush=True)
+
+    records = sweep(
+        base,
+        axes,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        progress=progress if not args.quiet else None,
+    )
+    csv = records_to_csv(records)
+    print()
+    print(csv)
+    best = best_by(records, args.best_metric)
+    if best is not None:
+        print(f"\nbest by {args.best_metric}: "
+              + " ".join(f"{k}={v}" for k, v in best.items()))
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(csv + "\n")
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.clear:
+        clear_cache(disk=True)
+        print("cleared result store")
+    info = cache_info()
+    for k, v in info.items():
+        print(f"{k:12s}: {v}")
+    return 0
+
+
 def _cmd_viz(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import RunSpec, build_system
+    from repro.experiments.runner import build_system
     from repro.noc.visual import MeshRenderer
 
     system = build_system(
@@ -151,7 +239,6 @@ def _resolve_scheme(name: str) -> str:
 
 
 def _cmd_telemetry(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import RunSpec, run_with_telemetry
     from repro.telemetry import occupancy_heatmap, summary_table
 
     if args.interval < 1:
@@ -164,12 +251,13 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         seed=args.seed,
         mesh=args.mesh,
     )
-    result, collector, system = run_with_telemetry(
+    live = run_live(
         spec,
         interval=args.interval,
         jsonl_path=args.out,
         csv_path=args.csv,
     )
+    result, collector, system = live.result, live.collector, live.system
     mem = collector.memory
     print(
         f"benchmark={result.benchmark} scheme={result.scheme} "
@@ -213,18 +301,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list benchmarks, schemes and figures")
 
-    run = sub.add_parser("run", help="simulate one benchmark under one scheme")
-    run.add_argument("benchmark", choices=benchmark_names(), metavar="benchmark")
-    run.add_argument("scheme", choices=scheme_names(), metavar="scheme")
+    run_ = sub.add_parser("run", help="simulate one benchmark under one scheme")
+    run_.add_argument("benchmark", choices=benchmark_names(), metavar="benchmark")
+    run_.add_argument("scheme", choices=scheme_names(), metavar="scheme")
 
     cmp_ = sub.add_parser("compare", help="compare the five main schemes")
     cmp_.add_argument("benchmark", choices=benchmark_names(), metavar="benchmark")
+    cmp_.add_argument("--workers", type=int, default=None,
+                      help="parallel workers (0 = all cores)")
 
-    for sp in (run, cmp_):
+    swp = sub.add_parser(
+        "sweep",
+        help="cartesian design-space sweep over RunSpec axes, "
+             "sharded across worker processes",
+    )
+    swp.add_argument("benchmark", choices=benchmark_names(), metavar="benchmark")
+    swp.add_argument("scheme", choices=scheme_names(), metavar="scheme")
+    swp.add_argument(
+        "--axis", action="append", default=[], metavar="name=v1,v2",
+        help="RunSpec field and values; repeatable (cartesian product)",
+    )
+    swp.add_argument("--workers", type=int, default=None,
+                     help="parallel workers (0 = all cores)")
+    swp.add_argument("--csv", default=None, help="also write records as CSV")
+    swp.add_argument("--best-metric", default="ipc",
+                     help="metric highlighted as the best record")
+    swp.add_argument("--quiet", action="store_true",
+                     help="suppress per-run progress lines")
+
+    for sp in (run_, cmp_, swp):
         sp.add_argument("--cycles", type=int, default=1500)
         sp.add_argument("--mesh", type=int, default=6, choices=(4, 6, 8))
         sp.add_argument("--seed", type=int, default=3)
         sp.add_argument("--no-cache", action="store_true")
+
+    cache = sub.add_parser("cache", help="result-store info")
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every stored run record")
 
     viz = sub.add_parser("viz", help="render congestion heatmaps after a run")
     viz.add_argument("benchmark", choices=benchmark_names(), metavar="benchmark")
@@ -236,6 +349,8 @@ def build_parser() -> argparse.ArgumentParser:
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("name")
     fig.add_argument("--scale", default="quick", choices=sorted(figures.SCALES))
+    fig.add_argument("--workers", type=int, default=None,
+                     help="parallel workers (0 = all cores)")
 
     sub.add_parser("area", help="Sec. 6.1 area overheads")
 
@@ -270,6 +385,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "compare": _cmd_compare,
+        "sweep": _cmd_sweep,
+        "cache": _cmd_cache,
         "figure": _cmd_figure,
         "area": _cmd_area,
         "viz": _cmd_viz,

@@ -12,9 +12,10 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.runner import RunSpec, geometric_mean, run_system
+from repro.experiments.api import run_many
+from repro.experiments.runner import RunSpec, geometric_mean
 from repro.gpu.system import SimulationResult
 
 
@@ -69,13 +70,13 @@ def multi_seed(
     seeds: Sequence[int],
     metrics: Sequence[str] = ("ipc", "mc_stall_per_reply"),
     use_cache: bool = True,
+    workers: Optional[int] = None,
 ) -> Dict[str, SeedStats]:
     """Run the spec once per seed; returns per-metric statistics."""
     if not seeds:
         raise ValueError("need at least one seed")
-    results = [
-        run_system(replace(spec, seed=s), use_cache=use_cache) for s in seeds
-    ]
+    specs = [replace(spec, seed=s) for s in seeds]
+    results = run_many(specs, workers=workers, use_cache=use_cache)
     return {
         m: SeedStats(m, [float(getattr(r, m)) for r in results])
         for m in metrics
@@ -88,6 +89,7 @@ def compare(
     seeds: Sequence[int],
     metric: str = "ipc",
     use_cache: bool = True,
+    workers: Optional[int] = None,
 ) -> SeedStats:
     """Paired comparison with common random numbers.
 
@@ -97,10 +99,11 @@ def compare(
     """
     if not seeds:
         raise ValueError("need at least one seed")
+    specs = [replace(sp, seed=s) for s in seeds for sp in (base, test)]
+    results = run_many(specs, workers=workers, use_cache=use_cache)
     ratios: List[float] = []
-    for s in seeds:
-        rb = run_system(replace(base, seed=s), use_cache=use_cache)
-        rt = run_system(replace(test, seed=s), use_cache=use_cache)
+    for i in range(0, len(results), 2):
+        rb, rt = results[i], results[i + 1]
         vb = float(getattr(rb, metric))
         if vb:
             ratios.append(float(getattr(rt, metric)) / vb)

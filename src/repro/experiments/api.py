@@ -1,0 +1,252 @@
+"""Public experiments API: run one spec, a batch, or a whole design space.
+
+This is the single entry surface the figure drivers, the CLI, and the
+examples sit on::
+
+    from repro.experiments.api import run, run_many, sweep, grid
+
+    res = run(RunSpec("bfs", "ada-ari"))                  # cached single run
+    results = run_many(specs, workers=4)                  # sharded batch
+    records = sweep(base, axes={"num_vcs": [2, 4]})       # tidy records
+    out = grid(["bfs"], ["xy-baseline", "ada-ari"])       # out[bm][scheme]
+
+All cached entry points go through one :class:`~repro.experiments.store.
+ResultStore` (``store=`` to override, ``REPRO_CACHE`` for the default
+location) and one :class:`~repro.experiments.executor.SweepExecutor`
+(``workers=`` to parallelize; every spec carries its own seed, so
+parallel output is record-for-record identical to serial).
+
+Live runs with telemetry attached never consult the cache; use
+:func:`run_live` (or ``run(spec, telemetry=...)``) for those.  The old
+``run_system`` / ``run_with_telemetry`` / ``runner.sweep`` /
+``cartesian_sweep`` names remain as thin deprecated wrappers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import fields, replace
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.executor import SweepExecutor, simulate_spec
+from repro.experiments.runner import RunSpec
+from repro.experiments.store import ResultStore, default_store
+from repro.gpu.system import SimulationResult
+from repro.telemetry.profiler import HostProfiler
+
+#: Result metrics exported by default from :func:`sweep` records.
+DEFAULT_METRICS = (
+    "ipc",
+    "mc_stall_per_reply",
+    "request_latency",
+    "reply_latency",
+    "reply_traffic_share",
+    "l2_hit_rate",
+)
+
+_SPEC_FIELDS = {f.name for f in fields(RunSpec)}
+
+
+@dataclasses.dataclass
+class LiveRun:
+    """Everything a live (telemetry-instrumented) run produces."""
+
+    result: SimulationResult
+    collector: object
+    system: object
+
+
+def run(
+    spec: RunSpec,
+    *,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+    telemetry=None,
+    interval: int = 100,
+    jsonl_path: Optional[str] = None,
+    csv_path: Optional[str] = None,
+) -> SimulationResult:
+    """Run one spec and return its :class:`SimulationResult`.
+
+    Without ``telemetry`` this is a cached run: the result store is
+    consulted first and fresh results are written back.  With
+    ``telemetry`` (``True`` for a default collector, or a
+    :class:`~repro.telemetry.TelemetryCollector` you keep a reference
+    to), the run is live and the cache is bypassed — use
+    :func:`run_live` when you also need the collector/system back.
+    """
+    if telemetry:
+        collector = None if telemetry is True else telemetry
+        return run_live(
+            spec,
+            collector=collector,
+            interval=interval,
+            jsonl_path=jsonl_path,
+            csv_path=csv_path,
+        ).result
+    st = store if store is not None else default_store()
+    if use_cache:
+        hit = st.get(spec.key())
+        if hit is not None:
+            return SimulationResult(**hit)
+    result = simulate_spec(spec)
+    if use_cache:
+        st.put(spec.key(), dataclasses.asdict(result))
+    return result
+
+
+def run_live(
+    spec: RunSpec,
+    *,
+    collector=None,
+    interval: int = 100,
+    jsonl_path: Optional[str] = None,
+    csv_path: Optional[str] = None,
+) -> LiveRun:
+    """Simulate one spec with a telemetry collector attached.
+
+    Telemetry needs a *live* run, so this never consults the result
+    store.  The returned :class:`LiveRun` carries the result, the
+    collector (always holding an in-memory sink plus optional JSONL/CSV
+    artifact sinks when paths are given), and the simulated system —
+    figure drivers and the ``repro telemetry`` CLI both sit here.
+    """
+    from repro.telemetry import CSVSink, JSONLSink, MemorySink, TelemetryCollector
+
+    if collector is None:
+        sinks = [MemorySink()]
+        if jsonl_path:
+            sinks.append(JSONLSink(jsonl_path))
+        if csv_path:
+            sinks.append(CSVSink(csv_path))
+        collector = TelemetryCollector(interval=interval, sinks=sinks)
+    profiler = collector.profiler
+    with profiler.phase("build"):
+        from repro.experiments.runner import build_system
+
+        system = build_system(spec)
+    system.attach_telemetry(collector)
+    with profiler.phase("measure"):
+        result = system.simulate(cycles=spec.cycles, warmup=spec.warmup)
+    profiler.count("cycles", spec.cycles + spec.warmup)
+    profiler.count(
+        "packets",
+        system.request_net.stats.packets_delivered
+        + system.reply_net.stats.packets_delivered,
+    )
+    result.extras["sim_wall_s"] = profiler.phase_seconds("measure")
+    result.extras["sim_cycles_per_sec"] = profiler.rate("cycles", "measure")
+    collector.close()
+    return LiveRun(result=result, collector=collector, system=system)
+
+
+def run_many(
+    specs: Sequence[RunSpec],
+    *,
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+    retries: int = 2,
+    chunk_size: Optional[int] = None,
+    progress=None,
+    profiler: Optional[HostProfiler] = None,
+    sink=None,
+) -> List[SimulationResult]:
+    """Run a batch of specs (sharded across processes when ``workers>1``).
+
+    Results come back in input order; duplicate specs are simulated once.
+    See :class:`~repro.experiments.executor.SweepExecutor` for the knobs
+    and for per-run crash retry semantics.
+    """
+    executor = SweepExecutor(
+        workers=workers,
+        chunk_size=chunk_size,
+        retries=retries,
+        store=store,
+        use_cache=use_cache,
+        progress=progress,
+        profiler=profiler,
+        sink=sink,
+    )
+    return executor.run_many(specs)
+
+
+def sweep(
+    base: RunSpec,
+    axes: Mapping[str, Sequence],
+    *,
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+    retries: int = 2,
+    chunk_size: Optional[int] = None,
+    progress=None,
+) -> List[Dict[str, object]]:
+    """Run every combination of ``axes`` over ``base``; one record per run.
+
+    Each record contains the axis values plus the requested result
+    metrics, in cartesian-product order regardless of worker count.
+    ``progress(done, total, spec, source)`` is called per completed run.
+    """
+    for name in axes:
+        if name not in _SPEC_FIELDS:
+            raise ValueError(
+                f"unknown RunSpec field {name!r}; valid: {sorted(_SPEC_FIELDS)}"
+            )
+    names = list(axes)
+    combos = list(itertools.product(*(axes[n] for n in names)))
+    specs = [replace(base, **dict(zip(names, combo))) for combo in combos]
+    results = run_many(
+        specs,
+        workers=workers,
+        store=store,
+        use_cache=use_cache,
+        retries=retries,
+        chunk_size=chunk_size,
+        progress=progress,
+    )
+    records: List[Dict[str, object]] = []
+    for combo, spec, result in zip(combos, specs, results):
+        record: Dict[str, object] = dict(zip(names, combo))
+        record["benchmark"] = spec.benchmark
+        record["scheme"] = spec.scheme
+        for m in metrics:
+            record[m] = getattr(result, m)
+        records.append(record)
+    return records
+
+
+def grid(
+    benchmarks: Sequence[str],
+    schemes: Sequence[str],
+    *,
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+    retries: int = 2,
+    progress=None,
+    **spec_kwargs,
+) -> Dict[str, Dict[str, SimulationResult]]:
+    """Run a benchmark x scheme grid; returns ``out[benchmark][scheme]``."""
+    specs = [
+        RunSpec(benchmark=bm, scheme=sch, **spec_kwargs)
+        for bm in benchmarks
+        for sch in schemes
+    ]
+    results = run_many(
+        specs,
+        workers=workers,
+        store=store,
+        use_cache=use_cache,
+        retries=retries,
+        progress=progress,
+    )
+    out: Dict[str, Dict[str, SimulationResult]] = {}
+    it = iter(results)
+    for bm in benchmarks:
+        out[bm] = {}
+        for sch in schemes:
+            out[bm][sch] = next(it)
+    return out

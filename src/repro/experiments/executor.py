@@ -1,0 +1,356 @@
+"""Process-pool sweep execution engine.
+
+Shards a batch of :class:`~repro.experiments.runner.RunSpec` runs across a
+``concurrent.futures.ProcessPoolExecutor``: specs are deduplicated by
+content key, cache hits are resolved from the
+:class:`~repro.experiments.store.ResultStore` up front, and only the
+misses are submitted to workers in chunks (amortizing pickle/IPC cost).
+Failed runs — whether an in-worker exception or a hard worker crash that
+breaks the pool — are retried per run, and a run that keeps failing
+raises :class:`ExecutorError` naming its spec.
+
+Every spec carries its own seed and the simulator holds no process-global
+state that affects results, so a parallel sweep is record-for-record
+identical to the serial one; only the host-profiling extras
+(``*_wall_s``, ``sim_cycles_per_sec``) differ between runs.
+
+Progress is observable three ways: a ``progress(done, total, spec,
+source)`` callback (``source`` is ``"cache"``, ``"run"`` or ``"retry"``),
+the executor's :class:`~repro.telemetry.HostProfiler` (phases + run/cycle
+rates), and an optional telemetry sink receiving ``exec.*`` channel
+samples (see docs/observability.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.energy.gpuwattch import energy_per_work
+from repro.experiments.runner import RunSpec, build_system
+from repro.experiments.store import ResultStore, default_store
+from repro.gpu.system import SimulationResult
+from repro.telemetry.profiler import HostProfiler
+
+#: Environment knob: default worker count when ``workers=None`` is passed.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Test hook: when set to a directory, every spec's first attempt raises
+#: (a marker file per key records that the fault already fired), so the
+#: crash-retry path is exercisable deterministically across processes.
+FAULT_DIR_ENV = "REPRO_EXECUTOR_FAULT_DIR"
+
+ProgressFn = Callable[[int, int, RunSpec, str], None]
+
+
+class ExecutorError(RuntimeError):
+    """A run kept failing after all retries; carries the offending spec."""
+
+    def __init__(self, message: str, spec: RunSpec):
+        super().__init__(message)
+        self.spec = spec
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Effective worker count: explicit > ``REPRO_WORKERS`` > serial.
+
+    Zero or negative means "all cores" (``os.cpu_count()``).
+    """
+    if workers is None:
+        try:
+            workers = int(os.environ.get(WORKERS_ENV, "1"))
+        except ValueError:
+            workers = 1
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    return workers
+
+
+def _maybe_inject_fault(spec: RunSpec) -> None:
+    fault_dir = os.environ.get(FAULT_DIR_ENV)
+    if not fault_dir:
+        return
+    marker = os.path.join(fault_dir, spec.key())
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write(spec.benchmark)
+        raise RuntimeError(
+            f"injected fault: {spec.benchmark}/{spec.scheme} (first attempt)"
+        )
+
+
+def simulate_spec(spec: RunSpec) -> SimulationResult:
+    """Simulate one spec fresh (no cache involved).
+
+    Also records host-side profiling (build / simulate wall time and
+    simulated cycles per second) in ``result.extras`` so every artifact
+    carries the perf trajectory of the simulator itself.
+    """
+    _maybe_inject_fault(spec)
+    profiler = HostProfiler()
+    with profiler.phase("build"):
+        system = build_system(spec)
+    with profiler.phase("measure"):
+        result = system.simulate(cycles=spec.cycles, warmup=spec.warmup)
+    profiler.count("cycles", spec.cycles + spec.warmup)
+    # Attach the energy-model output (Fig. 14) while we still hold the system.
+    ari_on = "ari" in spec.scheme
+    result.extras["energy_per_instr"] = energy_per_work(system, ari_enabled=ari_on)
+    result.extras["build_wall_s"] = profiler.phase_seconds("build")
+    result.extras["sim_wall_s"] = profiler.phase_seconds("measure")
+    result.extras["sim_cycles_per_sec"] = profiler.rate("cycles", "measure")
+    return result
+
+
+def _run_chunk(payloads: List[dict]) -> List[dict]:
+    """Worker entry point: simulate a chunk of spec dicts, return result dicts."""
+    out = []
+    for payload in payloads:
+        spec = RunSpec(**payload)
+        out.append(dataclasses.asdict(simulate_spec(spec)))
+    return out
+
+
+@dataclass
+class ExecutionReport:
+    """What one :meth:`SweepExecutor.run_many` call did, machine-readable."""
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    retried: int = 0
+    deduplicated: int = 0
+    workers: int = 1
+    chunk_size: int = 1
+    wall_s: float = 0.0
+    sim_cycles: int = 0
+
+    def runs_per_sec(self) -> float:
+        return self.executed / self.wall_s if self.wall_s > 0 else 0.0
+
+    def cycles_per_sec(self) -> float:
+        return self.sim_cycles / self.wall_s if self.wall_s > 0 else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            **dataclasses.asdict(self),
+            "runs_per_sec": self.runs_per_sec(),
+            "cycles_per_sec": self.cycles_per_sec(),
+        }
+
+
+class SweepExecutor:
+    """Runs batches of specs, parallel when ``workers > 1``, cached, retried.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` reads ``REPRO_WORKERS`` (default serial),
+        ``0`` means all cores.
+    chunk_size:
+        Specs per pool task; ``None`` picks ``ceil(misses / (workers*4))``
+        capped at 8, so each worker sees several chunks (load balance)
+        while submission stays amortized.
+    retries:
+        Re-attempts per failing run before :class:`ExecutorError`.
+    store:
+        :class:`ResultStore` for read-through caching; ``None`` uses the
+        process default.  ``use_cache=False`` skips both read and write.
+    progress:
+        ``progress(done, total, spec, source)`` per completed run.
+    sink:
+        Optional :class:`~repro.telemetry.TelemetrySink`; receives one
+        sample per completion on the ``exec.*`` channels.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        retries: int = 2,
+        store: Optional[ResultStore] = None,
+        use_cache: bool = True,
+        progress: Optional[ProgressFn] = None,
+        profiler: Optional[HostProfiler] = None,
+        sink=None,
+    ):
+        self.workers = resolve_workers(workers)
+        self.chunk_size = chunk_size
+        self.retries = retries
+        self.store = store
+        self.use_cache = use_cache
+        self.progress = progress
+        self.profiler = profiler if profiler is not None else HostProfiler()
+        self.sink = sink
+        self.report = ExecutionReport()
+
+    # -- public -------------------------------------------------------------
+    def run_many(self, specs: Sequence[RunSpec]) -> List[SimulationResult]:
+        """Run every spec; results come back in input order."""
+        specs = list(specs)
+        report = self.report = ExecutionReport(
+            total=len(specs), workers=self.workers
+        )
+        if not specs:
+            return []
+        store = self.store if self.store is not None else default_store()
+
+        results: Dict[int, SimulationResult] = {}
+        self._done = 0
+
+        # Resolve duplicates: identical keys run once, fan out afterwards.
+        first_of: Dict[str, int] = {}
+        duplicates: Dict[int, int] = {}
+        unique: List[int] = []
+        for i, spec in enumerate(specs):
+            key = spec.key()
+            if key in first_of:
+                duplicates[i] = first_of[key]
+                report.deduplicated += 1
+            else:
+                first_of[key] = i
+                unique.append(i)
+
+        with self.profiler.phase("sweep"):
+            misses: List[int] = []
+            with self.profiler.phase("cache"):
+                for i in unique:
+                    hit = store.get(specs[i].key()) if self.use_cache else None
+                    if hit is not None:
+                        results[i] = SimulationResult(**hit)
+                        report.cache_hits += 1
+                        self._emit(specs[i], "cache")
+                    else:
+                        misses.append(i)
+
+            def complete(i: int, result: SimulationResult) -> None:
+                results[i] = result
+                report.executed += 1
+                report.sim_cycles += specs[i].cycles + specs[i].warmup
+                if self.use_cache:
+                    store.put(specs[i].key(), dataclasses.asdict(result))
+                self._emit(specs[i], "run")
+
+            if misses:
+                with self.profiler.phase("execute"):
+                    if min(self.workers, len(misses)) <= 1:
+                        for i in misses:
+                            complete(i, self._run_serial(specs[i]))
+                    else:
+                        self._run_pool(specs, misses, complete)
+
+        report.wall_s = self.profiler.phase_seconds("execute")
+        self.profiler.count("runs", report.executed)
+        self.profiler.count("cache_hits", report.cache_hits)
+        self.profiler.count("cycles", report.sim_cycles)
+
+        for i, src in duplicates.items():
+            results[i] = results[src]
+            self._emit(specs[i], "cache")
+        return [results[i] for i in range(len(specs))]
+
+    # -- internals ----------------------------------------------------------
+    def _emit(self, spec: RunSpec, source: str) -> None:
+        if source != "retry":
+            self._done += 1
+        if self.progress is not None:
+            self.progress(self._done, self.report.total, spec, source)
+        if self.sink is not None:
+            from repro.telemetry import TelemetrySample
+
+            self.sink.emit(
+                TelemetrySample(
+                    self._done,
+                    {
+                        "exec.done": self._done,
+                        "exec.total": self.report.total,
+                        "exec.cache_hits": self.report.cache_hits,
+                        "exec.retries": self.report.retried,
+                    },
+                )
+            )
+
+    def _run_serial(self, spec: RunSpec) -> SimulationResult:
+        last: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            try:
+                return simulate_spec(spec)
+            except Exception as exc:  # noqa: BLE001 - retry any run failure
+                last = exc
+                if attempt < self.retries:
+                    self.report.retried += 1
+                    self._emit(spec, "retry")
+        raise ExecutorError(
+            f"run failed after {self.retries + 1} attempts: "
+            f"{spec.benchmark}/{spec.scheme} ({last})",
+            spec,
+        ) from last
+
+    def _run_pool(
+        self,
+        specs: Sequence[RunSpec],
+        misses: List[int],
+        complete: Callable[[int, SimulationResult], None],
+    ) -> None:
+        workers = min(self.workers, len(misses))
+        chunk = self.chunk_size or min(
+            8, max(1, math.ceil(len(misses) / (workers * 4)))
+        )
+        self.report.chunk_size = chunk
+
+        attempts: Dict[int, int] = {i: 0 for i in misses}
+        pool = ProcessPoolExecutor(max_workers=workers)
+        futures: Dict[object, List[int]] = {}
+
+        def submit(group: List[int]) -> None:
+            payload = [dataclasses.asdict(specs[i]) for i in group]
+            futures[pool.submit(_run_chunk, payload)] = group
+
+        def requeue(group: List[int], broken: bool) -> None:
+            nonlocal pool
+            if broken:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=workers)
+            # A multi-spec chunk failure can't be attributed to one run:
+            # split it and retry each spec alone; only singleton failures
+            # count against the per-run retry budget.
+            if len(group) == 1:
+                i = group[0]
+                attempts[i] += 1
+                if attempts[i] > self.retries:
+                    raise ExecutorError(
+                        f"run failed after {self.retries + 1} attempts: "
+                        f"{specs[i].benchmark}/{specs[i].scheme}",
+                        specs[i],
+                    )
+                self.report.retried += 1
+                self._emit(specs[i], "retry")
+                submit([i])
+            else:
+                for i in group:
+                    submit([i])
+
+        try:
+            for j in range(0, len(misses), chunk):
+                submit(misses[j : j + chunk])
+            while futures:
+                done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+                for fut in done:
+                    group = futures.pop(fut)
+                    try:
+                        payloads = fut.result()
+                    except BrokenProcessPool:
+                        requeue(group, broken=True)
+                    except Exception:  # noqa: BLE001 - retried per run
+                        requeue(group, broken=False)
+                    else:
+                        for i, payload in zip(group, payloads):
+                            complete(i, SimulationResult(**payload))
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)

@@ -8,7 +8,10 @@ Every driver returns a dict with at least:
 
 ``scale`` selects the simulation budget: ``"smoke"`` (seconds, CI benches),
 ``"quick"`` (a stratified 9-benchmark subset), ``"paper"`` (all 30
-benchmarks, longer windows).
+benchmarks, longer windows).  ``workers`` shards each driver's run grid
+across processes via :func:`repro.experiments.api.run_many` (default:
+``REPRO_WORKERS`` env, serial otherwise); results are identical at any
+worker count.
 """
 
 from __future__ import annotations
@@ -16,14 +19,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.energy.area import AreaModel
+from repro.experiments.api import grid, run_many
 from repro.experiments.report import render_grid, render_kv
-from repro.experiments.runner import (
-    RunSpec,
-    geometric_mean,
-    normalized,
-    run_system,
-    sweep,
-)
+from repro.experiments.runner import RunSpec, geometric_mean, normalized
 from repro.noc.flit import PacketType
 from repro.workloads.suite import (
     PAPER_FIG6_BENCHMARKS,
@@ -64,22 +62,31 @@ def _bms(scale: str, override: Optional[Sequence[str]]) -> List[str]:
     return benchmark_names()
 
 
+def _run_indexed(specs: Dict[object, RunSpec], workers: Optional[int]):
+    """Run a labelled batch in one sharded call; returns ``label -> result``."""
+    labels = list(specs)
+    results = run_many([specs[l] for l in labels], workers=workers)
+    return dict(zip(labels, results))
+
+
 # ---------------------------------------------------------------------------
 # Section 3 — understanding the bottleneck
 # ---------------------------------------------------------------------------
 
 def fig3_request_vs_reply_latency(
-    scale: str = "quick", benchmarks: Optional[Sequence[str]] = None
+    scale: str = "quick",
+    benchmarks: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
 ) -> Dict:
     """Fig. 3: request packets see much higher latency than reply packets
     under the 128-bit baseline (paper: 5.6x on average)."""
     budget = _budget(scale)
     bms = _bms(scale, benchmarks)
-    grid = sweep(bms, ["xy-baseline"], **budget)
+    out = grid(bms, ["xy-baseline"], workers=workers, **budget)
     rows = {}
     ratios = []
     for bm in bms:
-        r = grid[bm]["xy-baseline"]
+        r = out[bm]["xy-baseline"]
         ratio = r.request_latency / r.reply_latency if r.reply_latency else 0.0
         rows[bm] = {
             "request": r.request_latency,
@@ -98,15 +105,17 @@ def fig3_request_vs_reply_latency(
 
 
 def fig4_link_width_sweep(
-    scale: str = "quick", benchmarks: Optional[Sequence[str]] = None
+    scale: str = "quick",
+    benchmarks: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
 ) -> Dict:
     """Fig. 4: doubling reply links helps a lot (+25.6% IPC), doubling
     request links barely (+0.8%) — the reply network is the limiter."""
     budget = _budget(scale)
     bms = _bms(scale, benchmarks)
     schemes = ["xy-baseline", "xy-baseline-256req", "xy-baseline-256rep"]
-    grid = sweep(bms, schemes, **budget)
-    norm = normalized(grid, "ipc", "xy-baseline")
+    out = grid(bms, schemes, workers=workers, **budget)
+    norm = normalized(out, "ipc", "xy-baseline")
     summary = {
         sch: geometric_mean([norm[bm][sch] for bm in bms]) for sch in schemes
     }
@@ -122,17 +131,19 @@ def fig4_link_width_sweep(
 
 
 def fig5_packet_type_mix(
-    scale: str = "quick", benchmarks: Optional[Sequence[str]] = None
+    scale: str = "quick",
+    benchmarks: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
 ) -> Dict:
     """Fig. 5: flit-weighted packet mix; reply traffic dominates (72.7%)."""
     budget = _budget(scale)
     bms = _bms(scale, benchmarks)
-    grid = sweep(bms, ["xy-baseline"], **budget)
+    out = grid(bms, ["xy-baseline"], workers=workers, **budget)
     kinds = [t.name.lower() for t in PacketType]
     rows = {}
     reply_shares = []
     for bm in bms:
-        r = grid[bm]["xy-baseline"]
+        r = out[bm]["xy-baseline"]
         rows[bm] = {k: r.traffic_mix.get(k, 0.0) for k in kinds}
         reply_shares.append(r.reply_traffic_share)
     mean_reply = sum(reply_shares) / len(reply_shares) if reply_shares else 0.0
@@ -148,6 +159,7 @@ def fig6_queue_occupancy(
     scale: str = "quick",
     benchmarks: Optional[Sequence[str]] = None,
     capacities_pkts: Sequence[int] = (4, 8, 16, 32, 48, 64, 80),
+    workers: Optional[int] = None,
 ) -> Dict:
     """Fig. 6: NI injection queue occupancy tracks its capacity — proof that
     the injection point, not the network interior, is the bottleneck."""
@@ -156,19 +168,26 @@ def fig6_queue_occupancy(
     if scale == "smoke":
         bms = bms[:2]
     long_pkt = 9
-    rows: Dict[str, Dict[str, float]] = {}
-    for bm in bms:
-        rows[bm] = {}
-        for cap in capacities_pkts:
-            res = run_system(
-                RunSpec(
-                    benchmark=bm,
-                    scheme="xy-baseline",
-                    ni_queue_flits=cap * long_pkt,
-                    **budget,
-                )
+    results = _run_indexed(
+        {
+            (bm, cap): RunSpec(
+                benchmark=bm,
+                scheme="xy-baseline",
+                ni_queue_flits=cap * long_pkt,
+                **budget,
             )
-            rows[bm][str(cap)] = res.mean_ni_occupancy
+            for bm in bms
+            for cap in capacities_pkts
+        },
+        workers,
+    )
+    rows: Dict[str, Dict[str, float]] = {
+        bm: {
+            str(cap): results[(bm, cap)].mean_ni_occupancy
+            for cap in capacities_pkts
+        }
+        for bm in bms
+    }
     # Tracking score: occupancy/capacity at the largest capacity.
     largest = str(max(capacities_pkts))
     tracking = {
@@ -183,15 +202,17 @@ def fig6_queue_occupancy(
 
 
 def sec3_link_utilization(
-    scale: str = "quick", benchmarks: Optional[Sequence[str]] = None
+    scale: str = "quick",
+    benchmarks: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
 ) -> Dict:
     """Sec. 3: injection links ~4.5x busier than in-network reply links
     (paper: 0.39 vs 0.084 flits/cycle)."""
     budget = _budget(scale)
     bms = _bms(scale, benchmarks)
-    grid = sweep(bms, ["xy-baseline"], **budget)
-    inj = [grid[bm]["xy-baseline"].injection_link_util for bm in bms]
-    mesh = [grid[bm]["xy-baseline"].mesh_link_util for bm in bms]
+    out = grid(bms, ["xy-baseline"], workers=workers, **budget)
+    inj = [out[bm]["xy-baseline"].injection_link_util for bm in bms]
+    mesh = [out[bm]["xy-baseline"].mesh_link_util for bm in bms]
     mean_inj = sum(inj) / len(inj)
     mean_mesh = sum(mesh) / len(mesh)
     return {
@@ -224,22 +245,38 @@ def fig9_priority_levels(
     scale: str = "quick",
     benchmarks: Optional[Sequence[str]] = None,
     levels: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    workers: Optional[int] = None,
 ) -> Dict:
     """Fig. 9: IPC improvement vs. number of priority levels; two levels
     capture most of the benefit."""
     budget = _budget(scale)
     bms = list(benchmarks) if benchmarks is not None else list(PAPER_FIG9_BENCHMARKS)
-    rows: Dict[str, Dict[str, float]] = {}
-    for bm in bms:
-        base = run_system(
-            RunSpec(benchmark=bm, scheme="ada-ari", priority_levels=1, **budget)
-        )
-        rows[bm] = {}
-        for lv in levels:
-            res = run_system(
-                RunSpec(benchmark=bm, scheme="ada-ari", priority_levels=lv, **budget)
+    results = _run_indexed(
+        {
+            (bm, lv): RunSpec(
+                benchmark=bm, scheme="ada-ari", priority_levels=lv, **budget
             )
-            rows[bm][str(lv)] = res.ipc / base.ipc - 1.0
+            for bm in bms
+            for lv in levels
+        },
+        workers,
+    )
+    bases = _run_indexed(
+        {
+            bm: RunSpec(
+                benchmark=bm, scheme="ada-ari", priority_levels=1, **budget
+            )
+            for bm in bms
+        },
+        workers,
+    )
+    rows: Dict[str, Dict[str, float]] = {
+        bm: {
+            str(lv): results[(bm, lv)].ipc / bases[bm].ipc - 1.0
+            for lv in levels
+        }
+        for bm in bms
+    }
     two_level = {bm: rows[bm]["2"] for bm in bms}
     return {
         "rows": rows,
@@ -255,14 +292,16 @@ _FIG10_SCHEMES = [
 
 
 def fig10_supply_consume_ablation(
-    scale: str = "quick", benchmarks: Optional[Sequence[str]] = None
+    scale: str = "quick",
+    benchmarks: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
 ) -> Dict:
     """Fig. 10: supply-only and consume-only barely help (supply-only can
     hurt); both together give ~13.5%; priority adds the rest (ARI)."""
     budget = _budget(scale)
     bms = _bms(scale, benchmarks)
-    grid = sweep(bms, _FIG10_SCHEMES, **budget)
-    norm = normalized(grid, "ipc", "ada-baseline")
+    out = grid(bms, _FIG10_SCHEMES, workers=workers, **budget)
+    norm = normalized(out, "ipc", "ada-baseline")
     summary = {
         sch: geometric_mean([norm[bm][sch] for bm in bms])
         for sch in _FIG10_SCHEMES
@@ -286,15 +325,17 @@ _FIG11_SCHEMES = [
 
 
 def fig11_scheme_comparison(
-    scale: str = "quick", benchmarks: Optional[Sequence[str]] = None
+    scale: str = "quick",
+    benchmarks: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
 ) -> Dict:
     """Fig. 11: the headline comparison.  Paper: XY-ARI +8% over XY-Base;
     Ada-Base slightly below XY-Base; MultiPort +2% over Ada-Base;
     Ada-ARI +15.4% over Ada-Base (~1/3 of benchmarks near 1.4x)."""
     budget = _budget(scale)
     bms = _bms(scale, benchmarks)
-    grid = sweep(bms, _FIG11_SCHEMES, **budget)
-    norm = normalized(grid, "ipc", "xy-baseline")
+    out = grid(bms, _FIG11_SCHEMES, workers=workers, **budget)
+    norm = normalized(out, "ipc", "xy-baseline")
     summary = {
         sch: geometric_mean([norm[bm][sch] for bm in bms])
         for sch in _FIG11_SCHEMES
@@ -323,18 +364,20 @@ def fig11_scheme_comparison(
 
 
 def fig12_mc_stall_time(
-    scale: str = "quick", benchmarks: Optional[Sequence[str]] = None
+    scale: str = "quick",
+    benchmarks: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
 ) -> Dict:
     """Fig. 12: data stall time in MCs (per reply, equal-work normalized).
     Paper: -47.5% (XY-ARI vs XY-Base), -67.8% (Ada-ARI vs Ada-Base)."""
     budget = _budget(scale)
     bms = _bms(scale, benchmarks)
-    grid = sweep(bms, _FIG11_SCHEMES, **budget)
-    norm = normalized(grid, "mc_stall_per_reply", "xy-baseline")
+    out = grid(bms, _FIG11_SCHEMES, workers=workers, **budget)
+    norm = normalized(out, "mc_stall_per_reply", "xy-baseline")
     xy_red = []
     ada_red = []
     for bm in bms:
-        row = grid[bm]
+        row = out[bm]
         b = row["xy-baseline"].mc_stall_per_reply
         ab = row["ada-baseline"].mc_stall_per_reply
         if b > 1.0:
@@ -357,25 +400,27 @@ def fig12_mc_stall_time(
 
 
 def fig13_latency_decomposition(
-    scale: str = "quick", benchmarks: Optional[Sequence[str]] = None
+    scale: str = "quick",
+    benchmarks: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
 ) -> Dict:
     """Fig. 13: request + reply latency per scheme.  ARI cuts the *request*
     latency too, although it changes nothing in the request network —
     confirming the bottleneck is on the reply side."""
     budget = _budget(scale)
     bms = _bms(scale, benchmarks)
-    grid = sweep(bms, _FIG11_SCHEMES, **budget)
+    out = grid(bms, _FIG11_SCHEMES, workers=workers, **budget)
     rows: Dict[str, Dict[str, float]] = {}
     for bm in bms:
         rows[bm] = {}
         for sch in _FIG11_SCHEMES:
-            r = grid[bm][sch]
+            r = out[bm][sch]
             rows[bm][f"{sch}.req"] = r.request_latency
             rows[bm][f"{sch}.rep"] = r.reply_latency
     req_drop = geometric_mean(
         [
-            grid[bm]["ada-baseline"].request_latency
-            / max(1e-9, grid[bm]["ada-ari"].request_latency)
+            out[bm]["ada-baseline"].request_latency
+            / max(1e-9, out[bm]["ada-ari"].request_latency)
             for bm in bms
         ]
     )
@@ -392,18 +437,20 @@ def fig13_latency_decomposition(
 
 
 def fig14_energy(
-    scale: str = "quick", benchmarks: Optional[Sequence[str]] = None
+    scale: str = "quick",
+    benchmarks: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
 ) -> Dict:
     """Fig. 14: overall energy down ~4% with ARI, driven by the static
     share of the shortened execution (equal-work: energy/instruction)."""
     budget = _budget(scale)
     bms = _bms(scale, benchmarks)
-    grid = sweep(bms, ["ada-baseline", "ada-ari"], **budget)
+    out = grid(bms, ["ada-baseline", "ada-ari"], workers=workers, **budget)
     rows: Dict[str, Dict[str, float]] = {}
     ratios = []
     for bm in bms:
-        e_base = grid[bm]["ada-baseline"].extras["energy_per_instr"]
-        e_ari = grid[bm]["ada-ari"].extras["energy_per_instr"]
+        e_base = out[bm]["ada-baseline"].extras["energy_per_instr"]
+        e_ari = out[bm]["ada-ari"].extras["energy_per_instr"]
         rows[bm] = {
             "baseline": 1.0,
             "ari": e_ari / e_base if e_base else 0.0,
@@ -420,7 +467,9 @@ def fig14_energy(
 
 
 def fig15_vc_sensitivity(
-    scale: str = "quick", benchmarks: Optional[Sequence[str]] = None
+    scale: str = "quick",
+    benchmarks: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
 ) -> Dict:
     """Fig. 15: 2 vs 4 VCs, baseline vs ARI (speedup = VC count).  ARI
     exploits added VCs far better than the baseline."""
@@ -428,27 +477,30 @@ def fig15_vc_sensitivity(
     bms = list(benchmarks) if benchmarks is not None else list(PAPER_FIG15_BENCHMARKS)
     if scale == "smoke":
         bms = bms[:2]
+    cell_specs = [
+        ("2VC-base", "ada-baseline", 2),
+        ("4VC-base", "ada-baseline", 4),
+        ("2VC-ARI", "ada-ari", 2),
+        ("4VC-ARI", "ada-ari", 4),
+    ]
+    results = _run_indexed(
+        {
+            (bm, label): RunSpec(
+                benchmark=bm,
+                scheme=sch,
+                num_vcs=vcs,
+                injection_speedup=(vcs if "ari" in sch else None),
+                **budget,
+            )
+            for bm in bms
+            for label, sch, vcs in cell_specs
+        },
+        workers,
+    )
     rows: Dict[str, Dict[str, float]] = {}
     gains = {"baseline": [], "ari": []}
     for bm in bms:
-        cells = {}
-        for label, sch, vcs in [
-            ("2VC-base", "ada-baseline", 2),
-            ("4VC-base", "ada-baseline", 4),
-            ("2VC-ARI", "ada-ari", 2),
-            ("4VC-ARI", "ada-ari", 4),
-        ]:
-            spd = vcs if "ari" in sch else None
-            res = run_system(
-                RunSpec(
-                    benchmark=bm,
-                    scheme=sch,
-                    num_vcs=vcs,
-                    injection_speedup=spd,
-                    **budget,
-                )
-            )
-            cells[label] = res.ipc
+        cells = {label: results[(bm, label)].ipc for label, _, _ in cell_specs}
         base = cells["2VC-base"]
         rows[bm] = {k: v / base for k, v in cells.items()}
         gains["baseline"].append(rows[bm]["4VC-base"] / rows[bm]["2VC-base"])
@@ -466,13 +518,15 @@ def fig15_vc_sensitivity(
 
 
 def fig16_da2mesh(
-    scale: str = "quick", benchmarks: Optional[Sequence[str]] = None
+    scale: str = "quick",
+    benchmarks: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
 ) -> Dict:
     """Fig. 16: ARI composes with DA2mesh (paper: +16.4% on top)."""
     budget = _budget(scale)
     bms = _bms(scale, benchmarks)
-    grid = sweep(bms, ["da2mesh", "da2mesh-ari"], **budget)
-    norm = normalized(grid, "ipc", "da2mesh")
+    out = grid(bms, ["da2mesh", "da2mesh-ari"], workers=workers, **budget)
+    norm = normalized(out, "ipc", "da2mesh")
     summary = {
         "da2mesh+ari_vs_da2mesh": geometric_mean(
             [norm[bm]["da2mesh-ari"] for bm in bms]
@@ -487,7 +541,9 @@ def fig16_da2mesh(
 
 
 def sec75_scalability(
-    scale: str = "quick", benchmarks: Optional[Sequence[str]] = None
+    scale: str = "quick",
+    benchmarks: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
 ) -> Dict:
     """Sec. 7.5(2): ARI's improvement grows with mesh size
     (paper: +3.7% / +15.4% / +24.7% at 4x4 / 6x6 / 8x8).
@@ -503,16 +559,24 @@ def sec75_scalability(
     bms = _bms("smoke" if scale == "smoke" else "quick", benchmarks)
     from repro.workloads.suite import SUITE
 
+    meshes = (4, 6, 8)
+    results = _run_indexed(
+        {
+            (mesh, bm, sch): RunSpec(
+                benchmark=bm, scheme=sch, mesh=mesh, **budget
+            )
+            for mesh in meshes
+            for bm in bms
+            for sch in ("ada-baseline", "ada-ari")
+        },
+        workers,
+    )
     rows: Dict[str, Dict[str, float]] = {}
-    for mesh in (4, 6, 8):
+    for mesh in meshes:
         per_class: Dict[str, List[float]] = {"high": [], "medium": [], "low": []}
         for bm in bms:
-            base = run_system(
-                RunSpec(benchmark=bm, scheme="ada-baseline", mesh=mesh, **budget)
-            )
-            ari = run_system(
-                RunSpec(benchmark=bm, scheme="ada-ari", mesh=mesh, **budget)
-            )
+            base = results[(mesh, bm, "ada-baseline")]
+            ari = results[(mesh, bm, "ada-ari")]
             if base.ipc > 0:
                 per_class[SUITE[bm].sensitivity].append(ari.ipc / base.ipc)
         all_vals = [v for vs in per_class.values() for v in vs]
@@ -566,6 +630,7 @@ def ext_intensity_sweep(
     scale: str = "quick",
     base_benchmark: str = "hotspot",
     multipliers: Sequence[float] = (0.05, 0.15, 0.3, 0.6, 1.0),
+    workers: Optional[int] = None,
 ) -> Dict:
     """Extension: ARI gain vs. memory-traffic intensity.
 
@@ -575,6 +640,9 @@ def ext_intensity_sweep(
     makes the relationship explicit: scale one benchmark's memory rate and
     plot the ARI speedup, exposing the crossover where the injection
     bottleneck starts to bind.
+
+    The scaled profiles exist only in this process, so this driver runs
+    in-process systems directly (no spec, no cache, no pool).
     """
     from dataclasses import replace as _replace
 
@@ -620,7 +688,9 @@ def ext_intensity_sweep(
 
 
 def ext_mc_placement(
-    scale: str = "quick", benchmarks: Optional[Sequence[str]] = None
+    scale: str = "quick",
+    benchmarks: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
 ) -> Dict:
     """Extension: MC placement study (Table I's "diamond" choice).
 
@@ -634,18 +704,21 @@ def ext_mc_placement(
     budget = _budget(scale)
     bms = _bms(scale, benchmarks)
     placements = ["diamond", "edge", "column"]
+    results = _run_indexed(
+        {
+            (pl, bm, sch): RunSpec(
+                benchmark=bm, scheme=sch, mc_placement=pl, **budget
+            )
+            for pl in placements
+            for bm in bms
+            for sch in ("xy-baseline", "xy-ari")
+        },
+        workers,
+    )
     rows: Dict[str, Dict[str, float]] = {}
     for pl in placements:
-        base_vals, ari_vals = [], []
-        for bm in bms:
-            base = run_system(
-                RunSpec(benchmark=bm, scheme="xy-baseline", mc_placement=pl, **budget)
-            )
-            ari = run_system(
-                RunSpec(benchmark=bm, scheme="xy-ari", mc_placement=pl, **budget)
-            )
-            base_vals.append(base.ipc)
-            ari_vals.append(ari.ipc)
+        base_vals = [results[(pl, bm, "xy-baseline")].ipc for bm in bms]
+        ari_vals = [results[(pl, bm, "xy-ari")].ipc for bm in bms]
         rows[pl] = {
             "baseline_ipc": geometric_mean(base_vals),
             "ari_ipc": geometric_mean(ari_vals),
@@ -670,6 +743,7 @@ def ext_hop_latency(
     scale: str = "quick",
     benchmarks: Optional[Sequence[str]] = None,
     latencies: Sequence[int] = (1, 2, 3),
+    workers: Optional[int] = None,
 ) -> Dict:
     """Extension: ARI's gain vs. router pipeline depth.
 
@@ -680,18 +754,23 @@ def ext_hop_latency(
     """
     budget = _budget(scale)
     bms = _bms(scale, benchmarks)
+    results = _run_indexed(
+        {
+            (lat, bm, sch): RunSpec(
+                benchmark=bm, scheme=sch, noc_hop_latency=lat, **budget
+            )
+            for lat in latencies
+            for bm in bms
+            for sch in ("ada-baseline", "ada-ari")
+        },
+        workers,
+    )
     rows: Dict[str, Dict[str, float]] = {}
     for lat in latencies:
         gains = []
         for bm in bms:
-            base = run_system(
-                RunSpec(benchmark=bm, scheme="ada-baseline",
-                        noc_hop_latency=lat, **budget)
-            )
-            ari = run_system(
-                RunSpec(benchmark=bm, scheme="ada-ari",
-                        noc_hop_latency=lat, **budget)
-            )
+            base = results[(lat, bm, "ada-baseline")]
+            ari = results[(lat, bm, "ada-ari")]
             if base.ipc:
                 gains.append(ari.ipc / base.ipc)
         rows[f"{lat}cyc/hop"] = {"ada-ari_gain": geometric_mean(gains)}
@@ -704,7 +783,9 @@ def ext_hop_latency(
 
 
 def ext_warp_scheduler(
-    scale: str = "quick", benchmarks: Optional[Sequence[str]] = None
+    scale: str = "quick",
+    benchmarks: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
 ) -> Dict:
     """Extension: ARI under GTO vs. loose-round-robin warp scheduling.
 
@@ -713,18 +794,23 @@ def ext_warp_scheduler(
     """
     budget = _budget(scale)
     bms = _bms(scale, benchmarks)
+    results = _run_indexed(
+        {
+            (sched, bm, sch): RunSpec(
+                benchmark=bm, scheme=sch, warp_scheduler=sched, **budget
+            )
+            for sched in ("gto", "lrr")
+            for bm in bms
+            for sch in ("ada-baseline", "ada-ari")
+        },
+        workers,
+    )
     rows: Dict[str, Dict[str, float]] = {}
     for sched in ("gto", "lrr"):
         gains = []
         for bm in bms:
-            base = run_system(
-                RunSpec(benchmark=bm, scheme="ada-baseline",
-                        warp_scheduler=sched, **budget)
-            )
-            ari = run_system(
-                RunSpec(benchmark=bm, scheme="ada-ari",
-                        warp_scheduler=sched, **budget)
-            )
+            base = results[(sched, bm, "ada-baseline")]
+            ari = results[(sched, bm, "ada-ari")]
             if base.ipc:
                 gains.append(ari.ipc / base.ipc)
         rows[sched] = {"ada-ari_gain": geometric_mean(gains)}
@@ -737,7 +823,9 @@ def ext_warp_scheduler(
 
 
 def ext_request_side_ari(
-    scale: str = "quick", benchmarks: Optional[Sequence[str]] = None
+    scale: str = "quick",
+    benchmarks: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
 ) -> Dict:
     """Extension: does ARI on the *request* network help too?
 
@@ -749,8 +837,8 @@ def ext_request_side_ari(
     """
     budget = _budget(scale)
     bms = _bms(scale, benchmarks)
-    grid = sweep(bms, ["ada-baseline", "ada-ari", "ada-ari-both"], **budget)
-    norm = normalized(grid, "ipc", "ada-baseline")
+    out = grid(bms, ["ada-baseline", "ada-ari", "ada-ari-both"], workers=workers, **budget)
+    norm = normalized(out, "ipc", "ada-baseline")
     summary = {
         sch: geometric_mean([norm[bm][sch] for bm in bms])
         for sch in ("ada-ari", "ada-ari-both")

@@ -1,8 +1,16 @@
-"""Run management: build a system for a (benchmark, scheme) pair, simulate,
-cache the result, and aggregate.
+"""Run specification and system construction, plus aggregation helpers.
 
-The disk cache makes figure drivers compositional: Figs. 10-14 all consume
-the same scheme x benchmark sweep, so the grid is simulated once.
+:class:`RunSpec` captures everything that determines one simulation run
+(its ``key()`` content-addresses the result store), and
+:func:`build_system` turns a spec into a ready-to-run
+:class:`~repro.gpu.system.GPGPUSystem`.
+
+Execution moved to :mod:`repro.experiments.api` (cached single runs,
+parallel batches, design-space sweeps) on top of
+:mod:`repro.experiments.executor` and the per-run-file
+:class:`~repro.experiments.store.ResultStore`.  The old entry points —
+``run_system``, ``run_with_telemetry``, ``sweep`` — remain here as thin
+deprecated wrappers for one release.
 """
 
 from __future__ import annotations
@@ -11,24 +19,14 @@ import dataclasses
 import hashlib
 import json
 import math
-import os
-import threading
-from dataclasses import dataclass, replace
+import warnings
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Sequence
 
 from repro.core.schemes import Scheme, scheme as get_scheme
-from repro.energy.gpuwattch import energy_per_work
 from repro.gpu.config import GPUConfig
 from repro.gpu.system import GPGPUSystem, SimulationResult
-from repro.telemetry.profiler import HostProfiler
 from repro.workloads.suite import benchmark as get_benchmark
-
-_CACHE_LOCK = threading.Lock()
-_CACHE_PATH = os.environ.get(
-    "REPRO_CACHE", os.path.join(os.path.dirname(__file__), "..", "..", "..", "results", "cache.json")
-)
-_memory_cache: Dict[str, dict] = {}
-_disk_loaded = False
 
 
 @dataclass(frozen=True)
@@ -55,55 +53,6 @@ class RunSpec:
     def key(self) -> str:
         payload = json.dumps(dataclasses.asdict(self), sort_keys=True)
         return hashlib.sha1(payload.encode()).hexdigest()[:20]
-
-
-def _load_disk_cache() -> None:
-    global _disk_loaded
-    if _disk_loaded:
-        return
-    _disk_loaded = True
-    path = os.path.abspath(_CACHE_PATH)
-    if os.path.exists(path):
-        try:
-            with open(path) as fh:
-                _memory_cache.update(json.load(fh))
-        except (OSError, json.JSONDecodeError):
-            pass
-
-
-def _save_disk_cache() -> None:
-    path = os.path.abspath(_CACHE_PATH)
-    os.makedirs(os.path.dirname(path), exist_ok=True)
-    # pid-unique temp name: concurrent processes (e.g. a background sweep
-    # plus an interactive session) must not race on the same temp file.
-    tmp = f"{path}.{os.getpid()}.tmp"
-    try:
-        with open(tmp, "w") as fh:
-            json.dump(_memory_cache, fh)
-        os.replace(tmp, path)
-    except OSError:
-        # Losing one cache write is harmless (the run result is still
-        # returned); never let cache persistence kill a sweep.
-        try:
-            if os.path.exists(tmp):
-                os.remove(tmp)
-        except OSError:
-            pass
-
-
-def clear_cache(disk: bool = False) -> None:
-    with _CACHE_LOCK:
-        _memory_cache.clear()
-        if disk:
-            path = os.path.abspath(_CACHE_PATH)
-            if os.path.exists(path):
-                os.remove(path)
-
-
-def cache_info() -> Dict[str, object]:
-    with _CACHE_LOCK:
-        _load_disk_cache()
-        return {"entries": len(_memory_cache), "path": os.path.abspath(_CACHE_PATH)}
 
 
 def _build_scheme(spec: RunSpec) -> Scheme:
@@ -141,39 +90,34 @@ def build_system(spec: RunSpec) -> GPGPUSystem:
     )
 
 
+# -- cache control (over the default ResultStore) ---------------------------
+
+def clear_cache(disk: bool = False) -> None:
+    """Drop the default store's memory layer (and files with ``disk=True``)."""
+    from repro.experiments.store import default_store
+
+    default_store().clear(disk=disk)
+
+
+def cache_info() -> Dict[str, object]:
+    """Entry count and location of the default result store."""
+    from repro.experiments.store import default_store
+
+    return default_store().info()
+
+
+# -- deprecated wrappers (kept for one release) -----------------------------
+
 def run_system(spec: RunSpec, use_cache: bool = True) -> SimulationResult:
-    """Simulate one spec (or fetch it from the cache).
+    """Deprecated: use :func:`repro.experiments.api.run`."""
+    warnings.warn(
+        "run_system() is deprecated; use repro.experiments.api.run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments import api
 
-    Fresh runs also record host-side profiling (build / simulate wall time
-    and simulated cycles per second) in ``result.extras`` so every cached
-    artifact carries the perf trajectory of the simulator itself.
-    """
-    key = spec.key()
-    if use_cache:
-        with _CACHE_LOCK:
-            _load_disk_cache()
-            hit = _memory_cache.get(key)
-        if hit is not None:
-            return SimulationResult(**hit)
-
-    profiler = HostProfiler()
-    with profiler.phase("build"):
-        system = build_system(spec)
-    with profiler.phase("measure"):
-        result = system.simulate(cycles=spec.cycles, warmup=spec.warmup)
-    profiler.count("cycles", spec.cycles + spec.warmup)
-    # Attach the energy-model output (Fig. 14) while we still hold the system.
-    ari_on = "ari" in spec.scheme
-    result.extras["energy_per_instr"] = energy_per_work(system, ari_enabled=ari_on)
-    result.extras["build_wall_s"] = profiler.phase_seconds("build")
-    result.extras["sim_wall_s"] = profiler.phase_seconds("measure")
-    result.extras["sim_cycles_per_sec"] = profiler.rate("cycles", "measure")
-
-    if use_cache:
-        with _CACHE_LOCK:
-            _memory_cache[key] = dataclasses.asdict(result)
-            _save_disk_cache()
-    return result
+    return api.run(spec, use_cache=use_cache)
 
 
 def run_with_telemetry(
@@ -183,45 +127,26 @@ def run_with_telemetry(
     jsonl_path: Optional[str] = None,
     csv_path: Optional[str] = None,
 ):
-    """Simulate one spec with a telemetry collector attached.
+    """Deprecated: use :func:`repro.experiments.api.run_live`.
 
-    Telemetry needs a *live* run, so this never consults the result cache.
-    Returns ``(result, collector, system)``; the collector always carries
-    an in-memory sink (for rendering) plus optional JSONL/CSV artifact
-    sinks, and its profiler times the build/measure phases.  Figure
-    drivers and the ``repro telemetry`` CLI both sit on this entry point,
-    so any experiment can emit a telemetry artifact next to its results.
+    Returns ``(result, collector, system)`` like the original.
     """
-    from repro.telemetry import (
-        CSVSink,
-        JSONLSink,
-        MemorySink,
-        TelemetryCollector,
+    warnings.warn(
+        "run_with_telemetry() is deprecated; "
+        "use repro.experiments.api.run_live()",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from repro.experiments import api
 
-    if collector is None:
-        sinks = [MemorySink()]
-        if jsonl_path:
-            sinks.append(JSONLSink(jsonl_path))
-        if csv_path:
-            sinks.append(CSVSink(csv_path))
-        collector = TelemetryCollector(interval=interval, sinks=sinks)
-    profiler = collector.profiler
-    with profiler.phase("build"):
-        system = build_system(spec)
-    system.attach_telemetry(collector)
-    with profiler.phase("measure"):
-        result = system.simulate(cycles=spec.cycles, warmup=spec.warmup)
-    profiler.count("cycles", spec.cycles + spec.warmup)
-    profiler.count(
-        "packets",
-        system.request_net.stats.packets_delivered
-        + system.reply_net.stats.packets_delivered,
+    live = api.run_live(
+        spec,
+        collector=collector,
+        interval=interval,
+        jsonl_path=jsonl_path,
+        csv_path=csv_path,
     )
-    result.extras["sim_wall_s"] = profiler.phase_seconds("measure")
-    result.extras["sim_cycles_per_sec"] = profiler.rate("cycles", "measure")
-    collector.close()
-    return result, collector, system
+    return live.result, live.collector, live.system
 
 
 def sweep(
@@ -230,17 +155,18 @@ def sweep(
     use_cache: bool = True,
     **spec_kwargs,
 ) -> Dict[str, Dict[str, SimulationResult]]:
-    """Run a benchmark x scheme grid; returns ``out[benchmark][scheme]``."""
-    out: Dict[str, Dict[str, SimulationResult]] = {}
-    for bm in benchmarks:
-        out[bm] = {}
-        for sch in schemes:
-            out[bm][sch] = run_system(
-                RunSpec(benchmark=bm, scheme=sch, **spec_kwargs),
-                use_cache=use_cache,
-            )
-    return out
+    """Deprecated: use :func:`repro.experiments.api.grid`."""
+    warnings.warn(
+        "runner.sweep() is deprecated; use repro.experiments.api.grid()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments import api
 
+    return api.grid(benchmarks, schemes, use_cache=use_cache, **spec_kwargs)
+
+
+# -- aggregation ------------------------------------------------------------
 
 def geometric_mean(values: Iterable[float]) -> float:
     vals = [v for v in values if v > 0]

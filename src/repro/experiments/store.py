@@ -1,0 +1,212 @@
+"""Content-addressed, per-run-file simulation result store.
+
+Replaces the old module-global ``_memory_cache`` + monolithic
+``results/cache.json`` pair: every cached run lives in its own file,
+``<root>/<key[:2]>/<key>.json``, keyed by
+:meth:`~repro.experiments.runner.RunSpec.key`.  Per-run files mean
+parallel sweep workers (and independent host processes) never contend on
+one JSON blob — the worst concurrent case is two processes atomically
+replacing the *same* key with identical content.
+
+The ``REPRO_CACHE`` environment variable still names the default store
+location.  For backward compatibility it may point at a legacy
+``cache.json`` file: the store then roots itself next to it (path minus
+the ``.json`` suffix) and performs a one-shot import of the monolithic
+cache into the sharded layout, recorded by a ``.legacy-imported`` marker
+so the import never repeats.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, Iterator, Optional
+
+_DEFAULT_LOCATION = os.path.join(
+    os.path.dirname(__file__), "..", "..", "..", "results", "cache.json"
+)
+
+_MIGRATION_MARKER = ".legacy-imported"
+
+
+class ResultStore:
+    """Sharded on-disk store of run records with a write-through memory layer.
+
+    ``location`` may be a directory (used as the store root) or a legacy
+    ``*.json`` cache file (the root becomes the path without the suffix and
+    the file is imported once).  When omitted, ``REPRO_CACHE`` or the
+    repo-default ``results/cache.json`` decides.
+    """
+
+    def __init__(self, location: Optional[str] = None, *, migrate: bool = True):
+        location = location or os.environ.get("REPRO_CACHE", _DEFAULT_LOCATION)
+        location = os.path.abspath(location)
+        if location.endswith(".json"):
+            self.root = location[: -len(".json")]
+            self.legacy_json = location
+        else:
+            self.root = location
+            self.legacy_json = location + ".json"
+        self._lock = threading.Lock()
+        self._memory: Dict[str, dict] = {}
+        if migrate:
+            self.import_legacy()
+
+    # -- paths -------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    # -- read --------------------------------------------------------------
+    def get(self, key: str) -> Optional[dict]:
+        """The record stored under ``key``, or ``None``."""
+        with self._lock:
+            hit = self._memory.get(key)
+        if hit is not None:
+            return hit
+        try:
+            with open(self._path(key)) as fh:
+                record = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        with self._lock:
+            self._memory[key] = record
+        return record
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._memory:
+                return True
+        return os.path.exists(self._path(key))
+
+    def keys(self) -> Iterator[str]:
+        """Every key present on disk or in memory (no load)."""
+        seen = set()
+        with self._lock:
+            seen.update(self._memory)
+        if os.path.isdir(self.root):
+            for shard in sorted(os.listdir(self.root)):
+                shard_dir = os.path.join(self.root, shard)
+                if not os.path.isdir(shard_dir):
+                    continue
+                for name in sorted(os.listdir(shard_dir)):
+                    if name.endswith(".json"):
+                        seen.add(name[: -len(".json")])
+        return iter(sorted(seen))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # -- write -------------------------------------------------------------
+    def put(self, key: str, record: dict) -> None:
+        """Store ``record`` under ``key`` (atomic per-key file replace).
+
+        Disk failures are swallowed: losing one cache write is harmless
+        (the run result is still returned) and must never kill a sweep.
+        """
+        with self._lock:
+            self._memory[key] = record
+        path = self._path(key)
+        # pid+thread-unique temp name: concurrent writers (pool workers,
+        # background sweeps) must not race on the same temp file.
+        tmp = f"{path}.{os.getpid()}.{threading.get_ident()}.tmp"
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(tmp, "w") as fh:
+                json.dump(record, fh)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                if os.path.exists(tmp):
+                    os.remove(tmp)
+            except OSError:
+                pass
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory layer; with ``disk=True`` also delete the files."""
+        with self._lock:
+            self._memory.clear()
+        if disk and os.path.isdir(self.root):
+            import shutil
+
+            shutil.rmtree(self.root, ignore_errors=True)
+
+    # -- harness hooks -----------------------------------------------------
+    def preload(self, records: Dict[str, dict]) -> None:
+        """Seed the memory layer without touching disk (test/bench harnesses)."""
+        with self._lock:
+            self._memory.update(records)
+
+    def memory_snapshot(self) -> Dict[str, dict]:
+        """Copy of the memory layer (test/bench harnesses)."""
+        with self._lock:
+            return dict(self._memory)
+
+    # -- migration / introspection ----------------------------------------
+    def import_legacy(self, json_path: Optional[str] = None) -> int:
+        """One-shot import of a monolithic ``cache.json`` into the store.
+
+        Returns the number of records imported; 0 when the legacy file is
+        absent, unreadable, or already imported (marker present).
+        """
+        path = os.path.abspath(json_path or self.legacy_json)
+        marker = os.path.join(self.root, _MIGRATION_MARKER)
+        if os.path.exists(marker) or not os.path.exists(path):
+            return 0
+        try:
+            with open(path) as fh:
+                legacy = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return 0
+        if not isinstance(legacy, dict):
+            return 0
+        imported = 0
+        for key, record in legacy.items():
+            if isinstance(record, dict) and self.get(key) is None:
+                self.put(key, record)
+                imported += 1
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            with open(marker, "w") as fh:
+                fh.write(f"imported {imported} records from {path}\n")
+        except OSError:
+            pass
+        return imported
+
+    def info(self) -> Dict[str, object]:
+        return {
+            "entries": len(self),
+            "path": self.root,
+            "legacy_json": self.legacy_json,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ResultStore({self.root!r})"
+
+
+# -- process-wide default ---------------------------------------------------
+
+_DEFAULT: Optional[ResultStore] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_store() -> ResultStore:
+    """The lazily-created process-wide store (``REPRO_CACHE`` location)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            _DEFAULT = ResultStore()
+        return _DEFAULT
+
+
+def set_default_store(store: Optional[ResultStore]) -> Optional[ResultStore]:
+    """Replace the process-wide default store; returns the previous one.
+
+    Pass ``None`` to reset, so the next :func:`default_store` call
+    re-derives the location from the environment.
+    """
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        previous = _DEFAULT
+        _DEFAULT = store
+        return previous

@@ -1,36 +1,27 @@
 """Cartesian parameter sweeps with CSV export.
 
-``cartesian_sweep`` expands axes over :class:`~repro.experiments.runner.RunSpec`
-fields, runs every combination (cached), and returns tidy records ready for
-export — the "give me the whole design space as a spreadsheet" workflow:
+The sweep engine itself now lives in :func:`repro.experiments.api.sweep`
+(parallel, cached, retried); this module keeps the tidy-record export
+helpers plus ``cartesian_sweep`` as a deprecated serial wrapper::
 
-    records = cartesian_sweep(
+    from repro.experiments.api import sweep
+
+    records = sweep(
         RunSpec("bfs", "ada-ari", cycles=800, warmup=200),
         axes={"num_vcs": [2, 4], "injection_speedup": [1, 2, 4]},
+        workers=4,
     )
     write_csv(records, "vc_speedup_sweep.csv")
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import fields, replace
+import warnings
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.experiments.api import DEFAULT_METRICS
 from repro.experiments.report import to_csv
-from repro.experiments.runner import RunSpec, run_system
-
-# Result metrics exported by default.
-DEFAULT_METRICS = (
-    "ipc",
-    "mc_stall_per_reply",
-    "request_latency",
-    "reply_latency",
-    "reply_traffic_share",
-    "l2_hit_rate",
-)
-
-_SPEC_FIELDS = {f.name for f in fields(RunSpec)}
+from repro.experiments.runner import RunSpec
 
 
 def cartesian_sweep(
@@ -40,32 +31,33 @@ def cartesian_sweep(
     use_cache: bool = True,
     progress=None,
 ) -> List[Dict[str, object]]:
-    """Run every combination of the axes; returns one record per run.
+    """Deprecated: use :func:`repro.experiments.api.sweep`.
 
-    Each record contains the axis values plus the requested result metrics.
-    ``progress(i, total, spec)`` is called before each run when given.
+    Runs serially (``workers=1``) and preserves the original
+    ``progress(i, total, spec)`` callback signature.
     """
-    for name in axes:
-        if name not in _SPEC_FIELDS:
-            raise ValueError(
-                f"unknown RunSpec field {name!r}; valid: {sorted(_SPEC_FIELDS)}"
-            )
-    names = list(axes)
-    combos = list(itertools.product(*(axes[n] for n in names)))
-    records: List[Dict[str, object]] = []
-    for i, combo in enumerate(combos):
-        overrides = dict(zip(names, combo))
-        spec = replace(base, **overrides)
-        if progress is not None:
-            progress(i, len(combos), spec)
-        result = run_system(spec, use_cache=use_cache)
-        record: Dict[str, object] = dict(overrides)
-        record["benchmark"] = spec.benchmark
-        record["scheme"] = spec.scheme
-        for m in metrics:
-            record[m] = getattr(result, m)
-        records.append(record)
-    return records
+    warnings.warn(
+        "cartesian_sweep() is deprecated; use repro.experiments.api.sweep()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments import api
+
+    wrapped = None
+    if progress is not None:
+        # api.sweep reports (done, total, spec, source) after each run;
+        # serial order matches grid order, so done-1 is the old index.
+        wrapped = lambda done, total, spec, source: progress(
+            done - 1, total, spec
+        )
+    return api.sweep(
+        base,
+        axes,
+        metrics=metrics,
+        workers=1,
+        use_cache=use_cache,
+        progress=wrapped,
+    )
 
 
 def records_to_csv(records: Sequence[Mapping[str, object]]) -> str:
@@ -91,8 +83,14 @@ def best_by(
     metric: str = "ipc",
     maximize: bool = True,
 ) -> Optional[Mapping[str, object]]:
-    """The record with the best value of ``metric``."""
-    if not records:
+    """The record with the best value of ``metric``.
+
+    Records that lack the metric are skipped (they used to be treated as
+    +/-inf, which let them win or lose inconsistently); returns ``None``
+    when no record carries it.
+    """
+    carrying = [r for r in records if metric in r]
+    if not carrying:
         return None
-    key = lambda r: r.get(metric, float("-inf") if maximize else float("inf"))
-    return max(records, key=key) if maximize else min(records, key=key)
+    key = lambda r: r[metric]
+    return max(carrying, key=key) if maximize else min(carrying, key=key)

@@ -12,6 +12,22 @@ def _fresh_packet_ids():
     yield
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_store(tmp_path, monkeypatch):
+    """Point the default ResultStore at a per-test directory.
+
+    Tests must never read or pollute the repo's real ``results/`` store;
+    resetting the singleton makes :func:`default_store` re-derive its
+    location from the patched ``REPRO_CACHE``.
+    """
+    from repro.experiments import store as store_mod
+
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "result_store" / "cache.json"))
+    store_mod.set_default_store(None)
+    yield
+    store_mod.set_default_store(None)
+
+
 @pytest.fixture
 def small_network():
     """A 4x4 XY network with default parameters."""

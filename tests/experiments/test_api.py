@@ -1,0 +1,161 @@
+"""Tests for the public experiments API (run / run_many / sweep / grid)
+and the deprecated wrappers that sit on top of it."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import api
+from repro.experiments.runner import RunSpec
+from repro.experiments.store import ResultStore
+
+BASE = RunSpec(
+    "binomialOptions", "xy-baseline", cycles=80, warmup=20, mesh=4,
+    warps_per_core=4,
+)
+
+
+class TestRun:
+    def test_caches_into_store(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s"))
+        r1 = api.run(BASE, store=store)
+        assert BASE.key() in store
+        r2 = api.run(BASE, store=store)
+        assert dataclasses.asdict(r1) == dataclasses.asdict(r2)
+
+    def test_use_cache_false_skips_store(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s"))
+        r = api.run(BASE, store=store, use_cache=False)
+        assert r.instructions > 0
+        assert len(store) == 0
+
+    def test_default_store_used(self):
+        from repro.experiments.store import default_store
+
+        api.run(BASE)
+        assert BASE.key() in default_store()
+
+    def test_extras_carry_host_profile(self, tmp_path):
+        r = api.run(BASE, store=ResultStore(str(tmp_path / "s")))
+        assert "energy_per_instr" in r.extras
+        assert r.extras["sim_cycles_per_sec"] > 0
+
+    def test_telemetry_bypasses_cache(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s"))
+        r = api.run(BASE, store=store, telemetry=True, interval=20)
+        assert r.instructions > 0
+        assert len(store) == 0
+
+
+class TestRunLive:
+    def test_returns_result_collector_system(self):
+        live = api.run_live(BASE, interval=20)
+        assert live.result.instructions > 0
+        assert live.collector.samples_taken > 0
+        assert live.system.mc_nodes
+        assert len(live.collector.memory.samples) > 0
+
+    def test_accepts_existing_collector(self):
+        from repro.telemetry import MemorySink, TelemetryCollector
+
+        collector = TelemetryCollector(interval=20, sinks=[MemorySink()])
+        live = api.run_live(BASE, collector=collector)
+        assert live.collector is collector
+
+
+class TestSweep:
+    def test_rejects_unknown_axis(self):
+        with pytest.raises(ValueError, match="unknown RunSpec field"):
+            api.sweep(BASE, axes={"clock_speed": [1]})
+
+    def test_expands_all_combinations(self, tmp_path):
+        records = api.sweep(
+            BASE,
+            axes={"num_vcs": [2, 4], "seed": [1, 2]},
+            metrics=("ipc",),
+            store=ResultStore(str(tmp_path / "s")),
+        )
+        assert len(records) == 4
+        combos = {(r["num_vcs"], r["seed"]) for r in records}
+        assert combos == {(2, 1), (2, 2), (4, 1), (4, 2)}
+        assert all(r["ipc"] > 0 for r in records)
+        assert all(r["benchmark"] == "binomialOptions" for r in records)
+
+    def test_workers_do_not_change_records(self, tmp_path):
+        axes = {"seed": [1, 2, 3, 4], "num_vcs": [2, 4]}
+        serial = api.sweep(
+            BASE, axes, workers=1, store=ResultStore(str(tmp_path / "a"))
+        )
+        parallel = api.sweep(
+            BASE, axes, workers=4, store=ResultStore(str(tmp_path / "b"))
+        )
+        assert serial == parallel
+
+    def test_progress_callback(self, tmp_path):
+        seen = []
+        api.sweep(
+            BASE,
+            axes={"seed": [1, 2]},
+            metrics=("ipc",),
+            store=ResultStore(str(tmp_path / "s")),
+            progress=lambda done, total, spec, source: seen.append(
+                (done, total, source)
+            ),
+        )
+        assert seen == [(1, 2, "run"), (2, 2, "run")]
+
+
+class TestGrid:
+    def test_shape_and_content(self, tmp_path):
+        out = api.grid(
+            ["binomialOptions"],
+            ["xy-baseline", "ada-ari"],
+            store=ResultStore(str(tmp_path / "s")),
+            cycles=80, warmup=20, mesh=4, warps_per_core=4,
+        )
+        assert set(out) == {"binomialOptions"}
+        assert set(out["binomialOptions"]) == {"xy-baseline", "ada-ari"}
+        assert out["binomialOptions"]["ada-ari"].ipc > 0
+
+
+class TestDeprecatedWrappers:
+    def test_run_system_warns_and_delegates(self, tmp_path):
+        from repro.experiments.runner import run_system
+
+        with pytest.warns(DeprecationWarning, match="run_system"):
+            r = run_system(BASE)
+        assert r.instructions > 0
+
+    def test_run_with_telemetry_warns_and_returns_triple(self):
+        from repro.experiments.runner import run_with_telemetry
+
+        with pytest.warns(DeprecationWarning, match="run_with_telemetry"):
+            result, collector, system = run_with_telemetry(BASE, interval=20)
+        assert result.instructions > 0
+        assert collector.samples_taken > 0
+        assert system.mc_nodes
+
+    def test_runner_sweep_warns_and_returns_grid(self):
+        from repro.experiments.runner import sweep as runner_sweep
+
+        with pytest.warns(DeprecationWarning, match="runner.sweep"):
+            out = runner_sweep(
+                ["binomialOptions"], ["xy-baseline"],
+                cycles=80, warmup=20, mesh=4, warps_per_core=4,
+            )
+        assert out["binomialOptions"]["xy-baseline"].ipc > 0
+
+    def test_cartesian_sweep_warns_and_keeps_progress_signature(self):
+        from repro.experiments.sweeps import cartesian_sweep
+
+        seen = []
+        with pytest.warns(DeprecationWarning, match="cartesian_sweep"):
+            records = cartesian_sweep(
+                BASE,
+                axes={"seed": [1, 2]},
+                metrics=("ipc",),
+                use_cache=False,
+                progress=lambda i, n, spec: seen.append((i, n)),
+            )
+        assert len(records) == 2
+        assert seen == [(0, 2), (1, 2)]

@@ -3,20 +3,17 @@
 import pytest
 
 import repro.experiments.figures as figures
-import repro.experiments.runner as runner
 
 
 @pytest.fixture(autouse=True)
-def micro_scale(monkeypatch, tmp_path):
-    """Shrink the smoke budget and isolate the cache for these tests."""
+def micro_scale(monkeypatch):
+    """Shrink the smoke budget for these tests.
+
+    The result store is already isolated per-test by conftest's autouse
+    ``_isolated_result_store`` fixture.
+    """
     monkeypatch.setitem(figures.SCALES, "smoke", {"cycles": 150, "warmup": 50})
-    monkeypatch.setattr(runner, "_CACHE_PATH", str(tmp_path / "cache.json"))
-    monkeypatch.setattr(runner, "_disk_loaded", True)
-    saved = dict(runner._memory_cache)
-    runner._memory_cache.clear()
     yield
-    runner._memory_cache.clear()
-    runner._memory_cache.update(saved)
 
 
 BMS = ["bfs"]
@@ -106,10 +103,12 @@ class TestDrivers:
     def test_figures_share_sweeps_via_cache(self):
         """Figs. 11 and 12 consume the same scheme x benchmark grid; after
         running fig11 the fig12 driver must not simulate anything new."""
+        from repro.experiments.store import default_store
+
         figures.fig11_scheme_comparison("smoke", benchmarks=BMS)
-        entries = len(runner._memory_cache)
+        entries = len(default_store())
         figures.fig12_mc_stall_time("smoke", benchmarks=BMS)
-        assert len(runner._memory_cache) == entries
+        assert len(default_store()) == entries
 
     def test_all_figures_registry(self):
         assert len(figures.ALL_FIGURES) == 20

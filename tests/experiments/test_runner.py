@@ -5,9 +5,10 @@ import pytest
 from repro.experiments.runner import (
     RunSpec,
     build_system,
+    cache_info,
+    clear_cache,
     geometric_mean,
     normalized,
-    run_system,
 )
 
 
@@ -45,31 +46,46 @@ class TestBuildSystem:
 
 
 class TestRunAndCache:
-    def test_result_cached(self, tmp_path, monkeypatch):
-        import repro.experiments.runner as runner
+    # The default store is isolated per-test by the autouse
+    # ``_isolated_result_store`` fixture in conftest.py.
 
-        monkeypatch.setattr(runner, "_CACHE_PATH", str(tmp_path / "c.json"))
-        monkeypatch.setattr(runner, "_disk_loaded", False)
-        runner._memory_cache.clear()
+    def test_result_cached(self):
+        from repro.experiments.api import run
+        from repro.experiments.store import default_store
+
         spec = RunSpec("binomialOptions", "xy-baseline", cycles=120, warmup=30,
                        mesh=4, warps_per_core=4)
-        r1 = run_system(spec)
-        assert (tmp_path / "c.json").exists()
-        r2 = run_system(spec)
+        r1 = run(spec)
+        store = default_store()
+        import os
+
+        assert os.path.exists(
+            os.path.join(store.root, spec.key()[:2], spec.key() + ".json")
+        )
+        r2 = run(spec)
         assert r1.instructions == r2.instructions
         assert r1.extras == r2.extras
 
-    def test_cache_bypass(self, tmp_path, monkeypatch):
-        import repro.experiments.runner as runner
+    def test_cache_bypass(self):
+        from repro.experiments.api import run
+        from repro.experiments.store import default_store
 
-        monkeypatch.setattr(runner, "_CACHE_PATH", str(tmp_path / "c.json"))
-        monkeypatch.setattr(runner, "_disk_loaded", False)
-        runner._memory_cache.clear()
         spec = RunSpec("binomialOptions", "xy-baseline", cycles=120, warmup=30,
                        mesh=4, warps_per_core=4)
-        r1 = run_system(spec, use_cache=False)
-        assert not (tmp_path / "c.json").exists()
+        r1 = run(spec, use_cache=False)
+        assert len(default_store()) == 0
         assert r1.instructions > 0
+
+    def test_cache_info_and_clear(self):
+        from repro.experiments.api import run
+
+        spec = RunSpec("binomialOptions", "xy-baseline", cycles=120, warmup=30,
+                       mesh=4, warps_per_core=4)
+        run(spec)
+        info = cache_info()
+        assert info["entries"] == 1
+        clear_cache(disk=True)
+        assert cache_info()["entries"] == 0
 
 
 class TestAggregation:

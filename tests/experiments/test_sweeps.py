@@ -15,13 +15,17 @@ BASE = RunSpec("binomialOptions", "xy-baseline", cycles=120, warmup=30,
 
 
 class TestCartesianSweep:
+    # cartesian_sweep is a deprecated shim over repro.experiments.api.sweep;
+    # every call warns.  The new API is covered in test_api.py.
+
     def test_expands_all_combinations(self):
-        records = cartesian_sweep(
-            BASE,
-            axes={"num_vcs": [2, 4], "seed": [1, 2]},
-            metrics=("ipc",),
-            use_cache=False,
-        )
+        with pytest.warns(DeprecationWarning, match="cartesian_sweep"):
+            records = cartesian_sweep(
+                BASE,
+                axes={"num_vcs": [2, 4], "seed": [1, 2]},
+                metrics=("ipc",),
+                use_cache=False,
+            )
         assert len(records) == 4
         combos = {(r["num_vcs"], r["seed"]) for r in records}
         assert combos == {(2, 1), (2, 2), (4, 1), (4, 2)}
@@ -29,18 +33,20 @@ class TestCartesianSweep:
         assert all(r["benchmark"] == "binomialOptions" for r in records)
 
     def test_rejects_unknown_axis(self):
-        with pytest.raises(ValueError, match="unknown RunSpec field"):
-            cartesian_sweep(BASE, axes={"clock_speed": [1]})
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="unknown RunSpec field"):
+                cartesian_sweep(BASE, axes={"clock_speed": [1]})
 
     def test_progress_callback(self):
         seen = []
-        cartesian_sweep(
-            BASE,
-            axes={"seed": [1, 2]},
-            metrics=("ipc",),
-            use_cache=False,
-            progress=lambda i, n, spec: seen.append((i, n)),
-        )
+        with pytest.warns(DeprecationWarning):
+            cartesian_sweep(
+                BASE,
+                axes={"seed": [1, 2]},
+                metrics=("ipc",),
+                use_cache=False,
+                progress=lambda i, n, spec: seen.append((i, n)),
+            )
         assert seen == [(0, 2), (1, 2)]
 
 
@@ -78,3 +84,12 @@ class TestBestBy:
 
     def test_empty(self):
         assert best_by([]) is None
+
+    def test_skips_records_missing_metric(self):
+        recs = [{"seed": 1}, {"seed": 2, "ipc": 2.0}, {"seed": 3, "ipc": 1.0}]
+        assert best_by(recs)["seed"] == 2
+        assert best_by(recs, maximize=False)["seed"] == 3
+
+    def test_none_when_no_record_carries_metric(self):
+        recs = [{"seed": 1}, {"seed": 2}]
+        assert best_by(recs, "ipc") is None

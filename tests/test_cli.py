@@ -81,24 +81,69 @@ class TestViz:
 
 
 class TestCompare:
-    def test_compare_output(self, capsys, tmp_path, monkeypatch):
-        import repro.experiments.runner as runner
+    # The default store is isolated per-test by conftest's autouse fixture.
 
-        monkeypatch.setattr(runner, "_CACHE_PATH", str(tmp_path / "c.json"))
-        monkeypatch.setattr(runner, "_disk_loaded", True)
-        saved = dict(runner._memory_cache)
-        runner._memory_cache.clear()
-        try:
-            rc = main(["compare", "binomialOptions",
-                       "--cycles", "150", "--mesh", "4"])
-            assert rc == 0
-            out = capsys.readouterr().out
-            for sch in ("xy-baseline", "xy-ari", "ada-ari"):
-                assert sch in out
-            assert "vs base" in out
-        finally:
-            runner._memory_cache.clear()
-            runner._memory_cache.update(saved)
+    def test_compare_output(self, capsys):
+        rc = main(["compare", "binomialOptions",
+                   "--cycles", "150", "--mesh", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for sch in ("xy-baseline", "xy-ari", "ada-ari"):
+            assert sch in out
+        assert "vs base" in out
+
+    def test_compare_with_workers(self, capsys):
+        rc = main(["compare", "binomialOptions",
+                   "--cycles", "150", "--mesh", "4", "--workers", "2"])
+        assert rc == 0
+        assert "vs base" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_sweep_runs_and_reports_best(self, capsys, tmp_path):
+        csv_path = tmp_path / "sweep.csv"
+        rc = main(
+            ["sweep", "binomialOptions", "xy-baseline",
+             "--axis", "seed=1,2", "--cycles", "150", "--mesh", "4",
+             "--csv", str(csv_path), "--quiet"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 runs" in out
+        assert "best by ipc" in out
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].startswith("seed,benchmark,scheme,ipc")
+        assert len(lines) == 3  # header + 2 records
+
+    def test_sweep_progress_lines(self, capsys):
+        rc = main(
+            ["sweep", "binomialOptions", "xy-baseline",
+             "--axis", "seed=1,2", "--cycles", "150", "--mesh", "4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[1/2]" in out
+        assert "[2/2]" in out
+
+    def test_bad_axis_exits(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "binomialOptions", "xy-baseline",
+                  "--axis", "seedonly"])
+
+
+class TestCacheCommand:
+    def test_info_and_clear(self, capsys):
+        main(["run", "binomialOptions", "xy-baseline",
+              "--cycles", "150", "--mesh", "4"])
+        capsys.readouterr()
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+        assert ": 1" in out
+        assert main(["cache", "--clear"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared result store" in out
+        assert ": 0" in out
 
 
 class TestFigureCommand:
