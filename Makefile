@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench figures figures-paper telemetry-demo sweep-demo clean-cache loc help
+.PHONY: install test bench figures figures-paper telemetry-demo sweep-demo faults-demo clean-cache loc help
 
 help:
 	@echo "make install        editable install"
@@ -12,6 +12,7 @@ help:
 	@echo "make figures-paper  full 30-benchmark regeneration (~1h)"
 	@echo "make telemetry-demo time-series telemetry, baseline vs ARI"
 	@echo "make sweep-demo     parallel design-space sweep across 2 workers"
+	@echo "make faults-demo    degradation campaign: dead links, detour routing"
 	@echo "make clean-cache    drop the simulation result cache"
 	@echo "make loc            count lines of code"
 
@@ -43,6 +44,13 @@ sweep-demo:
 	$(PY) -m repro sweep bfs ada-ari \
 		--axis num_vcs=2,4 --axis injection_speedup=1,2 \
 		--workers 2 --cycles 600 --mesh 4
+
+# Kill 0/1/2 reply-mesh links (same cut for both schemes) and compare
+# how gracefully baseline XY vs. ARI degrade with detour routing on.
+faults-demo:
+	$(PY) -m repro faults --benchmark bfs \
+		--schemes xy-baseline,ada-ari --dead-links 0,1,2 \
+		--cycles 600 --mesh 4 --workers 2
 
 clean-cache:
 	rm -rf results/cache results/cache.json

@@ -13,6 +13,8 @@ Usage::
     python -m repro viz bfs ada-ari [--cycles N] # congestion heatmaps
     python -m repro telemetry --benchmark bfs --scheme ari \\
         --interval 100 --out out.jsonl           # time-series telemetry
+    python -m repro faults --benchmark bfs --dead-links 0,1,2 \\
+        --workers 2 [--json report.json]         # degradation campaign
 """
 
 from __future__ import annotations
@@ -292,6 +294,72 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_ints(text: str) -> tuple:
+    try:
+        return tuple(int(tok) for tok in text.split(",") if tok)
+    except ValueError:
+        raise SystemExit(f"expected comma-separated integers, got {text!r}")
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults import (
+        CampaignConfig,
+        FaultPlan,
+        describe,
+        run_campaign,
+    )
+
+    schemes = tuple(
+        _resolve_scheme(s) for s in args.schemes.split(",") if s
+    )
+    cfg = CampaignConfig(
+        benchmark=args.benchmark,
+        schemes=schemes,
+        dead_links=_parse_ints(args.dead_links),
+        seeds=_parse_ints(args.seeds),
+        cycles=args.cycles,
+        warmup=args.cycles // 3,
+        mesh=args.mesh,
+        fault_seed=args.fault_seed,
+        fault_cycle=args.fault_cycle,
+        duration=args.duration,
+        detour=not args.no_detour,
+        check_invariants=(
+            None if args.invariants == "off" else args.invariants
+        ),
+    )
+    if args.describe is not None:
+        for line in describe(FaultPlan.parse(args.describe)):
+            print(line)
+        return 0
+    for n in cfg.dead_links:
+        plan = cfg.plan_for(n)
+        if not plan.empty:
+            print(f"dead_links={n}: {plan.format()}")
+
+    def progress(done, total, spec, source):
+        marker = {"cache": "cached", "run": "ran", "retry": "retrying"}[source]
+        faults = spec.faults or "-"
+        print(f"  [{done}/{total}] {marker}: {spec.scheme} faults={faults}",
+              flush=True)
+
+    report = run_campaign(
+        cfg,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        progress=progress if not args.quiet else None,
+    )
+    print()
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -376,6 +444,47 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the sample stream as JSONL")
     tel.add_argument("--csv", default=None,
                      help="write the sample stream as CSV")
+
+    flt = sub.add_parser(
+        "faults",
+        help="fault-injection degradation campaign: kill reply-mesh links "
+             "and compare how gracefully each scheme degrades",
+    )
+    flt.add_argument(
+        "--benchmark", default="bfs", choices=benchmark_names(),
+        metavar="benchmark",
+    )
+    flt.add_argument(
+        "--schemes", default="xy-baseline,ada-ari",
+        help="comma-separated scheme names (short aliases allowed)",
+    )
+    flt.add_argument("--dead-links", default="0,1,2", metavar="N1,N2",
+                     help="fault intensities: dead reply-mesh links per cell")
+    flt.add_argument("--seeds", default="3", metavar="S1,S2",
+                     help="workload seeds averaged per cell")
+    flt.add_argument("--cycles", type=int, default=600)
+    flt.add_argument("--mesh", type=int, default=4, choices=(4, 6, 8))
+    flt.add_argument("--fault-seed", type=int, default=7,
+                     help="seed picking which links die (same for all schemes)")
+    flt.add_argument("--fault-cycle", type=int, default=0,
+                     help="onset cycle of every link fault")
+    flt.add_argument("--duration", type=int, default=None,
+                     help="repair faults after this many cycles (default: "
+                          "permanent)")
+    flt.add_argument("--no-detour", action="store_true",
+                     help="disable fault-aware detour routing")
+    flt.add_argument("--invariants", default="collect",
+                     choices=("off", "collect", "raise"),
+                     help="per-cycle flow-control auditing mode")
+    flt.add_argument("--workers", type=int, default=None,
+                     help="parallel workers (0 = all cores)")
+    flt.add_argument("--no-cache", action="store_true")
+    flt.add_argument("--json", default=None,
+                     help="also write the degradation report as JSON")
+    flt.add_argument("--quiet", action="store_true",
+                     help="suppress per-run progress lines")
+    flt.add_argument("--describe", default=None, metavar="PLAN",
+                     help="explain a fault-plan DSL string and exit")
     return p
 
 
@@ -391,6 +500,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "area": _cmd_area,
         "viz": _cmd_viz,
         "telemetry": _cmd_telemetry,
+        "faults": _cmd_faults,
     }
     return handlers[args.command](args)
 

@@ -29,7 +29,13 @@ import itertools
 from dataclasses import fields, replace
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.experiments.executor import SweepExecutor, simulate_spec
+from repro.experiments.executor import (
+    SweepExecutor,
+    fault_extras,
+    install_spec_faults,
+    resolve_invariant_mode,
+    simulate_spec,
+)
 from repro.experiments.runner import RunSpec
 from repro.experiments.store import ResultStore, default_store
 from repro.gpu.system import SimulationResult
@@ -66,6 +72,7 @@ def run(
     interval: int = 100,
     jsonl_path: Optional[str] = None,
     csv_path: Optional[str] = None,
+    check_invariants=None,
 ) -> SimulationResult:
     """Run one spec and return its :class:`SimulationResult`.
 
@@ -75,6 +82,13 @@ def run(
     :class:`~repro.telemetry.TelemetryCollector` you keep a reference
     to), the run is live and the cache is bypassed — use
     :func:`run_live` when you also need the collector/system back.
+
+    ``check_invariants`` turns on per-cycle flow-control auditing
+    (``True``/"raise" fails on the first violation, ``"collect"``
+    records a count in extras; default defers to the
+    ``REPRO_CHECK_INVARIANTS`` env var).  A run asked to *raise* on
+    violations never reads the cache — a cached record proves nothing
+    about invariants, so the simulation is redone under audit.
     """
     if telemetry:
         collector = None if telemetry is True else telemetry
@@ -85,12 +99,13 @@ def run(
             jsonl_path=jsonl_path,
             csv_path=csv_path,
         ).result
+    mode = resolve_invariant_mode(check_invariants)
     st = store if store is not None else default_store()
-    if use_cache:
+    if use_cache and mode != "raise":
         hit = st.get(spec.key())
         if hit is not None:
             return SimulationResult(**hit)
-    result = simulate_spec(spec)
+    result = simulate_spec(spec, check_invariants=check_invariants)
     if use_cache:
         st.put(spec.key(), dataclasses.asdict(result))
     return result
@@ -127,8 +142,19 @@ def run_live(
 
         system = build_system(spec)
     system.attach_telemetry(collector)
+    injectors, faulted = install_spec_faults(spec, system)
+    if injectors:
+        from repro.faults import FaultProbe
+
+        collector.add_probe(FaultProbe(list(injectors.values())))
     with profiler.phase("measure"):
-        result = system.simulate(cycles=spec.cycles, warmup=spec.warmup)
+        result = system.simulate(
+            cycles=spec.cycles,
+            warmup=spec.warmup,
+            on_deadlock="record" if faulted else "raise",
+        )
+    if faulted:
+        result.extras.update(fault_extras(system, injectors))
     profiler.count("cycles", spec.cycles + spec.warmup)
     profiler.count(
         "packets",
@@ -152,12 +178,13 @@ def run_many(
     progress=None,
     profiler: Optional[HostProfiler] = None,
     sink=None,
+    check_invariants=None,
 ) -> List[SimulationResult]:
     """Run a batch of specs (sharded across processes when ``workers>1``).
 
     Results come back in input order; duplicate specs are simulated once.
-    See :class:`~repro.experiments.executor.SweepExecutor` for the knobs
-    and for per-run crash retry semantics.
+    See :class:`~repro.experiments.executor.SweepExecutor` for the knobs,
+    per-run crash retry semantics, and ``check_invariants``.
     """
     executor = SweepExecutor(
         workers=workers,
@@ -168,6 +195,7 @@ def run_many(
         progress=progress,
         profiler=profiler,
         sink=sink,
+        check_invariants=check_invariants,
     )
     return executor.run_many(specs)
 

@@ -45,6 +45,11 @@ WORKERS_ENV = "REPRO_WORKERS"
 #: crash-retry path is exercisable deterministically across processes.
 FAULT_DIR_ENV = "REPRO_EXECUTOR_FAULT_DIR"
 
+#: Environment knob: per-cycle flow-control invariant auditing.  ``1`` (or
+#: ``raise``) fails the run on the first violation; ``collect`` accumulates
+#: violations into ``extras["invariant_violations"]`` instead.
+INVARIANTS_ENV = "REPRO_CHECK_INVARIANTS"
+
 ProgressFn = Callable[[int, int, RunSpec, str], None]
 
 
@@ -84,19 +89,125 @@ def _maybe_inject_fault(spec: RunSpec) -> None:
         )
 
 
-def simulate_spec(spec: RunSpec) -> SimulationResult:
+def resolve_invariant_mode(check_invariants=None) -> Optional[str]:
+    """Resolve invariant auditing to ``"raise"``, ``"collect"`` or ``None``.
+
+    An explicit argument wins (``True`` = raise, ``False`` = off even when
+    the env var is set); otherwise :data:`INVARIANTS_ENV` decides.
+    """
+    if check_invariants is not None:
+        if check_invariants is False:
+            return None
+        if check_invariants is True:
+            return "raise"
+        if check_invariants in ("raise", "collect"):
+            return check_invariants
+        raise ValueError(
+            "check_invariants must be True/False/'raise'/'collect', "
+            f"got {check_invariants!r}"
+        )
+    env = os.environ.get(INVARIANTS_ENV, "").strip().lower()
+    if env in ("1", "true", "raise"):
+        return "raise"
+    if env == "collect":
+        return "collect"
+    return None
+
+
+def install_spec_faults(spec: RunSpec, system):
+    """Install the spec's fault plan on a built system.
+
+    Returns ``(injectors, faulted)`` — ``injectors`` is None when the spec
+    carries no plan (the subsystem is then never imported, keeping the
+    zero-overhead contract), and ``faulted`` is False for an empty plan.
+    """
+    if spec.faults is None:
+        return None, False
+    from repro.faults import FaultPlan, install_system_faults
+
+    plan = FaultPlan.parse(spec.faults)
+    detour = spec.fault_detour if spec.fault_detour is not None else True
+    injectors = install_system_faults(system, plan, detour=detour)
+    return injectors, not plan.empty
+
+
+def attach_auditors(spec: RunSpec, system, mode: str):
+    """Hook an :class:`InvariantChecker` onto each mesh network.
+
+    The context string (benchmark/scheme/seed/net) rides inside every
+    violation message, so a failure out of a parallel sweep is
+    reproducible from the error text alone.
+    """
+    from repro.noc.network import Network
+    from repro.noc.validation import InvariantChecker
+
+    context = f"{spec.benchmark}/{spec.scheme} seed={spec.seed}"
+    auditors = []
+    for name, net in (("req", system.request_net), ("rep", system.reply_net)):
+        if isinstance(net, Network):
+            checker = InvariantChecker(
+                net,
+                context=f"{context} net={name}",
+                collect=(mode == "collect"),
+            )
+            net.auditor = checker
+            auditors.append(checker)
+    return auditors
+
+
+def fault_extras(system, injectors) -> Dict[str, float]:
+    """Degradation metrics for a faulted run (merged into extras)."""
+    req, rep = system.request_net.stats, system.reply_net.stats
+    delivered = req.packets_delivered + rep.packets_delivered
+    dropped = req.packets_dropped + rep.packets_dropped
+    resolved = delivered + dropped
+    out = {
+        "delivered_fraction": (delivered / resolved) if resolved else 1.0,
+        "packets_dropped": float(dropped),
+    }
+    totals: Dict[str, float] = {}
+    for injector in injectors.values():
+        for key, value in injector.summary().items():
+            totals[key] = totals.get(key, 0.0) + value
+    out.update(totals)
+    out["fault_drops_total"] = sum(
+        i.stats.drops_total for i in injectors.values()
+    )
+    return out
+
+
+def simulate_spec(
+    spec: RunSpec, check_invariants=None
+) -> SimulationResult:
     """Simulate one spec fresh (no cache involved).
 
     Also records host-side profiling (build / simulate wall time and
     simulated cycles per second) in ``result.extras`` so every artifact
-    carries the perf trajectory of the simulator itself.
+    carries the perf trajectory of the simulator itself.  Specs carrying
+    a fault plan get the :mod:`repro.faults` subsystem installed (lazily
+    imported — a plain spec never loads it) plus degradation extras;
+    ``check_invariants`` (or :data:`INVARIANTS_ENV`) adds per-cycle
+    flow-control audits.
     """
     _maybe_inject_fault(spec)
+    mode = resolve_invariant_mode(check_invariants)
     profiler = HostProfiler()
     with profiler.phase("build"):
         system = build_system(spec)
+    injectors, faulted = install_spec_faults(spec, system)
+    auditors = attach_auditors(spec, system, mode) if mode is not None else []
     with profiler.phase("measure"):
-        result = system.simulate(cycles=spec.cycles, warmup=spec.warmup)
+        result = system.simulate(
+            cycles=spec.cycles,
+            warmup=spec.warmup,
+            on_deadlock="record" if faulted else "raise",
+        )
+    if faulted:
+        result.extras.update(fault_extras(system, injectors))
+    if mode is not None:
+        result.extras["invariant_violations"] = float(
+            sum(len(a.violations) for a in auditors)
+        )
     profiler.count("cycles", spec.cycles + spec.warmup)
     # Attach the energy-model output (Fig. 14) while we still hold the system.
     ari_on = "ari" in spec.scheme
@@ -107,12 +218,16 @@ def simulate_spec(spec: RunSpec) -> SimulationResult:
     return result
 
 
-def _run_chunk(payloads: List[dict]) -> List[dict]:
+def _run_chunk(payloads: List[dict], check_invariants=None) -> List[dict]:
     """Worker entry point: simulate a chunk of spec dicts, return result dicts."""
     out = []
     for payload in payloads:
         spec = RunSpec(**payload)
-        out.append(dataclasses.asdict(simulate_spec(spec)))
+        out.append(
+            dataclasses.asdict(
+                simulate_spec(spec, check_invariants=check_invariants)
+            )
+        )
     return out
 
 
@@ -166,6 +281,10 @@ class SweepExecutor:
     sink:
         Optional :class:`~repro.telemetry.TelemetrySink`; receives one
         sample per completion on the ``exec.*`` channels.
+    check_invariants:
+        Per-cycle flow-control auditing for every run; ``True``/"raise"
+        fails fast, ``"collect"`` records counts, ``None`` defers to
+        :data:`INVARIANTS_ENV`.
     """
 
     def __init__(
@@ -179,6 +298,7 @@ class SweepExecutor:
         progress: Optional[ProgressFn] = None,
         profiler: Optional[HostProfiler] = None,
         sink=None,
+        check_invariants=None,
     ):
         self.workers = resolve_workers(workers)
         self.chunk_size = chunk_size
@@ -188,6 +308,7 @@ class SweepExecutor:
         self.progress = progress
         self.profiler = profiler if profiler is not None else HostProfiler()
         self.sink = sink
+        self.check_invariants = check_invariants
         self.report = ExecutionReport()
 
     # -- public -------------------------------------------------------------
@@ -280,7 +401,9 @@ class SweepExecutor:
         last: Optional[BaseException] = None
         for attempt in range(self.retries + 1):
             try:
-                return simulate_spec(spec)
+                return simulate_spec(
+                    spec, check_invariants=self.check_invariants
+                )
             except Exception as exc:  # noqa: BLE001 - retry any run failure
                 last = exc
                 if attempt < self.retries:
@@ -310,7 +433,9 @@ class SweepExecutor:
 
         def submit(group: List[int]) -> None:
             payload = [dataclasses.asdict(specs[i]) for i in group]
-            futures[pool.submit(_run_chunk, payload)] = group
+            futures[
+                pool.submit(_run_chunk, payload, self.check_invariants)
+            ] = group
 
         def requeue(group: List[int], broken: bool) -> None:
             nonlocal pool

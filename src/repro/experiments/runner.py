@@ -49,10 +49,20 @@ class RunSpec:
     mc_placement: Optional[str] = None
     warp_scheduler: Optional[str] = None
     noc_hop_latency: Optional[int] = None
+    # Fault-injection plan in the repro.faults DSL (None = subsystem not
+    # loaded at all); fault_detour toggles detour routing for faulted runs.
+    faults: Optional[str] = None
+    fault_detour: Optional[bool] = None
 
     def key(self) -> str:
-        payload = json.dumps(dataclasses.asdict(self), sort_keys=True)
-        return hashlib.sha1(payload.encode()).hexdigest()[:20]
+        payload = dataclasses.asdict(self)
+        # Fields introduced after the store went content-addressed are
+        # dropped while unset, so every pre-existing cache key survives.
+        for name in ("faults", "fault_detour"):
+            if payload[name] is None:
+                del payload[name]
+        blob = json.dumps(payload, sort_keys=True)
+        return hashlib.sha1(blob.encode()).hexdigest()[:20]
 
 
 def _build_scheme(spec: RunSpec) -> Scheme:

@@ -1,0 +1,57 @@
+"""repro.faults — fault injection, resilient routing, degradation campaigns.
+
+Turns the simulator into a resilience-evaluation platform: a
+:class:`FaultPlan` schedules transient/permanent faults on mesh links,
+router input ports, individual VCs, and NI split queues; a seeded
+:class:`FaultInjector` mutates the live network between cycles while
+detour routing, NI retry/backoff, and starvation-safe priority handling
+keep traffic flowing; a :class:`CampaignRunner` fans fault-intensity
+grids across schemes and emits a :class:`DegradationReport`.
+
+See ``docs/faults.md`` for the fault model and DSL, and
+``repro faults --help`` for the campaign CLI.
+"""
+
+from repro.faults.model import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    describe,
+    parse_event,
+    validate_plan,
+)
+from repro.faults.injector import (
+    FaultInjector,
+    FaultProbe,
+    FaultState,
+    FaultStats,
+    RetryPolicy,
+    install_faults,
+    install_system_faults,
+)
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    DegradationReport,
+    run_campaign,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "describe",
+    "parse_event",
+    "validate_plan",
+    "FaultInjector",
+    "FaultProbe",
+    "FaultState",
+    "FaultStats",
+    "RetryPolicy",
+    "install_faults",
+    "install_system_faults",
+    "CampaignConfig",
+    "CampaignRunner",
+    "DegradationReport",
+    "run_campaign",
+]

@@ -1,0 +1,272 @@
+"""Fault model: what breaks, where, and when.
+
+A :class:`FaultPlan` is an ordered set of :class:`FaultEvent` objects, each
+describing one fault on one resource of one physical network:
+
+``link``
+    A mesh output link: ``link:r5.E`` kills router 5's East output.  The
+    link stops accepting *new* packet allocations (admin-down semantics);
+    a packet already streaming through drains completely, so flow-control
+    state never corrupts mid-wormhole.
+``port``
+    A router *input* port: ``port:r5.W`` is shorthand for killing the
+    upstream link that feeds router 5's West input (its West neighbour's
+    East output).
+``vc``
+    One virtual channel of an output link: ``vc:r5.E.2`` pins VC 2 of
+    router 5's East output; the other VCs keep the link alive, so routing
+    does not detour.
+``niq``
+    One NI injection queue: ``niq:r3.1`` kills split queue 1 of node 3's
+    NI (queue 0 for single-queue NIs).  Stranded packets follow the
+    retry/relocate/drop policy of the injector.
+
+Events are scheduled by cycle and are *transient* when they carry a
+duration (``@100+50`` = fault at cycle 100, repair at 150) or *permanent*
+without one (``@100``).  An optional ``req:`` / ``rep:`` prefix selects
+the physical network (default: the reply network, where the paper's
+bottleneck lives).
+
+The textual DSL round-trips through :meth:`FaultPlan.parse` /
+:meth:`FaultPlan.format`, which is how a plan rides inside a
+:class:`~repro.experiments.runner.RunSpec` (a plain string keeps specs
+hashable, picklable, and content-addressable).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.noc.routing import DIRECTION_NAMES
+from repro.noc.topology import MeshTopology
+
+_DIR_BY_NAME = {name: d for d, name in DIRECTION_NAMES.items() if name != "L"}
+
+#: Physical networks a fault can target.
+NETS = ("req", "rep")
+
+
+class FaultKind(enum.Enum):
+    LINK = "link"
+    PORT = "port"
+    VC = "vc"
+    NIQ = "niq"
+
+
+_TOKEN_RE = re.compile(
+    r"^(?:(?P<net>req|rep):)?"
+    r"(?P<kind>link|port|vc|niq):"
+    r"(?P<target>[rR]\d+(?:\.[NESWnesw0-9]+)+)"
+    r"@(?P<cycle>\d+)"
+    r"(?:\+(?P<duration>\d+))?$"
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault on one resource, scheduled by cycle."""
+
+    kind: FaultKind
+    router: int                     # router id (node id for NIQ faults)
+    cycle: int
+    direction: Optional[int] = None  # link/port/vc faults
+    vc: Optional[int] = None         # vc faults
+    queue: Optional[int] = None      # niq faults
+    duration: Optional[int] = None   # None = permanent
+    net: str = "rep"
+
+    def __post_init__(self) -> None:
+        if self.net not in NETS:
+            raise ValueError(f"net must be one of {NETS}, got {self.net!r}")
+        if self.cycle < 0:
+            raise ValueError("fault cycle must be >= 0")
+        if self.duration is not None and self.duration < 1:
+            raise ValueError("fault duration must be >= 1 cycle")
+        if self.kind in (FaultKind.LINK, FaultKind.PORT, FaultKind.VC):
+            if self.direction is None or not 0 <= self.direction <= 3:
+                raise ValueError(f"{self.kind.value} fault needs a mesh direction")
+        if self.kind == FaultKind.VC and (self.vc is None or self.vc < 0):
+            raise ValueError("vc fault needs a VC index")
+        if self.kind == FaultKind.NIQ and (self.queue is None or self.queue < 0):
+            raise ValueError("niq fault needs a queue index")
+
+    @property
+    def repair_cycle(self) -> Optional[int]:
+        return None if self.duration is None else self.cycle + self.duration
+
+    def target(self) -> str:
+        if self.kind == FaultKind.NIQ:
+            return f"r{self.router}.{self.queue}"
+        d = DIRECTION_NAMES[self.direction]
+        if self.kind == FaultKind.VC:
+            return f"r{self.router}.{d}.{self.vc}"
+        return f"r{self.router}.{d}"
+
+    def token(self) -> str:
+        """Canonical DSL token (parse/format round-trip)."""
+        tail = f"@{self.cycle}"
+        if self.duration is not None:
+            tail += f"+{self.duration}"
+        prefix = "" if self.net == "rep" else f"{self.net}:"
+        return f"{prefix}{self.kind.value}:{self.target()}{tail}"
+
+
+def parse_event(token: str) -> FaultEvent:
+    """Parse one ``[net:]kind:target@cycle[+duration]`` token."""
+    token = token.strip()
+    m = _TOKEN_RE.match(token)
+    if m is None:
+        raise ValueError(
+            f"bad fault token {token!r} "
+            "(expected [req:|rep:]kind:rN.TARGET@cycle[+duration], "
+            "e.g. link:r5.E@100+50 or niq:r3.1@0)"
+        )
+    kind = FaultKind(m.group("kind"))
+    net = m.group("net") or "rep"
+    cycle = int(m.group("cycle"))
+    duration = int(m.group("duration")) if m.group("duration") else None
+    parts = m.group("target").lstrip("rR").split(".")
+    router = int(parts[0])
+    direction = vc = queue = None
+    fields = parts[1:]
+    if kind == FaultKind.NIQ:
+        if len(fields) != 1 or not fields[0].isdigit():
+            raise ValueError(f"niq target must be rN.Q, got {token!r}")
+        queue = int(fields[0])
+    else:
+        if not fields or fields[0].upper() not in _DIR_BY_NAME:
+            raise ValueError(f"{kind.value} target needs a direction N/E/S/W: {token!r}")
+        direction = _DIR_BY_NAME[fields[0].upper()]
+        if kind == FaultKind.VC:
+            if len(fields) != 2 or not fields[1].isdigit():
+                raise ValueError(f"vc target must be rN.DIR.VC, got {token!r}")
+            vc = int(fields[1])
+        elif len(fields) != 1:
+            raise ValueError(f"{kind.value} target must be rN.DIR, got {token!r}")
+    return FaultEvent(
+        kind=kind,
+        router=router,
+        cycle=cycle,
+        direction=direction,
+        vc=vc,
+        queue=queue,
+        duration=duration,
+        net=net,
+    )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, cycle-ordered collection of fault events."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda e: (e.cycle, e.token())))
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def for_net(self, net: str) -> "FaultPlan":
+        return FaultPlan(tuple(e for e in self.events if e.net == net))
+
+    def format(self) -> str:
+        """Canonical DSL string; ``parse(plan.format()) == plan``."""
+        return ";".join(e.token() for e in self.events)
+
+    @classmethod
+    def parse(cls, text: Optional[str]) -> "FaultPlan":
+        """Parse a ``;``-joined DSL string (None/empty -> empty plan)."""
+        if not text or not text.strip():
+            return cls()
+        return cls(tuple(parse_event(t) for t in text.split(";") if t.strip()))
+
+    @classmethod
+    def random_links(
+        cls,
+        count: int,
+        width: int,
+        height: int,
+        seed: int,
+        cycle: int = 0,
+        duration: Optional[int] = None,
+        net: str = "rep",
+        exclude: Sequence[Tuple[int, int]] = (),
+    ) -> "FaultPlan":
+        """``count`` distinct dead mesh links, drawn reproducibly by seed.
+
+        The draw is over the directed links of a ``width x height`` mesh;
+        ``exclude`` removes (router, direction) pairs from the pool (e.g.
+        to keep a cut away from a specific MC).  Campaign grids use this
+        so "2 dead links" means the same two links for every scheme.
+        """
+        topo = MeshTopology(width, height)
+        pool = [
+            (src, direction)
+            for src, direction, _dst in topo.links()
+            if (src, direction) not in set(exclude)
+        ]
+        if count > len(pool):
+            raise ValueError(
+                f"cannot pick {count} links from a pool of {len(pool)}"
+            )
+        rng = random.Random(seed)
+        picks = rng.sample(pool, count)
+        return cls(
+            tuple(
+                FaultEvent(
+                    kind=FaultKind.LINK,
+                    router=src,
+                    direction=direction,
+                    cycle=cycle,
+                    duration=duration,
+                    net=net,
+                )
+                for src, direction in picks
+            )
+        )
+
+
+def validate_plan(plan: FaultPlan, topology: MeshTopology, num_vcs: int) -> None:
+    """Check every event names a resource that exists on ``topology``."""
+    n = topology.num_routers
+    for e in plan.events:
+        if not 0 <= e.router < n:
+            raise ValueError(f"{e.token()}: router {e.router} not in mesh ({n} routers)")
+        if e.kind == FaultKind.NIQ:
+            continue  # queue count is NI-specific; checked at install time
+        neighbors = topology.neighbors(e.router)
+        if e.kind == FaultKind.PORT:
+            if e.direction not in neighbors:
+                raise ValueError(
+                    f"{e.token()}: router {e.router} has no input from "
+                    f"{DIRECTION_NAMES[e.direction]} (mesh edge)"
+                )
+        elif e.direction not in neighbors:
+            raise ValueError(
+                f"{e.token()}: router {e.router} has no "
+                f"{DIRECTION_NAMES[e.direction]} output link (mesh edge)"
+            )
+        if e.kind == FaultKind.VC and e.vc >= num_vcs:
+            raise ValueError(f"{e.token()}: VC {e.vc} >= num_vcs {num_vcs}")
+
+
+def describe(plan: FaultPlan) -> List[str]:
+    """Human-readable one-liners, one per event (CLI helper)."""
+    out = []
+    for e in plan.events:
+        life = "permanent" if e.duration is None else f"for {e.duration} cycles"
+        out.append(
+            f"{e.net} net: {e.kind.value} fault on {e.target()} "
+            f"at cycle {e.cycle} ({life})"
+        )
+    return out

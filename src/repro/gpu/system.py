@@ -291,21 +291,53 @@ class GPGPUSystem:
         except TypeError:  # overlay fabrics take no node filter
             return self.reply_net.injection_link_utilization()
 
+    def _run_tolerant(self, cycles: int) -> Optional[int]:
+        """Run, catching a deadlock; returns the cycle it hit, or None."""
+        from repro.noc.network import DeadlockError
+
+        try:
+            self.run(cycles)
+        except DeadlockError:
+            return self.now
+        return None
+
     # -- measurement ---------------------------------------------------------
     def simulate(
-        self, cycles: int, warmup: int = 0, prewarm: bool = True
+        self,
+        cycles: int,
+        warmup: int = 0,
+        prewarm: bool = True,
+        on_deadlock: str = "raise",
     ) -> SimulationResult:
-        """Run ``warmup`` cycles, then measure over ``cycles`` cycles."""
+        """Run ``warmup`` cycles, then measure over ``cycles`` cycles.
+
+        ``on_deadlock="record"`` turns a :class:`~repro.noc.network.
+        DeadlockError` into data instead of an exception: stepping stops,
+        the result is assembled from the state reached, and
+        ``extras["first_deadlock_cycle"]`` records when progress died —
+        fault campaigns measure *how* a scheme fails, not just that it
+        did.
+        """
+        if on_deadlock not in ("raise", "record"):
+            raise ValueError("on_deadlock must be 'raise' or 'record'")
         if prewarm:
             self.prewarm_caches()
+        first_deadlock: Optional[int] = None
         if warmup:
-            self.run(warmup)
+            if on_deadlock == "record":
+                first_deadlock = self._run_tolerant(warmup)
+            else:
+                self.run(warmup)
         instr0 = sum(c.stats.instructions for c in self.cores)
         ccyc0 = sum(c.stats.core_cycles for c in self.cores)
         stall0 = sum(m.stats.stall_cycles for m in self.mcs)
         stallt0 = sum(m.stats.stall_data_time for m in self.mcs)
         replies0 = sum(m.stats.replies_sent for m in self.mcs)
-        self.run(cycles)
+        if on_deadlock == "record":
+            if first_deadlock is None:
+                first_deadlock = self._run_tolerant(cycles)
+        else:
+            self.run(cycles)
         instructions = sum(c.stats.instructions for c in self.cores) - instr0
         core_cycles = sum(c.stats.core_cycles for c in self.cores) - ccyc0
         stalls = sum(m.stats.stall_cycles for m in self.mcs) - stall0
@@ -372,6 +404,11 @@ class GPGPUSystem:
             extras={
                 "mean_memory_latency": (
                     blocked / replies_recv if replies_recv else 0.0
+                ),
+                **(
+                    {"first_deadlock_cycle": float(first_deadlock)}
+                    if first_deadlock is not None
+                    else {}
                 ),
             },
         )

@@ -18,7 +18,10 @@ from repro.noc.flit import Flit
 class Link:
     """A unidirectional pipelined link with ``latency`` cycles of delay."""
 
-    __slots__ = ("name", "latency", "_pipe", "flits_carried", "busy_cycles", "is_injection")
+    __slots__ = (
+        "name", "latency", "_pipe", "flits_carried", "busy_cycles",
+        "is_injection", "failed",
+    )
 
     def __init__(self, name: str = "", latency: int = 1, is_injection: bool = False) -> None:
         if latency < 1:
@@ -29,6 +32,10 @@ class Link:
         self.flits_carried = 0
         self.busy_cycles = 0
         self.is_injection = is_injection
+        # Fault-injection marker (repro.faults): a failed link is fenced at
+        # allocation time, so send() is never reached for it; the flag is
+        # observability state, not a hot-path check.
+        self.failed = False
 
     def send(self, flit: Flit, now: int) -> None:
         """Put a flit onto the wire at cycle ``now``."""

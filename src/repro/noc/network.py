@@ -145,6 +145,11 @@ class Network:
         # Opt-in periodic sampling (repro.telemetry).  None keeps the hot
         # path to a single comparison per cycle — the PacketTracer contract.
         self.telemetry = None
+        # Opt-in hooks following the same is-None contract: `faults` is a
+        # repro.faults.FaultInjector mutating the network between cycles,
+        # `auditor` a per-cycle flow-control checker (InvariantChecker).
+        self.faults = None
+        self.auditor = None
         self._last_progress = 0
 
     # ------------------------------------------------------------------
@@ -255,6 +260,15 @@ class Network:
         packet latency, while time stalled in the source node (e.g. reply
         data stuck in the MC, Fig. 12) is not.
         """
+        f = self.faults
+        if f is not None and f.intercept_offer(node, packet):
+            # Destination unreachable on the live-link graph: accept the
+            # packet and immediately write it off (lost-reply semantics —
+            # the producer proceeds, delivered_fraction records the loss).
+            packet.created_at = self.now
+            self.stats.on_offer()
+            self.stats.on_drop(packet)
+            return True
         ok = self.nis[node].offer(packet, self.now)
         if ok:
             packet.created_at = self.now
@@ -266,6 +280,12 @@ class Network:
 
     def step(self) -> None:
         now = self.now
+        f = self.faults
+        if f is not None:
+            # Apply scheduled fault/repair events *before* anything moves
+            # this cycle, so routers never allocate into a freshly dead
+            # resource within the same cycle.
+            f.on_cycle(now)
         for ni in self.nis:
             ni.step(now)
         moved = 0
@@ -288,6 +308,11 @@ class Network:
         if now % self.config.sample_interval == 0:
             for ni in self.nis:
                 ni.sample()
+        a = self.auditor
+        if a is not None:
+            # End-of-cycle audit: every router/NI has settled, so the
+            # flow-control invariants must hold exactly here.
+            a.on_cycle(now)
         t = self.telemetry
         if t is not None:
             t.on_cycle(now)

@@ -96,6 +96,12 @@ class InjectionInterface:
         self.capacity_flits = capacity_flits
         self.num_vcs = num_vcs
         self.stats = InjectionStats()
+        # repro.faults: indices of failed internal queues.  None (the
+        # default, meaning "faults never installed") keeps every hot-path
+        # guard to a single is-None comparison.  A dead queue accepts no
+        # new packets and starts no new packet, but finishes streaming a
+        # partially-sent one — the router-side wormhole must not orphan.
+        self.dead_queues: Optional[set] = None
         # Wired by the network:
         self.links: List[Link] = []
         # port/vc credit view: credits[(port, vc)] = free downstream slots.
@@ -149,6 +155,19 @@ class InjectionInterface:
         the supply side."""
         return [self.queued_flits()]
 
+    def _queue_dead(self, qi: int) -> bool:
+        dq = self.dead_queues
+        return dq is not None and qi in dq
+
+    def drop_queue_front(self, qi: int, now: int) -> Optional[Packet]:
+        """Fault path: discard the not-yet-streamed packet at a queue front.
+
+        Returns the packet, or None when nothing droppable is there (empty
+        queue, or the front packet already streamed its head — the caller
+        retries once the queue has drained it).
+        """
+        raise NotImplementedError
+
     def sample(self) -> None:
         self.stats.sample_occupancy(self.queued_packets())
 
@@ -191,11 +210,26 @@ class _SingleQueueNI(InjectionInterface):
                 best_free = free
         return best
 
+    def drop_queue_front(self, qi: int, now: int) -> Optional[Packet]:
+        if qi != 0 or not self.queue:
+            return None
+        front = self.queue[0]
+        if not front.is_head:
+            return None  # mid-stream; let it drain first
+        pkt = front.packet
+        for _ in range(pkt.size):
+            self.queue.popleft()
+        self._queued_packets -= 1
+        self._front_binding = None
+        return pkt
+
     def step(self, now: int) -> None:
         # One narrow link: at most one flit per cycle leaves the NI.
         if not self.queue:
             return
         front = self.queue[0]
+        if front.is_head and self.dead_queues is not None and 0 in self.dead_queues:
+            return  # dead queue: finish in-flight packets, start none
         if front.is_head and self._front_binding is None:
             self._front_binding = self._bind_front()
             if self._front_binding is None:
@@ -231,6 +265,7 @@ class BaselineNI(_SingleQueueNI):
         return (
             self._pending is None
             and self._free_flits() >= packet.size
+            and not self._queue_dead(0)
         )
 
     def offer(self, packet: Packet, now: int) -> bool:
@@ -260,7 +295,7 @@ class EnhancedNI(_SingleQueueNI):
     kind = NIKind.ENHANCED
 
     def can_accept(self, packet: Packet) -> bool:
-        return self._free_flits() >= packet.size
+        return self._free_flits() >= packet.size and not self._queue_dead(0)
 
     def offer(self, packet: Packet, now: int) -> bool:
         if not self.can_accept(packet):
@@ -285,7 +320,7 @@ class MultiPortNI(_SingleQueueNI):
         self.port_index: Dict[int, int] = {}  # injection port id -> link idx
 
     def can_accept(self, packet: Packet) -> bool:
-        return self._free_flits() >= packet.size
+        return self._free_flits() >= packet.size and not self._queue_dead(0)
 
     def offer(self, packet: Packet, now: int) -> bool:
         if not self.can_accept(packet):
@@ -298,6 +333,8 @@ class MultiPortNI(_SingleQueueNI):
         if not self.queue:
             return
         front = self.queue[0]
+        if front.is_head and self.dead_queues is not None and 0 in self.dead_queues:
+            return  # dead queue: finish in-flight packets, start none
         if front.is_head and self._front_binding is None:
             self._front_binding = self._bind_front()
             if self._front_binding is None:
@@ -357,8 +394,11 @@ class SplitNI(InjectionInterface):
     # -- node side -------------------------------------------------------
     def _find_queue(self, size: int) -> Optional[int]:
         n = self.num_queues
+        dead = self.dead_queues
         for off in range(n):
             qi = (self._rr_next + off) % n
+            if dead is not None and qi in dead:
+                continue
             if self.queue_capacity - len(self.queues[qi]) >= size:
                 return qi
         return None
@@ -382,10 +422,13 @@ class SplitNI(InjectionInterface):
     def step(self, now: int) -> None:
         # Each split queue is hard-wired to link i -> (port, vc) =
         # link_targets[i]; no multiplexer (Fig. 7b).
+        dead = self.dead_queues
         for qi in range(self.num_queues):
             q = self.queues[qi]
             if not q:
                 continue
+            if dead is not None and qi in dead and q[0].is_head:
+                continue  # dead queue: finish in-flight packets, start none
             port, vc = self.link_targets[qi]
             if self.credits[(port, vc)] <= 0:
                 continue
@@ -410,6 +453,37 @@ class SplitNI(InjectionInterface):
 
     def queue_depths(self) -> List[int]:
         return [len(q) for q in self.queues]
+
+    # -- fault support -----------------------------------------------------
+    def drop_queue_front(self, qi: int, now: int) -> Optional[Packet]:
+        q = self.queues[qi]
+        if not q or not q[0].is_head:
+            return None  # empty, or mid-stream: let it drain first
+        pkt = q[0].packet
+        for _ in range(pkt.size):
+            q.popleft()
+        self._queue_pkts[qi] -= 1
+        return pkt
+
+    def relocate_queue_front(self, qi: int, now: int) -> bool:
+        """Move the whole front packet of a (dead) split queue to a live
+        queue with room — the retry path after a split-queue fault.
+
+        Returns False when the packet is mid-stream or no live queue can
+        hold it yet (the caller backs off and retries).
+        """
+        q = self.queues[qi]
+        if not q or not q[0].is_head:
+            return False
+        pkt = q[0].packet
+        target = self._find_queue(pkt.size)
+        if target is None or target == qi:
+            return False
+        moved = [q.popleft() for _ in range(pkt.size)]
+        self.queues[target].extend(moved)
+        self._queue_pkts[qi] -= 1
+        self._queue_pkts[target] += 1
+        return True
 
 
 class EjectionInterface:

@@ -28,6 +28,12 @@ from repro.noc.credit import CreditChannel, CreditCounter
 from repro.noc.link import Link
 from repro.noc.routing import LOCAL, RoutingAlgorithm
 
+# Sentinel "packet id" used by repro.faults to pin a dead output VC's writer
+# lock: with ``writer[vc] = FAULT_PID`` and ``writer_left[vc] = 1`` the VC
+# fails ``vc_claimable`` through the ordinary WPF path (no extra hot-path
+# check) while still satisfying the writer-lock invariant (locked => left>0).
+FAULT_PID = -1
+
 
 class OutputPort:
     """Router output: link, downstream credit view and per-VC writer locks."""
@@ -351,6 +357,61 @@ class Router:
             self.speedup_extra_flits += injected - 1
         self.flits_switched += moved
         return moved
+
+    # -- fault support ----------------------------------------------------------
+    def purge_front_packet(self, port_id: int, vc_index: int, now: int):
+        """Remove the whole packet at the front of an input VC (fault drop).
+
+        Used by :mod:`repro.faults` for packets that can never make
+        progress (e.g. routed toward a destination cut off mid-flight).
+        Only legal before the packet starts streaming downstream: the VC
+        must be ROUTING with the head at the front and every flit of the
+        packet resident.  Buffer credits are returned upstream flit by
+        flit exactly as if the packet had traversed the switch, so credit
+        conservation holds.  Returns the purged Packet, or None when the
+        state does not allow a clean purge (caller retries next cycle).
+        """
+        port = self.input_ports[port_id]
+        vc = port.vcs[vc_index]
+        if vc.state != VCState.ROUTING or not vc.fifo:
+            return None
+        head = vc.fifo[0]
+        if not head.is_head:
+            return None
+        pkt = head.packet
+        resident = 0
+        for f in vc.fifo:
+            if f.packet is not pkt:
+                break
+            resident += 1
+        if resident < pkt.size:
+            return None  # tail still streaming in from upstream
+        for _ in range(pkt.size):
+            vc.fifo.popleft()
+        port.occ -= pkt.size
+        self._occ -= pkt.size
+        # Per-flit credit return mirrors _traverse().
+        if port.is_injection:
+            if self.ni is not None:
+                for _ in range(pkt.size):
+                    self.ni.on_credit(port_id, vc_index)
+        else:
+            ch = self.credit_out[port_id]
+            if ch is not None:
+                for _ in range(pkt.size):
+                    ch.send(vc_index, now)
+        # Reset route state by hand: pop() only understands flits that won
+        # switch allocation, and a body front without a route would trip
+        # _on_new_front's consistency check.
+        vc.out_port = None
+        vc.out_vc = None
+        vc.candidates = None
+        vc.escape = None
+        vc.state = VCState.IDLE
+        vc.wait_since = None
+        if vc.fifo:
+            vc._on_new_front(now)
+        return pkt
 
     # -- main step --------------------------------------------------------------
     def step(self, now: int) -> int:

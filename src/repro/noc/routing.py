@@ -120,6 +120,84 @@ class MinimalAdaptiveRouting(RoutingAlgorithm):
         return True
 
 
+class FaultAwareRouting(RoutingAlgorithm):
+    """Detour wrapper used by :mod:`repro.faults`.
+
+    Holds a *base* algorithm plus a fault-state object exposing ``active``,
+    ``link_ok(router_id, direction)`` and ``distance(router_id, dest_id)``
+    (hop distance over the live-link graph, ``inf`` when unreachable).
+    While ``state.active`` is False every call delegates verbatim to the
+    base algorithm, so a network with an empty fault plan routes — and
+    simulates — identically to one without the wrapper.
+
+    With faults active, candidates are the live outgoing directions whose
+    neighbour lies strictly closer to the destination on the live graph.
+    Strict descent makes every individual route loop-free; the escape VC
+    (VC 0) is additionally pinned to the single first candidate so the
+    deadlock-avoidance structure of the base scheme is preserved in spirit
+    (campaigns double-check with the deadlock detector and
+    :class:`~repro.noc.validation.InvariantChecker`).
+    """
+
+    def __init__(self, base: RoutingAlgorithm, topology, state) -> None:
+        self.base = base
+        self.topology = topology
+        self.state = state
+        self.name = f"fault+{base.name}"
+
+    @property
+    def adaptive(self) -> bool:  # type: ignore[override]
+        # Detour candidates carry no inherent preference, so let the router
+        # re-rank them by downstream credits while any fault is live.
+        return self.base.adaptive or self.state.active
+
+    def candidates(self, cur: Tuple[int, int], dest: Tuple[int, int]) -> List[int]:
+        state = self.state
+        if not state.active:
+            return self.base.candidates(cur, dest)
+        if cur == dest:
+            return [LOCAL]
+        topo = self.topology
+        cur_id = topo.router_at(*cur)
+        dest_id = topo.router_at(*dest)
+        cur_d = state.distance(cur_id, dest_id)
+        out: List[int] = []
+        for direction, nbr in topo.neighbors(cur_id).items():
+            if not state.link_ok(cur_id, direction):
+                continue
+            if state.distance(nbr, dest_id) < cur_d:
+                out.append(direction)
+        if not out:
+            # Unreachable destination (normally written off at the source)
+            # or a packet stranded by a fresh cut: keep the base choice so
+            # the wormhole is not left route-less; the deadlock detector
+            # owns the case where it can never drain.
+            return self.base.candidates(cur, dest)
+        # Keep the dimension-ordered hop first when it survived the cut,
+        # matching MinimalAdaptiveRouting's default preference.
+        esc = xy_direction(cur, dest)
+        if esc in out:
+            out.remove(esc)
+            out.insert(0, esc)
+        return out
+
+    def escape_port(self, cur: Tuple[int, int], dest: Tuple[int, int]) -> int:
+        if not self.state.active:
+            return self.base.escape_port(cur, dest)
+        # Deterministic single direction per (cur, dest) on the live graph.
+        return self.candidates(cur, dest)[0]
+
+    def vc_allowed(self, vc: int, port: int, escape: int) -> bool:
+        if not self.state.active:
+            return self.base.vc_allowed(vc, port, escape)
+        if vc == 0:
+            return port == escape
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FaultAwareRouting({self.base!r})"
+
+
 def make_routing(name: str) -> RoutingAlgorithm:
     """Factory used by configuration code (``"xy"`` or ``"adaptive"``)."""
     name = name.lower()

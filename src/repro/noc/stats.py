@@ -80,11 +80,19 @@ class NetworkStats:
         self.flit_hops_delivered = 0
         self.packets_offered = 0
         self.packets_delivered = 0
+        # Packets removed from the accounting without delivery (fault
+        # injection: purged as unroutable, dropped from a dead NI queue,
+        # or written off at the source for an unreachable destination).
+        self.packets_dropped = 0
         self.cycles = 0
 
     # -- recording ---------------------------------------------------------
     def on_offer(self) -> None:
         self.packets_offered += 1
+
+    def on_drop(self, packet: Packet) -> None:
+        """Write a packet off: it was offered but will never be delivered."""
+        self.packets_dropped += 1
 
     def on_delivery(self, packet: Packet, hops: int = 0) -> None:
         self.packets_delivered += 1
@@ -95,7 +103,19 @@ class NetworkStats:
     # -- queries -------------------------------------------------------------
     @property
     def in_flight(self) -> int:
-        return self.packets_offered - self.packets_delivered
+        return (
+            self.packets_offered - self.packets_delivered - self.packets_dropped
+        )
+
+    def delivered_fraction(self) -> float:
+        """Delivered share of *resolved* packets (still-in-flight excluded).
+
+        Exactly 1.0 on a fault-free run; drops (fault campaigns) pull it
+        below 1 — the headline metric of a :class:`~repro.faults.campaign.
+        DegradationReport`.
+        """
+        resolved = self.packets_delivered + self.packets_dropped
+        return self.packets_delivered / resolved if resolved else 1.0
 
     def mean_latency(self, types: Optional[Iterable[PacketType]] = None) -> float:
         types = list(types) if types is not None else list(PacketType)

@@ -24,7 +24,7 @@ Checked invariants:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.noc.network import Network
 from repro.noc.routing import opposite
@@ -35,24 +35,58 @@ class InvariantViolation(AssertionError):
 
 
 class InvariantChecker:
-    """Audits one network; attach with ``check_every`` for periodic audits."""
+    """Audits one network.
 
-    def __init__(self, network: Network) -> None:
+    ``context`` (e.g. ``"scheme=ada-ari seed=3"``) is prefixed into every
+    violation message so a failure out of a parallel sweep is reproducible
+    from the error text alone.  With ``collect=True`` violations are
+    accumulated in :attr:`violations` instead of raised — the mode fault
+    campaigns use to keep degrading gracefully while still counting every
+    inconsistency.  Install the checker as ``network.auditor`` to audit
+    every ``every``-th cycle via :meth:`on_cycle`.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        context: str = "",
+        every: int = 1,
+        collect: bool = False,
+    ) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
         self.network = network
+        self.context = context
+        self.every = every
+        self.collect = collect
+        self.violations: List[str] = []
         self.audits = 0
+
+    def _fail(self, message: str) -> None:
+        if self.context:
+            message = f"[{self.context}] {message}"
+        if self.collect:
+            self.violations.append(message)
+            return
+        raise InvariantViolation(message)
+
+    # -- network.auditor hook ----------------------------------------------
+    def on_cycle(self, now: int) -> None:
+        if now % self.every == 0:
+            self.audit()
 
     # -- individual checks -------------------------------------------------
     def check_occupancy_counters(self) -> None:
         for router in self.network.routers:
             for port in router.input_ports:
                 if port.occ != port.total_occupancy():
-                    raise InvariantViolation(
+                    self._fail(
                         f"router {router.router_id} port {port.port_id}: "
                         f"port counter {port.occ} != {port.total_occupancy()}"
                     )
             actual = sum(p.total_occupancy() for p in router.input_ports)
             if router.occupancy() != actual:
-                raise InvariantViolation(
+                self._fail(
                     f"router {router.router_id}: maintained occupancy "
                     f"{router.occupancy()} != actual {actual}"
                 )
@@ -75,14 +109,14 @@ class InvariantChecker:
                 total = up.credits.available(vc) + buffered
                 cap = self.network.config.vc_capacity
                 if total > cap + in_flight_credits:
-                    raise InvariantViolation(
+                    self._fail(
                         f"link r{src}->r{dst} vc{vc}: credits "
                         f"{up.credits.available(vc)} + buffered {buffered} "
                         f"> capacity {cap} (+{in_flight_credits} in-flight)"
                     )
                 if up.credits.available(vc) + buffered + in_flight_flits + \
                         in_flight_credits < cap:
-                    raise InvariantViolation(
+                    self._fail(
                         f"link r{src}->r{dst} vc{vc}: credit leak "
                         f"({up.credits.available(vc)} + {buffered} + "
                         f"{in_flight_flits} + {in_flight_credits} < {cap})"
@@ -97,17 +131,17 @@ class InvariantChecker:
                     left = out.writer_left[vc]
                     locked = out.writer[vc] is not None
                     if left < 0:
-                        raise InvariantViolation(
+                        self._fail(
                             f"router {router.router_id} out {out.port_id} "
                             f"vc{vc}: negative writer_left {left}"
                         )
                     if locked and left == 0:
-                        raise InvariantViolation(
+                        self._fail(
                             f"router {router.router_id} out {out.port_id} "
                             f"vc{vc}: locked with zero flits left"
                         )
                     if not locked and left != 0:
-                        raise InvariantViolation(
+                        self._fail(
                             f"router {router.router_id} out {out.port_id} "
                             f"vc{vc}: unlocked with {left} flits left"
                         )
@@ -120,7 +154,7 @@ class InvariantChecker:
                     for flit in vc.fifo:
                         if flit.is_head:
                             if current is not None:
-                                raise InvariantViolation(
+                                self._fail(
                                     f"router {router.router_id} port "
                                     f"{port.port_id} vc{vc.index}: head of "
                                     f"pid {flit.packet.pid} inside pid "
@@ -130,7 +164,7 @@ class InvariantChecker:
                         else:
                             if current is not None and \
                                     flit.packet.pid != current:
-                                raise InvariantViolation(
+                                self._fail(
                                     f"router {router.router_id} port "
                                     f"{port.port_id} vc{vc.index}: flit of "
                                     f"pid {flit.packet.pid} interleaved "
@@ -144,17 +178,17 @@ class InvariantChecker:
         """At quiescence (no in-flight packets), all counters must agree."""
         stats = self.network.stats
         if stats.in_flight != 0:
-            raise InvariantViolation(
+            self._fail(
                 f"quiescence check with {stats.in_flight} packets in flight"
             )
         buffered = sum(r.occupancy() for r in self.network.routers)
         if buffered:
-            raise InvariantViolation(
+            self._fail(
                 f"quiescent network still buffers {buffered} flits"
             )
         queued = sum(ni.queued_flits() for ni in self.network.nis)
         if queued:
-            raise InvariantViolation(
+            self._fail(
                 f"quiescent network still queues {queued} NI flits"
             )
 

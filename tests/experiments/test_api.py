@@ -159,3 +159,67 @@ class TestDeprecatedWrappers:
             )
         assert len(records) == 2
         assert seen == [(0, 2), (1, 2)]
+
+
+class TestCheckInvariants:
+    def test_resolve_mode_explicit_wins(self, monkeypatch):
+        from repro.experiments.executor import resolve_invariant_mode
+
+        assert resolve_invariant_mode(None) is None
+        assert resolve_invariant_mode(True) == "raise"
+        assert resolve_invariant_mode("raise") == "raise"
+        assert resolve_invariant_mode("collect") == "collect"
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+        assert resolve_invariant_mode(False) is None  # explicit off beats env
+        assert resolve_invariant_mode(None) == "raise"
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "collect")
+        assert resolve_invariant_mode(None) == "collect"
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "nonsense")
+        assert resolve_invariant_mode(None) is None
+        with pytest.raises(ValueError):
+            resolve_invariant_mode("sometimes")
+
+    def test_audited_run_records_zero_violations(self, tmp_path):
+        r = api.run(
+            BASE,
+            store=ResultStore(str(tmp_path / "s")),
+            check_invariants=True,
+        )
+        assert r.extras["invariant_violations"] == 0.0
+
+    def test_raise_mode_bypasses_cache(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s"))
+        poisoned = dataclasses.asdict(api.run(BASE, store=store))
+        poisoned["ipc"] = -1.0
+        store.put(BASE.key(), poisoned)
+        # A plain cached run happily returns the poisoned record...
+        assert api.run(BASE, store=store).ipc == -1.0
+        # ...but a raise-mode run re-simulates under audit.
+        r = api.run(BASE, store=store, check_invariants="raise")
+        assert r.ipc > 0
+        assert r.extras["invariant_violations"] == 0.0
+
+    def test_collect_mode_uses_cache(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s"))
+        first = api.run(BASE, store=store, check_invariants="collect")
+        assert first.extras["invariant_violations"] == 0.0
+        again = api.run(BASE, store=store, check_invariants="collect")
+        assert dataclasses.asdict(first) == dataclasses.asdict(again)
+
+    def test_env_var_reaches_simulate_spec(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "collect")
+        r = api.run(BASE, store=ResultStore(str(tmp_path / "s")))
+        assert r.extras["invariant_violations"] == 0.0
+
+    def test_run_many_threads_mode_through(self, tmp_path):
+        specs = [
+            dataclasses.replace(BASE, seed=s) for s in (1, 2)
+        ]
+        results = api.run_many(
+            specs,
+            store=ResultStore(str(tmp_path / "s")),
+            check_invariants="collect",
+        )
+        assert all(
+            r.extras["invariant_violations"] == 0.0 for r in results
+        )

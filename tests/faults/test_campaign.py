@@ -1,0 +1,82 @@
+"""Tests for degradation campaigns and their reports."""
+
+from repro.faults import CampaignConfig, CampaignRunner, run_campaign
+
+SMALL = CampaignConfig(
+    benchmark="binomialOptions",
+    schemes=("xy-baseline", "ada-ari"),
+    dead_links=(0, 1),
+    seeds=(3,),
+    cycles=200,
+    warmup=60,
+    mesh=4,
+    check_invariants="collect",
+)
+
+
+class TestSpecConstruction:
+    def test_zero_fault_cells_are_plain_specs(self):
+        for scheme, n_dead, _seed, spec in CampaignRunner(SMALL).specs():
+            if n_dead == 0:
+                assert spec.faults is None
+                assert spec.fault_detour is None
+            else:
+                assert spec.faults
+                assert spec.fault_detour is True
+            assert spec.scheme == scheme
+
+    def test_same_link_cut_for_every_scheme(self):
+        by_scheme = {}
+        for scheme, n_dead, _seed, spec in CampaignRunner(SMALL).specs():
+            if n_dead == 1:
+                by_scheme[scheme] = spec.faults
+        assert len(set(by_scheme.values())) == 1
+
+    def test_plan_for_zero_is_empty(self):
+        assert SMALL.plan_for(0).empty
+        assert len(SMALL.plan_for(2)) == 2
+
+
+class TestCampaignRun:
+    def test_report_shape_and_contract(self):
+        report = run_campaign(SMALL, use_cache=False)
+        assert len(report.rows) == 4  # 2 schemes x 2 intensities
+        for row in report.rows:
+            if row["dead_links"] == 0:
+                assert row["delivered_fraction"] == 1.0
+                assert row["latency_inflation"] == 1.0
+                assert row["dropped"] == 0
+            assert row["delivered_fraction"] > 0.0
+            assert row["first_deadlock_cycle"] is None
+            assert row["invariant_violations"] == 0
+
+    def test_render_and_row_lookup(self):
+        report = run_campaign(SMALL, use_cache=False)
+        text = report.render()
+        assert "xy-baseline" in text and "ada-ari" in text
+        assert "-" in text  # never-deadlocked cells render as a dash
+        cell = report.row("ada-ari", 1)
+        assert cell is not None and cell["dead_links"] == 1
+        assert report.row("ada-ari", 99) is None
+
+    def test_to_dict_round_trips_config(self):
+        report = run_campaign(SMALL, use_cache=False)
+        payload = report.to_dict()
+        assert payload["benchmark"] == "binomialOptions"
+        assert payload["config"]["dead_links"] == [0, 1]
+        assert len(payload["rows"]) == 4
+
+    def test_results_cache_across_campaigns(self, tmp_path):
+        from repro.experiments.store import ResultStore
+
+        store = ResultStore(str(tmp_path / "s"))
+        run_campaign(SMALL, store=store)
+        before = len(store)
+        assert before == 4
+
+        calls = []
+        run_campaign(
+            SMALL, store=store,
+            progress=lambda done, total, spec, source: calls.append(source),
+        )
+        assert set(calls) == {"cache"}

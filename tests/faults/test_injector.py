@@ -1,0 +1,277 @@
+"""Behavioral tests for the fault injector: detours, repairs, retries, drops.
+
+Every scenario runs with a per-cycle :class:`InvariantChecker` audit in
+raise mode — a fault plan may change *where* packets go (or whether they
+arrive at all), but it must never corrupt flow-control state.
+"""
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    FaultProbe,
+    RetryPolicy,
+    install_faults,
+)
+from repro.noc import Network, NetworkConfig
+from repro.noc.flit import Packet, PacketType
+from repro.noc.ni import NIKind, SplitNI
+from repro.noc.routing import DIRECTION_NAMES, opposite
+from repro.noc.validation import InvariantChecker
+
+#: Fast retry policy so stranded-packet handling resolves in tens of cycles.
+FAST_RETRY = RetryPolicy(timeout=4, backoff=1.0, max_retries=2)
+
+
+def make_network(routing="xy", **overrides):
+    cfg = NetworkConfig(width=4, height=4, routing=routing, **overrides)
+    net = Network(cfg)
+    net.auditor = InvariantChecker(net)
+    return net
+
+
+def make_packet(src, dest, size=5):
+    return Packet(PacketType.READ_REPLY, src, dest, size, created_at=0)
+
+
+def first_hop_token(net, src, dest, cycle=0, duration=None):
+    """DSL token killing the XY first-hop link of ``src -> dest``."""
+    direction = net.routing.candidates(
+        net.topology.coords(src), net.topology.coords(dest)
+    )[0]
+    tail = f"@{cycle}" if duration is None else f"@{cycle}+{duration}"
+    return f"link:r{src}.{DIRECTION_NAMES[direction]}{tail}"
+
+
+def run_until_drained(net, cycles=2000):
+    for _ in range(cycles):
+        net.step()
+        if net.stats.in_flight == 0:
+            return True
+    return False
+
+
+class TestDetourDelivery:
+    def test_xy_detours_around_dead_first_hop(self):
+        net = make_network("xy")
+        token = first_hop_token(net, 0, 15)
+        inj = install_faults(net, FaultPlan.parse(token))
+        assert net.offer(0, make_packet(0, 15))
+        assert run_until_drained(net)
+        assert net.stats.packets_delivered == 1
+        assert net.stats.packets_dropped == 0
+        assert net.stats.delivered_fraction() == 1.0
+        assert inj.stats.events_applied == 1
+
+    def test_wrapper_is_transparent_without_faults(self):
+        net = make_network("xy")
+        base = net.routing
+        install_faults(net, FaultPlan())
+        assert net.routing.adaptive == base.adaptive
+        src, dest = 0, 15
+        assert net.routing.candidates(
+            net.topology.coords(src), net.topology.coords(dest)
+        ) == base.candidates(
+            net.topology.coords(src), net.topology.coords(dest)
+        )
+
+    def test_mixed_traffic_survives_two_dead_links(self):
+        net = make_network("adaptive")
+        plan = FaultPlan.random_links(2, 4, 4, seed=7)
+        install_faults(net, plan)
+        offered = 0
+        for src in range(16):
+            dest = (src + 5) % 16
+            if net.offer(src, make_packet(src, dest)):
+                offered += 1
+        assert run_until_drained(net)
+        assert net.stats.packets_delivered == offered
+        assert net.stats.delivered_fraction() == 1.0
+
+
+class TestTransientFaults:
+    def test_link_repairs_and_routing_returns_to_base(self):
+        net = make_network("xy")
+        token = first_hop_token(net, 0, 15, cycle=5, duration=30)
+        inj = install_faults(net, FaultPlan.parse(token))
+        for _ in range(50):
+            net.step()
+        assert inj.stats.events_applied == 1
+        assert inj.stats.repairs_applied == 1
+        assert not inj.state.active
+        # A packet sent after the repair takes the plain XY path again.
+        assert not net.routing.adaptive
+        assert net.offer(0, make_packet(0, 15))
+        assert run_until_drained(net)
+        assert net.stats.packets_delivered == 1
+
+    def test_overlapping_faults_on_same_link_refcount(self):
+        net = make_network("xy")
+        token = first_hop_token(net, 0, 15)
+        base = token.split("@")[0]
+        plan = FaultPlan.parse(f"{base}@0+40;{base}@10+10")
+        inj = install_faults(net, plan)
+        for _ in range(25):
+            net.step()
+        # The first fault still holds after the second one's repair.
+        assert inj.state.active
+        for _ in range(30):
+            net.step()
+        assert not inj.state.active
+        assert inj.stats.repairs_applied == 2
+
+
+class TestVCFaults:
+    def test_traffic_flows_on_surviving_vcs(self):
+        net = make_network("xy", num_vcs=4)
+        token = first_hop_token(net, 0, 15).replace("@0", ".1@0")
+        token = token.replace("link:", "vc:")
+        inj = install_faults(net, FaultPlan.parse(token))
+        for _ in range(4):
+            net.offer(0, make_packet(0, 15))
+        assert run_until_drained(net)
+        assert net.stats.packets_delivered == 4
+        assert inj.state.active is False  # a VC pin is not a dead link
+
+    def test_transient_vc_pin_releases(self):
+        net = make_network("xy", num_vcs=4)
+        token = first_hop_token(net, 0, 15, duration=20)
+        token = token.replace("link:", "vc:").replace("@0+20", ".1@0+20")
+        inj = install_faults(net, FaultPlan.parse(token))
+        for _ in range(30):
+            net.step()
+        assert inj.stats.repairs_applied == 1
+        assert not inj._pin_counts
+
+
+class TestNIQueueFaults:
+    def test_queued_packet_dropped_after_retries(self):
+        net = make_network("xy", ni_kind=NIKind.ENHANCED)
+        inj = install_faults(
+            net, FaultPlan.parse("niq:r0.0@0"), retry=FAST_RETRY
+        )
+        # Offered before the first step: the fault lands (at the top of
+        # cycle 0) with the packet already queued, stranding it.
+        assert net.offer(0, make_packet(0, 15))
+        for _ in range(60):
+            net.step()
+        assert inj.stats.drops_niq == 1
+        assert inj.stats.retries == FAST_RETRY.max_retries + 1
+        assert net.stats.packets_dropped == 1
+        assert net.stats.delivered_fraction() == 0.0
+        assert net.stats.in_flight == 0
+
+    def test_offer_to_fully_dead_ni_drops_at_source(self):
+        net = make_network("xy", ni_kind=NIKind.ENHANCED)
+        inj = install_faults(
+            net, FaultPlan.parse("niq:r0.0@0"), retry=FAST_RETRY
+        )
+        net.step()
+        assert net.offer(0, make_packet(0, 15))  # producer's send "succeeds"
+        assert inj.stats.drops_source == 1
+        assert net.stats.packets_dropped == 1
+        assert net.stats.packets_offered == 1
+
+    def test_split_ni_relocates_to_live_queue(self):
+        net = make_network(
+            "adaptive",
+            accelerated_nodes={5},
+            ni_kind=NIKind.SPLIT,
+            injection_speedup=4,
+        )
+        assert isinstance(net.nis[5], SplitNI)
+        pkt = make_packet(5, 10)
+        assert net.offer(5, pkt)
+        queues = net.nis[5].queue_depths()
+        stuck_queue = next(i for i, d in enumerate(queues) if d > 0)
+        inj = install_faults(
+            net,
+            FaultPlan.parse(f"niq:r5.{stuck_queue}@0"),
+            retry=FAST_RETRY,
+        )
+        assert run_until_drained(net)
+        assert inj.stats.relocations == 1
+        assert inj.stats.drops_niq == 0
+        assert net.stats.packets_delivered == 1
+
+    def test_transient_niq_restores_fast_path(self):
+        net = make_network("xy", ni_kind=NIKind.ENHANCED)
+        install_faults(net, FaultPlan.parse("niq:r0.0@0+10"))
+        net.step()
+        assert net.nis[0].dead_queues == {0}
+        for _ in range(15):
+            net.step()
+        assert net.nis[0].dead_queues is None
+
+
+class TestUnreachableDestinations:
+    def _isolate_node(self, net, node):
+        """Tokens killing every link *into* ``node``."""
+        tokens = []
+        for d, nbr in net.topology.neighbors(node).items():
+            tokens.append(f"link:r{nbr}.{DIRECTION_NAMES[opposite(d)]}@0")
+        return ";".join(tokens)
+
+    def test_source_drop_when_destination_cut_off(self):
+        net = make_network("xy")
+        inj = install_faults(net, FaultPlan.parse(self._isolate_node(net, 0)))
+        net.step()
+        assert net.offer(15, make_packet(15, 0))
+        assert inj.stats.drops_source == 1
+        assert net.stats.packets_dropped == 1
+        # Reachable destinations are unaffected.
+        assert net.offer(15, make_packet(15, 5))
+        assert run_until_drained(net)
+        assert net.stats.packets_delivered == 1
+        assert net.stats.delivered_fraction() == 0.5
+
+    def test_in_flight_packet_purged_without_detour(self):
+        net = make_network("xy")
+        token = first_hop_token(net, 0, 15, cycle=1)
+        inj = install_faults(
+            net, FaultPlan.parse(token), detour=False, retry=FAST_RETRY
+        )
+        assert net.offer(0, make_packet(0, 15))
+        for _ in range(100):
+            net.step()
+        assert inj.stats.drops_purged == 1
+        assert net.stats.packets_dropped == 1
+        assert net.stats.in_flight == 0
+        # Purging returned every credit: the mesh is clean at quiescence.
+        net.auditor.check_quiescent_conservation()
+
+
+class TestFaultProbe:
+    def test_channels_and_deltas(self):
+        net = make_network("xy")
+        inj = install_faults(net, FaultPlan.parse(first_hop_token(net, 0, 15)))
+        probe = FaultProbe([inj])
+        net.step()
+        sample = probe.collect(net.now)
+        assert sample["fault.dead_links"] == 1
+        assert sample["fault.events_applied"] == 1
+        assert sample["fault.drops"] == 0
+        # Deltas: a second collect with no new drops reports zero.
+        assert probe.collect(net.now)["fault.drops"] == 0
+
+    def test_summary_keys_are_prefixed_floats(self):
+        net = make_network("xy")
+        inj = install_faults(net, FaultPlan.parse(first_hop_token(net, 0, 15)))
+        net.step()
+        summary = inj.summary()
+        assert summary["fault_dead_links"] == 1.0
+        assert all(k.startswith("fault_") for k in summary)
+        assert all(isinstance(v, float) for v in summary.values())
+
+
+class TestInstallErrors:
+    def test_invalid_plan_rejected_at_install(self):
+        net = make_network("xy")
+        with pytest.raises(ValueError, match="router 99"):
+            install_faults(net, FaultPlan.parse("link:r99.E@0"))
+
+    def test_niq_index_validated_at_apply(self):
+        net = make_network("xy", ni_kind=NIKind.ENHANCED)
+        install_faults(net, FaultPlan.parse("niq:r0.3@0"))
+        with pytest.raises(ValueError, match="no injection queue"):
+            net.step()

@@ -1,0 +1,132 @@
+"""Tests for the fault DSL: events, plans, parsing, validation."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultKind, FaultPlan, describe, parse_event
+from repro.faults.model import validate_plan
+from repro.noc.routing import EAST, NORTH
+from repro.noc.topology import MeshTopology
+
+
+class TestParseEvent:
+    def test_link_token(self):
+        e = parse_event("link:r5.E@100")
+        assert e.kind == FaultKind.LINK
+        assert (e.router, e.direction) == (5, EAST)
+        assert e.cycle == 100
+        assert e.duration is None
+        assert e.net == "rep"
+
+    def test_transient_with_net_prefix(self):
+        e = parse_event("req:link:r5.E@100+50")
+        assert e.net == "req"
+        assert e.duration == 50
+        assert e.repair_cycle == 150
+
+    def test_vc_token(self):
+        e = parse_event("vc:r2.N.1@0")
+        assert e.kind == FaultKind.VC
+        assert (e.router, e.direction, e.vc) == (2, NORTH, 1)
+
+    def test_niq_token(self):
+        e = parse_event("niq:r3.1@10")
+        assert e.kind == FaultKind.NIQ
+        assert (e.router, e.queue) == (3, 1)
+
+    def test_port_token(self):
+        e = parse_event("port:r5.W@0")
+        assert e.kind == FaultKind.PORT
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "link:r5@0",            # no direction
+        "link:r5.X@0",          # bad direction
+        "link:r5.E",            # no cycle
+        "vc:r5.E@0",            # vc fault without VC index
+        "niq:r5.E@0",           # niq target is not a direction
+        "spoon:r5.E@0",         # unknown kind
+        "mid:link:r5.E@0",      # unknown net
+        "link:r5.E@0+0",        # zero duration
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_event(bad)
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.LINK, 5, cycle=-1, direction=EAST)
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.LINK, 5, cycle=0)  # no direction
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.NIQ, 5, cycle=0)   # no queue
+
+
+class TestFaultPlan:
+    def test_round_trip(self):
+        text = "link:r6.W@0;req:vc:r2.N.1@100+50;niq:r3.1@10"
+        plan = FaultPlan.parse(text)
+        assert FaultPlan.parse(plan.format()) == plan
+        assert len(plan) == 3
+
+    def test_sorted_by_cycle(self):
+        plan = FaultPlan.parse("link:r5.E@100;link:r6.W@0")
+        assert [e.cycle for e in plan.events] == [0, 100]
+
+    def test_none_and_empty_parse_to_empty_plan(self):
+        assert FaultPlan.parse(None).empty
+        assert FaultPlan.parse("").empty
+        assert FaultPlan.parse("  ").empty
+        assert FaultPlan().format() == ""
+
+    def test_for_net_partitions(self):
+        plan = FaultPlan.parse("req:link:r1.E@0;link:r2.E@0")
+        assert [e.net for e in plan.for_net("req").events] == ["req"]
+        assert [e.net for e in plan.for_net("rep").events] == ["rep"]
+
+    def test_random_links_deterministic(self):
+        a = FaultPlan.random_links(3, 4, 4, seed=7)
+        b = FaultPlan.random_links(3, 4, 4, seed=7)
+        assert a == b
+        assert len(a) == 3
+        # Growing the count keeps the draw prefix-free of duplicates.
+        targets = {(e.router, e.direction) for e in a.events}
+        assert len(targets) == 3
+
+    def test_random_links_respects_exclude(self):
+        full = FaultPlan.random_links(2, 4, 4, seed=7)
+        banned = (full.events[0].router, full.events[0].direction)
+        redrawn = FaultPlan.random_links(2, 4, 4, seed=7, exclude=[banned])
+        assert banned not in {
+            (e.router, e.direction) for e in redrawn.events
+        }
+
+    def test_random_links_pool_exhaustion(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random_links(1000, 4, 4, seed=1)
+
+
+class TestValidatePlan:
+    def test_accepts_valid_plan(self):
+        topo = MeshTopology(4, 4)
+        validate_plan(FaultPlan.parse("link:r5.E@0;vc:r5.E.1@0"), topo, 2)
+
+    def test_rejects_router_out_of_mesh(self):
+        with pytest.raises(ValueError, match="router 99"):
+            validate_plan(FaultPlan.parse("link:r99.E@0"), MeshTopology(4, 4), 2)
+
+    def test_rejects_mesh_edge_link(self):
+        # Router 3 is the top-right corner of a 4x4 mesh: no East link.
+        with pytest.raises(ValueError, match="mesh edge"):
+            validate_plan(FaultPlan.parse("link:r3.E@0"), MeshTopology(4, 4), 2)
+
+    def test_rejects_vc_out_of_range(self):
+        with pytest.raises(ValueError, match="num_vcs"):
+            validate_plan(FaultPlan.parse("vc:r5.E.7@0"), MeshTopology(4, 4), 2)
+
+
+def test_describe_is_one_line_per_event():
+    plan = FaultPlan.parse("link:r6.W@0;niq:r3.1@10+5")
+    lines = describe(plan)
+    assert len(lines) == 2
+    assert any("permanent" in line for line in lines)
+    assert any("for 5 cycles" in line for line in lines)

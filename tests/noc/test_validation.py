@@ -151,3 +151,97 @@ class TestFailureInjection:
             net.step()
         with pytest.raises(InvariantViolation, match="in flight"):
             InvariantChecker(net).check_quiescent_conservation()
+
+
+class TestAccountingUnderDrops:
+    """Packet drops are part of the model now (fault injection); the
+    conservation and credit checks must stay satisfied through them."""
+
+    def _purge_one(self, net, pump, checker):
+        """Step until a whole packet can be purged from a router VC."""
+        from repro.noc.buffer import VCState
+
+        for _ in range(400):
+            pump()
+            net.step()
+            checker.audit()
+            for router in net.routers:
+                for port in router.input_ports:
+                    if port.occ == 0:
+                        continue
+                    for vc in port.vcs:
+                        if vc.state != VCState.ROUTING:
+                            continue
+                        purged = router.purge_front_packet(
+                            port.port_id, vc.index, net.now
+                        )
+                        if purged is not None:
+                            return purged
+        raise AssertionError("no purgable packet found")
+
+    def test_purge_conserves_credits_and_occupancy(self):
+        net, pump = loaded_network()
+        checker = InvariantChecker(net)
+        purged = self._purge_one(net, pump, checker)
+        net.stats.on_drop(purged)
+        # The very next audit sees consistent counters and no credit leak:
+        # every buffered flit's credit went back upstream.
+        checker.audit()
+        assert net.stats.packets_dropped == 1
+
+    def test_quiescent_conservation_counts_drops(self):
+        net, pump = loaded_network(packets=30)
+        checker = InvariantChecker(net)
+        purged = self._purge_one(net, pump, checker)
+        net.stats.on_drop(purged)
+        assert net.drain(20000)
+        # offered = delivered + dropped; buffers and NIs empty.
+        checker.audit(quiescent=True)
+        assert net.stats.in_flight == 0
+        assert net.stats.delivered_fraction() < 1.0
+
+
+class TestContextAndCollect:
+    def test_context_prefixes_messages(self):
+        net, pump = loaded_network()
+        for _ in range(60):
+            pump()
+            net.step()
+        net.routers[0]._occ += 1
+        checker = InvariantChecker(net, context="bfs/xy-baseline seed=3")
+        with pytest.raises(InvariantViolation,
+                           match=r"\[bfs/xy-baseline seed=3\]"):
+            checker.audit()
+
+    def test_collect_mode_accumulates_instead_of_raising(self):
+        net, pump = loaded_network()
+        for _ in range(60):
+            pump()
+            net.step()
+        net.routers[0]._occ += 1
+        checker = InvariantChecker(net, context="ctx", collect=True)
+        checker.audit()
+        checker.audit()
+        assert len(checker.violations) >= 2  # one per audit, not fatal
+        assert all(v.startswith("[ctx]") for v in checker.violations)
+
+    def test_on_cycle_respects_every(self):
+        net, _ = loaded_network()
+        checker = InvariantChecker(net, every=10)
+        for now in range(20):
+            checker.on_cycle(now)
+        assert checker.audits == 2  # cycles 0 and 10
+
+    def test_every_must_be_positive(self):
+        net, _ = loaded_network()
+        with pytest.raises(ValueError):
+            InvariantChecker(net, every=0)
+
+    def test_auditor_hook_runs_during_step(self):
+        net, pump = loaded_network()
+        checker = InvariantChecker(net, every=2)
+        net.auditor = checker
+        for _ in range(10):
+            pump()
+            net.step()
+        assert checker.audits == 5

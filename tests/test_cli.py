@@ -197,3 +197,44 @@ class TestModuleEntry:
 
         mod = importlib.import_module("repro.__main__")
         assert hasattr(mod, "main")
+
+
+class TestFaultsCommand:
+    def test_describe_explains_plan_without_running(self, capsys):
+        rc = main(["faults", "--describe", "link:r5.E@0;niq:r3.1@10+5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "link fault on r5.E" in out
+        assert "for 5 cycles" in out
+
+    def test_campaign_smoke(self, capsys, tmp_path):
+        json_path = tmp_path / "report.json"
+        rc = main(
+            ["faults", "--benchmark", "binomialOptions",
+             "--schemes", "xy-baseline", "--dead-links", "0,1",
+             "--cycles", "150", "--mesh", "4", "--no-cache", "--quiet",
+             "--json", str(json_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "delivered_fraction" in out
+        assert "dead_links=1: link:" in out
+
+        import json
+
+        rows = json.loads(json_path.read_text())["rows"]
+        assert len(rows) == 2
+        assert all(r["invariant_violations"] == 0 for r in rows)
+
+    def test_scheme_aliases_resolve(self, capsys, tmp_path):
+        rc = main(
+            ["faults", "--benchmark", "binomialOptions",
+             "--schemes", "ari", "--dead-links", "0",
+             "--cycles", "120", "--mesh", "4", "--no-cache", "--quiet"]
+        )
+        assert rc == 0
+        assert "ada-ari" in capsys.readouterr().out
+
+    def test_bad_dead_links_fails_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "--dead-links", "two"])
