@@ -2,11 +2,12 @@
 
 PY ?= python
 
-.PHONY: install test bench figures figures-paper telemetry-demo sweep-demo faults-demo clean-cache loc help
+.PHONY: install test check bench figures figures-paper telemetry-demo sweep-demo faults-demo clean-cache loc help
 
 help:
 	@echo "make install        editable install"
 	@echo "make test           full unit/integration/property suite"
+	@echo "make check          static model checks + determinism lint (+ ruff if installed)"
 	@echo "make bench          regenerate every figure at CI scale"
 	@echo "make figures        regenerate figures at quick scale (9 benchmarks)"
 	@echo "make figures-paper  full 30-benchmark regeneration (~1h)"
@@ -21,6 +22,14 @@ install:
 
 test:
 	$(PY) -m pytest tests/
+
+# Mirrors the CI lint job: ruff (when available), the pre-run model
+# checks for every registered scheme, and the determinism lint.
+check:
+	@command -v ruff >/dev/null 2>&1 && ruff check src tests || \
+		echo "ruff not installed; skipping style pass"
+	PYTHONPATH=src $(PY) -m repro check --all-schemes
+	PYTHONPATH=src $(PY) -m repro check --code src/repro --strict
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -18,16 +18,16 @@ Quick start::
 __version__ = "1.0.0"
 
 from repro.core import (
+    SCHEMES,
     ARIConfig,
     Scheme,
-    SCHEMES,
-    scheme,
-    scheme_names,
     choose_speedup,
     required_speedup,
+    scheme,
+    scheme_names,
     speedup_upper_bound,
 )
-from repro.gpu import GPUConfig, GPGPUSystem, SimulationResult
+from repro.gpu import GPGPUSystem, GPUConfig, SimulationResult
 from repro.noc import Network, NetworkConfig, Packet, PacketType
 from repro.workloads import SUITE, benchmark, benchmark_names, by_sensitivity
 

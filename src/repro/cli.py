@@ -15,6 +15,10 @@ Usage::
         --interval 100 --out out.jsonl           # time-series telemetry
     python -m repro faults --benchmark bfs --dead-links 0,1,2 \\
         --workers 2 [--json report.json]         # degradation campaign
+    python -m repro check --all-schemes          # pre-run static checks
+    python -m repro check --scheme ada-ari --faults link:r7.E@100 \\
+        --json - [--strict] [--rule cdg-cycle]   # one config, JSON out
+    python -m repro check --code src/repro       # determinism lint
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from typing import List, Optional
 
 from repro.core.schemes import scheme_names
 from repro.experiments import figures
-from repro.experiments.api import run, run_many, run_live, sweep
+from repro.experiments.api import run, run_live, run_many, sweep
 from repro.experiments.runner import RunSpec, cache_info, clear_cache
 from repro.workloads.suite import benchmark_names, by_sensitivity
 
@@ -360,6 +364,92 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.staticcheck import CheckRunner, ModelInputs, Severity
+    from repro.staticcheck.runner import RULES
+
+    if args.list_rules:
+        width = max(len(rid) for rid in RULES)
+        for rid, (family, desc) in sorted(RULES.items()):
+            print(f"{rid:{width}s}  [{family:5s}] {desc}")
+        return 0
+
+    try:
+        runner = CheckRunner(rules=args.rule or None, strict=args.strict)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    report = None
+    selected = False
+    if args.all_schemes or args.scheme:
+        selected = True
+        names = (
+            scheme_names()
+            if args.all_schemes
+            else [
+                _resolve_scheme(s)
+                for group in args.scheme
+                for s in group.split(",")
+                if s
+            ]
+        )
+        kwargs = dict(
+            mesh=args.mesh,
+            cycles=args.cycles,
+            num_vcs=args.num_vcs,
+            priority_levels=args.priority_levels,
+            injection_speedup=args.injection_speedup,
+            num_split_queues=args.num_split_queues,
+            starvation_threshold=args.starvation_threshold,
+            mc_placement=args.mc_placement,
+            noc_hop_latency=args.noc_hop_latency,
+            faults=args.faults,
+            fault_detour=not args.no_detour,
+        )
+        from repro.staticcheck.diagnostics import CheckReport
+
+        report = CheckReport()
+        for name in names:
+            report.extend(runner.check_inputs(
+                ModelInputs(scheme=name, **kwargs)
+            ))
+        report = report.filter(args.rule or None)
+    if args.code:
+        selected = True
+        code_report = runner.check_paths(args.code)
+        if report is None:
+            report = code_report
+        else:
+            report.extend(code_report)
+    if not selected:
+        print(
+            "nothing to check: pass --scheme/--all-schemes and/or --code "
+            "(see also --list-rules)",
+            file=sys.stderr,
+        )
+        return 2
+
+    failed = runner.failed(report)
+    if args.json is not None:
+        payload = report.to_dict()
+        payload["failed"] = failed
+        text = json.dumps(payload, indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.json}")
+            print(report.summary())
+    else:
+        min_severity = Severity.WARNING if args.quiet else Severity.INFO
+        print(report.render(min_severity))
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -485,6 +575,48 @@ def build_parser() -> argparse.ArgumentParser:
                      help="suppress per-run progress lines")
     flt.add_argument("--describe", default=None, metavar="PLAN",
                      help="explain a fault-plan DSL string and exit")
+
+    chk = sub.add_parser(
+        "check",
+        help="pre-simulation static checks: escape-network deadlock "
+             "freedom (CDG), Eq. 1/2 sizing, queue/credit sanity, plus "
+             "an AST determinism lint over simulator sources",
+    )
+    chk.add_argument(
+        "--scheme", action="append", default=[], metavar="NAME[,NAME]",
+        help="scheme(s) to model-check; repeatable, aliases allowed",
+    )
+    chk.add_argument("--all-schemes", action="store_true",
+                     help="model-check every registered scheme")
+    chk.add_argument("--mesh", type=int, default=6, choices=(4, 6, 8))
+    chk.add_argument("--cycles", type=int, default=1500,
+                     help="run horizon used by threshold sanity rules")
+    chk.add_argument("--num-vcs", type=int, default=None)
+    chk.add_argument("--injection-speedup", type=int, default=None)
+    chk.add_argument("--num-split-queues", type=int, default=None)
+    chk.add_argument("--priority-levels", type=int, default=None)
+    chk.add_argument("--starvation-threshold", type=int, default=None)
+    chk.add_argument("--mc-placement", default=None,
+                     choices=("diamond", "edge", "column"))
+    chk.add_argument("--noc-hop-latency", type=int, default=None)
+    chk.add_argument("--faults", default=None, metavar="PLAN",
+                     help="fault-plan DSL to analyze per fault epoch")
+    chk.add_argument("--no-detour", action="store_true",
+                     help="analyze faulted epochs without detour routing")
+    chk.add_argument(
+        "--code", action="append", default=[], metavar="PATH",
+        help="run the determinism lint over these files/dirs; repeatable",
+    )
+    chk.add_argument("--rule", action="append", default=[], metavar="ID",
+                     help="only report these rule ids; repeatable")
+    chk.add_argument("--strict", action="store_true",
+                     help="exit non-zero on warnings too")
+    chk.add_argument("--json", default=None, metavar="FILE",
+                     help="write the report as JSON ('-' for stdout)")
+    chk.add_argument("--quiet", action="store_true",
+                     help="hide info-severity findings in text output")
+    chk.add_argument("--list-rules", action="store_true",
+                     help="print the rule catalog and exit")
     return p
 
 
@@ -501,6 +633,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "viz": _cmd_viz,
         "telemetry": _cmd_telemetry,
         "faults": _cmd_faults,
+        "check": _cmd_check,
     }
     return handlers[args.command](args)
 

@@ -16,12 +16,12 @@ and the Fig. 10 ablations).
 """
 
 from repro.core.ari import ARIConfig
-from repro.core.schemes import Scheme, SCHEMES, scheme, scheme_names
+from repro.core.schemes import SCHEMES, Scheme, scheme, scheme_names
 from repro.core.speedup import (
-    required_speedup,
-    speedup_upper_bound,
     choose_speedup,
     estimate_ideal_injection_rate,
+    required_speedup,
+    speedup_upper_bound,
 )
 
 __all__ = [

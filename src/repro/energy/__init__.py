@@ -8,8 +8,8 @@ amortized over the whole network, and ARI's energy win (~4%) comes from
 reduced static energy over a shorter execution.
 """
 
-from repro.energy.area import AreaModel, AreaBreakdown, ari_area_overhead
-from repro.energy.gpuwattch import EnergyModel, EnergyBreakdown
+from repro.energy.area import AreaBreakdown, AreaModel, ari_area_overhead
+from repro.energy.gpuwattch import EnergyBreakdown, EnergyModel
 
 __all__ = [
     "AreaModel",

@@ -14,6 +14,7 @@ and a ``workers`` knob, so the same code serves quick CI benches and the
 longer EXPERIMENTS.md runs.  See docs/experiments.md.
 """
 
+from repro.experiments import figures
 from repro.experiments.api import (
     grid,
     run,
@@ -22,6 +23,7 @@ from repro.experiments.api import (
     sweep,
 )
 from repro.experiments.executor import ExecutionReport, ExecutorError, SweepExecutor
+from repro.experiments.report import render_kv, render_table
 from repro.experiments.runner import (
     RunSpec,
     cache_info,
@@ -30,8 +32,6 @@ from repro.experiments.runner import (
     run_system,  # deprecated wrapper
 )
 from repro.experiments.store import ResultStore, default_store, set_default_store
-from repro.experiments import figures
-from repro.experiments.report import render_table, render_kv
 
 __all__ = [
     "RunSpec",

@@ -54,6 +54,25 @@ DEFAULT_METRICS = (
 _SPEC_FIELDS = {f.name for f in fields(RunSpec)}
 
 
+def _validate_specs(specs: Sequence[RunSpec], strict: Optional[bool]) -> None:
+    """Static-check specs before any simulation work (or worker) starts.
+
+    ``strict=True`` escalates warnings to errors, ``strict=False`` forces
+    the default warn mode, ``None`` defers to the ``REPRO_STATICCHECK``
+    env var ("off" disables the gate entirely).  Reports are memoized by
+    model signature, so batches pay per distinct configuration, not per
+    spec.
+    """
+    from repro.staticcheck.runner import validate_spec
+
+    if strict is None:
+        mode = None
+    else:
+        mode = "strict" if strict else "warn"
+    for spec in specs:
+        validate_spec(spec, mode=mode)
+
+
 @dataclasses.dataclass
 class LiveRun:
     """Everything a live (telemetry-instrumented) run produces."""
@@ -73,6 +92,7 @@ def run(
     jsonl_path: Optional[str] = None,
     csv_path: Optional[str] = None,
     check_invariants=None,
+    strict: Optional[bool] = None,
 ) -> SimulationResult:
     """Run one spec and return its :class:`SimulationResult`.
 
@@ -89,6 +109,13 @@ def run(
     ``REPRO_CHECK_INVARIANTS`` env var).  A run asked to *raise* on
     violations never reads the cache — a cached record proves nothing
     about invariants, so the simulation is redone under audit.
+
+    Every entry point first static-checks the spec
+    (:func:`repro.staticcheck.validate_spec`): blocking findings raise
+    :class:`~repro.staticcheck.StaticCheckError` before any cycle runs.
+    ``strict=True`` escalates warnings to errors; the
+    ``REPRO_STATICCHECK`` env var ("off"/"warn"/"strict") sets the
+    default.
     """
     if telemetry:
         collector = None if telemetry is True else telemetry
@@ -98,7 +125,9 @@ def run(
             interval=interval,
             jsonl_path=jsonl_path,
             csv_path=csv_path,
+            strict=strict,
         ).result
+    _validate_specs([spec], strict)
     mode = resolve_invariant_mode(check_invariants)
     st = store if store is not None else default_store()
     if use_cache and mode != "raise":
@@ -118,6 +147,7 @@ def run_live(
     interval: int = 100,
     jsonl_path: Optional[str] = None,
     csv_path: Optional[str] = None,
+    strict: Optional[bool] = None,
 ) -> LiveRun:
     """Simulate one spec with a telemetry collector attached.
 
@@ -127,7 +157,13 @@ def run_live(
     artifact sinks when paths are given), and the simulated system —
     figure drivers and the ``repro telemetry`` CLI both sit here.
     """
-    from repro.telemetry import CSVSink, JSONLSink, MemorySink, TelemetryCollector
+    _validate_specs([spec], strict)
+    from repro.telemetry import (
+        CSVSink,
+        JSONLSink,
+        MemorySink,
+        TelemetryCollector,
+    )
 
     if collector is None:
         sinks = [MemorySink()]
@@ -179,13 +215,16 @@ def run_many(
     profiler: Optional[HostProfiler] = None,
     sink=None,
     check_invariants=None,
+    strict: Optional[bool] = None,
 ) -> List[SimulationResult]:
     """Run a batch of specs (sharded across processes when ``workers>1``).
 
     Results come back in input order; duplicate specs are simulated once.
     See :class:`~repro.experiments.executor.SweepExecutor` for the knobs,
-    per-run crash retry semantics, and ``check_invariants``.
+    per-run crash retry semantics, and ``check_invariants``.  Every spec
+    is static-checked before the first worker spawns (see :func:`run`).
     """
+    _validate_specs(specs, strict)
     executor = SweepExecutor(
         workers=workers,
         chunk_size=chunk_size,
@@ -211,6 +250,7 @@ def sweep(
     retries: int = 2,
     chunk_size: Optional[int] = None,
     progress=None,
+    strict: Optional[bool] = None,
 ) -> List[Dict[str, object]]:
     """Run every combination of ``axes`` over ``base``; one record per run.
 
@@ -234,6 +274,7 @@ def sweep(
         retries=retries,
         chunk_size=chunk_size,
         progress=progress,
+        strict=strict,
     )
     records: List[Dict[str, object]] = []
     for combo, spec, result in zip(combos, specs, results):
@@ -255,6 +296,7 @@ def grid(
     use_cache: bool = True,
     retries: int = 2,
     progress=None,
+    strict: Optional[bool] = None,
     **spec_kwargs,
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Run a benchmark x scheme grid; returns ``out[benchmark][scheme]``."""
@@ -270,6 +312,7 @@ def grid(
         use_cache=use_cache,
         retries=retries,
         progress=progress,
+        strict=strict,
     )
     out: Dict[str, Dict[str, SimulationResult]] = {}
     it = iter(results)

@@ -24,9 +24,9 @@ from repro.experiments.report import render_grid, render_kv
 from repro.experiments.runner import RunSpec, geometric_mean, normalized
 from repro.noc.flit import PacketType
 from repro.workloads.suite import (
+    PAPER_FIG15_BENCHMARKS,
     PAPER_FIG6_BENCHMARKS,
     PAPER_FIG9_BENCHMARKS,
-    PAPER_FIG15_BENCHMARKS,
     benchmark_names,
 )
 
@@ -195,8 +195,12 @@ def fig6_queue_occupancy(
     }
     return {
         "rows": rows,
-        "summary": {"mean_occupancy_over_capacity": sum(tracking.values()) / len(tracking)},
-        "paper": {"mean_occupancy_over_capacity": "close to 1 (occupancy tracks capacity)"},
+        "summary": {
+            "mean_occupancy_over_capacity": sum(tracking.values()) / len(tracking)
+        },
+        "paper": {
+            "mean_occupancy_over_capacity": "close to 1 (occupancy tracks capacity)"
+        },
         "table": render_grid(rows, [str(c) for c in capacities_pkts]),
     }
 
@@ -281,7 +285,9 @@ def fig9_priority_levels(
     return {
         "rows": rows,
         "summary": {"two_level_improvement": two_level},
-        "paper": {"two_level_improvement": "most of the benefit at 2 levels (bfs ~+9%)"},
+        "paper": {
+            "two_level_improvement": "most of the benefit at 2 levels (bfs ~+9%)"
+        },
         "table": render_grid(rows, [str(l) for l in levels]),
     }
 
@@ -594,7 +600,10 @@ def sec75_scalability(
         "paper": {"4x4": 1.037, "6x6": 1.154, "8x8": 1.247},
         "table": render_grid(
             rows,
-            [c for c in ("all", "high", "medium", "low") if c in next(iter(rows.values()))],
+            [
+                c for c in ("all", "high", "medium", "low")
+                if c in next(iter(rows.values()))
+            ],
             row_label="mesh",
         ),
     }
@@ -837,7 +846,9 @@ def ext_request_side_ari(
     """
     budget = _budget(scale)
     bms = _bms(scale, benchmarks)
-    out = grid(bms, ["ada-baseline", "ada-ari", "ada-ari-both"], workers=workers, **budget)
+    out = grid(
+        bms, ["ada-baseline", "ada-ari", "ada-ari-both"], workers=workers, **budget
+    )
     norm = normalized(out, "ipc", "ada-baseline")
     summary = {
         sch: geometric_mean([norm[bm][sch] for bm in bms])

@@ -47,9 +47,8 @@ def cartesian_sweep(
     if progress is not None:
         # api.sweep reports (done, total, spec, source) after each run;
         # serial order matches grid order, so done-1 is the old index.
-        wrapped = lambda done, total, spec, source: progress(
-            done - 1, total, spec
-        )
+        def wrapped(done, total, spec, source):
+            progress(done - 1, total, spec)
     return api.sweep(
         base,
         axes,
@@ -92,5 +91,7 @@ def best_by(
     carrying = [r for r in records if metric in r]
     if not carrying:
         return None
-    key = lambda r: r[metric]
+    def key(r):
+        return r[metric]
+
     return max(carrying, key=key) if maximize else min(carrying, key=key)

@@ -12,13 +12,11 @@ See ``docs/faults.md`` for the fault model and DSL, and
 ``repro faults --help`` for the campaign CLI.
 """
 
-from repro.faults.model import (
-    FaultEvent,
-    FaultKind,
-    FaultPlan,
-    describe,
-    parse_event,
-    validate_plan,
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    DegradationReport,
+    run_campaign,
 )
 from repro.faults.injector import (
     FaultInjector,
@@ -29,11 +27,13 @@ from repro.faults.injector import (
     install_faults,
     install_system_faults,
 )
-from repro.faults.campaign import (
-    CampaignConfig,
-    CampaignRunner,
-    DegradationReport,
-    run_campaign,
+from repro.faults.model import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    describe,
+    parse_event,
+    validate_plan,
 )
 
 __all__ = [

@@ -139,7 +139,9 @@ def parse_event(token: str) -> FaultEvent:
         queue = int(fields[0])
     else:
         if not fields or fields[0].upper() not in _DIR_BY_NAME:
-            raise ValueError(f"{kind.value} target needs a direction N/E/S/W: {token!r}")
+            raise ValueError(
+                f"{kind.value} target needs a direction N/E/S/W: {token!r}"
+            )
         direction = _DIR_BY_NAME[fields[0].upper()]
         if kind == FaultKind.VC:
             if len(fields) != 2 or not fields[1].isdigit():
@@ -241,7 +243,9 @@ def validate_plan(plan: FaultPlan, topology: MeshTopology, num_vcs: int) -> None
     n = topology.num_routers
     for e in plan.events:
         if not 0 <= e.router < n:
-            raise ValueError(f"{e.token()}: router {e.router} not in mesh ({n} routers)")
+            raise ValueError(
+                f"{e.token()}: router {e.router} not in mesh ({n} routers)"
+            )
         if e.kind == FaultKind.NIQ:
             continue  # queue count is NI-specific; checked at install time
         neighbors = topology.neighbors(e.router)

@@ -7,14 +7,14 @@ and a GDDR5 timing model produce reply data that is injected into the reply
 NoC — the exact path whose injection bottleneck the paper attacks.
 """
 
-from repro.gpu.config import GPUConfig
 from repro.gpu.cache import Cache
-from repro.gpu.mshr import MSHRTable
-from repro.gpu.dram import GDDR5Timing, DRAMChannel
-from repro.gpu.warp import Warp, GTOScheduler
+from repro.gpu.config import GPUConfig
 from repro.gpu.core import Core
+from repro.gpu.dram import DRAMChannel, GDDR5Timing
 from repro.gpu.mc import MemoryController
+from repro.gpu.mshr import MSHRTable
 from repro.gpu.system import GPGPUSystem, SimulationResult
+from repro.gpu.warp import GTOScheduler, Warp
 
 __all__ = [
     "GPUConfig",

@@ -21,7 +21,10 @@ from repro.gpu.config import GDDR5TimingParams
 
 
 class DRAMRequest:
-    __slots__ = ("line_addr", "is_write", "cookie", "enqueued_at", "completed_at", "needed_act")
+    __slots__ = (
+        "line_addr", "is_write", "cookie", "enqueued_at", "completed_at",
+        "needed_act",
+    )
 
     def __init__(self, line_addr: int, is_write: bool, cookie: object = None) -> None:
         self.line_addr = line_addr

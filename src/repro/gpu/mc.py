@@ -15,10 +15,9 @@ the cores.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from typing import Callable, Deque, List, Optional, Tuple
-
-import heapq
 
 from repro.gpu.cache import Cache
 from repro.gpu.config import GPUConfig
@@ -101,7 +100,9 @@ class MemoryController:
         self.request_queue.append(packet)
 
     # ------------------------------------------------------------------
-    def _make_reply(self, requester: int, is_write: bool, line: int, now: int) -> Packet:
+    def _make_reply(
+        self, requester: int, is_write: bool, line: int, now: int
+    ) -> Packet:
         if is_write:
             ptype, size = PacketType.WRITE_REPLY, self._write_reply_size
         else:

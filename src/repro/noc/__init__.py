@@ -10,23 +10,16 @@ The central entry point is :class:`repro.noc.network.Network`, built from a
 :class:`repro.noc.network.NetworkConfig`.
 """
 
+from repro.noc.buffer import InputPort, VirtualChannel
 from repro.noc.flit import Flit, Packet, PacketType
-from repro.noc.link import Link
-from repro.noc.buffer import VirtualChannel, InputPort
-from repro.noc.routing import RoutingAlgorithm, XYRouting, MinimalAdaptiveRouting
-from repro.noc.ni import (
-    NIKind,
-    BaselineNI,
-    EnhancedNI,
-    SplitNI,
-    MultiPortNI,
-    make_ni,
-)
-from repro.noc.router import Router
-from repro.noc.topology import MeshTopology, diamond_mc_placement
-from repro.noc.network import Network, NetworkConfig
-from repro.noc.stats import NetworkStats
 from repro.noc.histogram import LatencyHistogram
+from repro.noc.link import Link
+from repro.noc.network import Network, NetworkConfig
+from repro.noc.ni import BaselineNI, EnhancedNI, MultiPortNI, NIKind, SplitNI, make_ni
+from repro.noc.router import Router
+from repro.noc.routing import MinimalAdaptiveRouting, RoutingAlgorithm, XYRouting
+from repro.noc.stats import NetworkStats
+from repro.noc.topology import MeshTopology, diamond_mc_placement
 from repro.noc.trace import PacketTracer, TraceEvent
 
 __all__ = [

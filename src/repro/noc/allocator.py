@@ -83,7 +83,10 @@ class Bid:
         self.priority = priority
 
     def __repr__(self) -> str:  # pragma: no cover
-        return f"Bid(p{self.in_port}.vc{self.vc} -> out{self.out_port}, prio={self.priority})"
+        return (
+            f"Bid(p{self.in_port}.vc{self.vc} -> out{self.out_port}, "
+            f"prio={self.priority})"
+        )
 
 
 class SwitchAllocator:

@@ -58,7 +58,9 @@ def injection_queue_wait(
     return md1_wait(packet_rate, service)
 
 
-def saturation_throughput(packet_size_flits: int, drain_flits_per_cycle: float = 1.0) -> float:
+def saturation_throughput(
+    packet_size_flits: int, drain_flits_per_cycle: float = 1.0
+) -> float:
     """Max packets/cycle through one injection link (Sec. 3's ceiling)."""
     if packet_size_flits < 1:
         raise ValueError("packet size must be >= 1")

@@ -184,5 +184,9 @@ class InputPort:
 
     def oldest_wait(self, now: int) -> int:
         """Longest time any front flit in this port has been waiting."""
-        waits = [now - vc.wait_since for vc in self.vcs if vc.wait_since is not None and vc.fifo]
+        waits = [
+            now - vc.wait_since
+            for vc in self.vcs
+            if vc.wait_since is not None and vc.fifo
+        ]
         return max(waits, default=0)

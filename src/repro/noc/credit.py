@@ -12,6 +12,24 @@ from collections import deque
 from typing import Deque, List, Tuple
 
 
+def credit_round_trip_cycles(
+    link_latency: int = 1,
+    credit_latency: int = 1,
+    processing_cycles: int = 1,
+) -> int:
+    """Cycles between sending a flit and seeing its buffer slot credited back.
+
+    The flit crosses the link (``link_latency``), the downstream router
+    drains it (at least one ``processing_cycles``), and the credit rides
+    the return wire (``credit_latency``).  A VC buffer shallower than this
+    round trip cannot keep its link busy even with a ready sender — the
+    sizing rule :mod:`repro.staticcheck` checks statically.
+    """
+    if link_latency < 0 or credit_latency < 0 or processing_cycles < 0:
+        raise ValueError("latencies must be >= 0")
+    return link_latency + credit_latency + processing_cycles
+
+
 class CreditChannel:
     """Models the credit return wire from a downstream input port.
 

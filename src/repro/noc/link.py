@@ -23,7 +23,9 @@ class Link:
         "is_injection", "failed",
     )
 
-    def __init__(self, name: str = "", latency: int = 1, is_injection: bool = False) -> None:
+    def __init__(
+        self, name: str = "", latency: int = 1, is_injection: bool = False
+    ) -> None:
         if latency < 1:
             raise ValueError("link latency must be >= 1")
         self.name = name

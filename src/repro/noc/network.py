@@ -27,7 +27,7 @@ from repro.noc.ni import (
     make_ni,
 )
 from repro.noc.router import Router
-from repro.noc.routing import LOCAL, make_routing, opposite, hop_count
+from repro.noc.routing import LOCAL, hop_count, make_routing, opposite
 from repro.noc.stats import NetworkStats, mean_link_utilization
 from repro.noc.topology import MeshTopology
 
@@ -344,7 +344,9 @@ class Network:
         return self.stats.in_flight == 0
 
     # -- analysis -------------------------------------------------------------
-    def injection_link_utilization(self, nodes: Optional[Sequence[int]] = None) -> float:
+    def injection_link_utilization(
+        self, nodes: Optional[Sequence[int]] = None
+    ) -> float:
         """Mean flits/cycle over injection links.
 
         Pass ``nodes`` to restrict to the nodes that actually inject (the

@@ -198,6 +198,11 @@ class FaultAwareRouting(RoutingAlgorithm):
         return f"FaultAwareRouting({self.base!r})"
 
 
+#: Canonical algorithm names accepted by :func:`make_routing` (aliases for
+#: each are listed in the factory; introspection code iterates this).
+ROUTING_NAMES = ("xy", "adaptive")
+
+
 def make_routing(name: str) -> RoutingAlgorithm:
     """Factory used by configuration code (``"xy"`` or ``"adaptive"``)."""
     name = name.lower()
@@ -205,7 +210,10 @@ def make_routing(name: str) -> RoutingAlgorithm:
         return XYRouting()
     if name in ("adaptive", "minimal-adaptive", "min-adaptive", "ada"):
         return MinimalAdaptiveRouting()
-    raise ValueError(f"unknown routing algorithm: {name!r}")
+    raise ValueError(
+        f"unknown routing algorithm: {name!r}; canonical names: "
+        f"{', '.join(ROUTING_NAMES)}"
+    )
 
 
 def hop_count(cur: Tuple[int, int], dest: Tuple[int, int]) -> int:

@@ -8,9 +8,9 @@ link load.  4x4 and 8x8 meshes are used in the scalability study.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.noc.routing import NORTH, EAST, SOUTH, WEST, opposite
+from repro.noc.routing import EAST, NORTH, SOUTH, WEST, opposite
 
 
 class MeshTopology:
@@ -54,6 +54,13 @@ class MeshTopology:
     def neighbors(self, router: int) -> Dict[int, int]:
         """Map of direction -> neighbouring router id (edges omitted)."""
         return self._neighbors[router]
+
+    def direction_to(self, src: int, dst: int) -> Optional[int]:
+        """Direction of the ``src -> dst`` mesh link, or None if not adjacent."""
+        for direction, neighbor in self._neighbors[src].items():
+            if neighbor == dst:
+                return direction
+        return None
 
     def degree(self, router: int) -> int:
         """Number of mesh links at this router (2 corner, 3 edge, 4 inner)."""

@@ -70,6 +70,11 @@ class InvariantChecker:
             return
         raise InvariantViolation(message)
 
+    def _loc(self, router_id: int) -> str:
+        """``r5@(5,0)`` — router id with its mesh coordinates."""
+        x, y = self.network.topology.coords(router_id)
+        return f"r{router_id}@({x},{y})"
+
     # -- network.auditor hook ----------------------------------------------
     def on_cycle(self, now: int) -> None:
         if now % self.every == 0:
@@ -78,16 +83,21 @@ class InvariantChecker:
     # -- individual checks -------------------------------------------------
     def check_occupancy_counters(self) -> None:
         for router in self.network.routers:
+            loc = self._loc(router.router_id)
             for port in router.input_ports:
                 if port.occ != port.total_occupancy():
+                    per_vc = ", ".join(
+                        f"vc{vc.index}={vc.occupancy}" for vc in port.vcs
+                    )
                     self._fail(
-                        f"router {router.router_id} port {port.port_id}: "
+                        f"router {loc} port {port.port_id}: "
                         f"port counter {port.occ} != {port.total_occupancy()}"
+                        f" ({per_vc})"
                     )
             actual = sum(p.total_occupancy() for p in router.input_ports)
             if router.occupancy() != actual:
                 self._fail(
-                    f"router {router.router_id}: maintained occupancy "
+                    f"router {loc}: maintained occupancy "
                     f"{router.occupancy()} != actual {actual}"
                 )
 
@@ -108,22 +118,24 @@ class InvariantChecker:
                 # them loosely by checking the aggregate bound per VC pair.
                 total = up.credits.available(vc) + buffered
                 cap = self.network.config.vc_capacity
+                link_loc = f"link {self._loc(src)}->{self._loc(dst)}"
                 if total > cap + in_flight_credits:
                     self._fail(
-                        f"link r{src}->r{dst} vc{vc}: credits "
+                        f"{link_loc} vc{vc}: credits "
                         f"{up.credits.available(vc)} + buffered {buffered} "
                         f"> capacity {cap} (+{in_flight_credits} in-flight)"
                     )
                 if up.credits.available(vc) + buffered + in_flight_flits + \
                         in_flight_credits < cap:
                     self._fail(
-                        f"link r{src}->r{dst} vc{vc}: credit leak "
+                        f"{link_loc} vc{vc}: credit leak "
                         f"({up.credits.available(vc)} + {buffered} + "
                         f"{in_flight_flits} + {in_flight_credits} < {cap})"
                     )
 
     def check_writer_locks(self) -> None:
         for router in self.network.routers:
+            loc = self._loc(router.router_id)
             for out in router.output_ports:
                 if out is None:
                     continue
@@ -132,22 +144,23 @@ class InvariantChecker:
                     locked = out.writer[vc] is not None
                     if left < 0:
                         self._fail(
-                            f"router {router.router_id} out {out.port_id} "
+                            f"router {loc} out {out.port_id} "
                             f"vc{vc}: negative writer_left {left}"
                         )
                     if locked and left == 0:
                         self._fail(
-                            f"router {router.router_id} out {out.port_id} "
+                            f"router {loc} out {out.port_id} "
                             f"vc{vc}: locked with zero flits left"
                         )
                     if not locked and left != 0:
                         self._fail(
-                            f"router {router.router_id} out {out.port_id} "
+                            f"router {loc} out {out.port_id} "
                             f"vc{vc}: unlocked with {left} flits left"
                         )
 
     def check_no_interleaving(self) -> None:
         for router in self.network.routers:
+            loc = self._loc(router.router_id)
             for port in router.input_ports:
                 for vc in port.vcs:
                     current: Optional[int] = None
@@ -155,7 +168,7 @@ class InvariantChecker:
                         if flit.is_head:
                             if current is not None:
                                 self._fail(
-                                    f"router {router.router_id} port "
+                                    f"router {loc} port "
                                     f"{port.port_id} vc{vc.index}: head of "
                                     f"pid {flit.packet.pid} inside pid "
                                     f"{current}"
@@ -165,7 +178,7 @@ class InvariantChecker:
                             if current is not None and \
                                     flit.packet.pid != current:
                                 self._fail(
-                                    f"router {router.router_id} port "
+                                    f"router {loc} port "
                                     f"{port.port_id} vc{vc.index}: flit of "
                                     f"pid {flit.packet.pid} interleaved "
                                     f"into pid {current}"
@@ -181,15 +194,27 @@ class InvariantChecker:
             self._fail(
                 f"quiescence check with {stats.in_flight} packets in flight"
             )
-        buffered = sum(r.occupancy() for r in self.network.routers)
-        if buffered:
+        holders = [
+            f"{self._loc(r.router_id)}:{r.occupancy()}"
+            for r in self.network.routers
+            if r.occupancy()
+        ]
+        if holders:
+            buffered = sum(r.occupancy() for r in self.network.routers)
             self._fail(
-                f"quiescent network still buffers {buffered} flits"
+                f"quiescent network still buffers {buffered} flits "
+                f"(at {', '.join(holders)})"
             )
-        queued = sum(ni.queued_flits() for ni in self.network.nis)
-        if queued:
+        ni_holders = [
+            f"{self._loc(node)}:{ni.queued_flits()}"
+            for node, ni in enumerate(self.network.nis)
+            if ni.queued_flits()
+        ]
+        if ni_holders:
+            queued = sum(ni.queued_flits() for ni in self.network.nis)
             self._fail(
-                f"quiescent network still queues {queued} NI flits"
+                f"quiescent network still queues {queued} NI flits "
+                f"(at {', '.join(ni_holders)})"
             )
 
     # -- aggregate ----------------------------------------------------------

@@ -1,0 +1,59 @@
+"""repro.staticcheck — pre-simulation model verification + determinism lint.
+
+Proves, before a single cycle runs, the properties the simulator
+otherwise only observes at runtime: escape-network deadlock freedom
+(channel-dependency-graph acyclicity + reachability, per fault epoch),
+the paper's Eq. 1 / Eq. 2 injection-speedup sizing, queue/credit/VC
+partition sanity — plus an AST determinism lint over the simulator
+sources.  See ``docs/staticcheck.md`` for the rule catalog and the
+``repro check`` CLI subcommand for the command-line front end.
+"""
+
+from repro.staticcheck.cdg import (
+    EscapeGraph,
+    EscapeTrace,
+    all_pairs_unreachable,
+    build_escape_cdg,
+    channel_name,
+    trace_escape,
+)
+from repro.staticcheck.diagnostics import (
+    CheckReport,
+    Diagnostic,
+    Severity,
+    StaticCheckError,
+    StaticCheckWarning,
+)
+from repro.staticcheck.modelcheck import ModelInputs, check_model
+from repro.staticcheck.runner import (
+    RULES,
+    STATICCHECK_ENV,
+    CheckRunner,
+    clear_validation_cache,
+    resolve_mode,
+    rule_ids,
+    validate_spec,
+)
+
+__all__ = [
+    "RULES",
+    "STATICCHECK_ENV",
+    "CheckReport",
+    "CheckRunner",
+    "Diagnostic",
+    "EscapeGraph",
+    "EscapeTrace",
+    "ModelInputs",
+    "Severity",
+    "StaticCheckError",
+    "StaticCheckWarning",
+    "all_pairs_unreachable",
+    "build_escape_cdg",
+    "channel_name",
+    "check_model",
+    "clear_validation_cache",
+    "resolve_mode",
+    "rule_ids",
+    "trace_escape",
+    "validate_spec",
+]

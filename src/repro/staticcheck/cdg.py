@@ -1,0 +1,244 @@
+"""Channel-dependency-graph (CDG) analysis of the escape network.
+
+Deadlock freedom of the simulator's adaptive routing rests on Duato's
+protocol: as long as the *escape* sub-network — VC 0 restricted to the
+routing algorithm's ``escape_port`` hops — is free of cyclic channel
+dependencies and reaches every destination, packets on the fully
+adaptive VCs can always drain through it.  This module proves those two
+properties *statically*, before a single cycle is simulated, using the
+same CDG cycle-detection discipline that gem5 topologies encode through
+link weights.
+
+The graph is built over *escape channels*: one node per live
+unidirectional mesh link, an edge ``c1 -> c2`` whenever some routed
+destination lets a packet occupy ``c1`` while requesting ``c2`` next.
+Faults enter as a set of dead links (removed channels, detour routing
+consulted instead) and dead escape VCs (channel present for adaptive
+traffic but unusable by VC 0).
+
+Everything here is pure graph code over the public
+:class:`~repro.noc.routing.RoutingAlgorithm` interface — it imports
+neither the simulator hot path nor :mod:`repro.faults`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.noc.routing import DIRECTION_NAMES, LOCAL, RoutingAlgorithm
+from repro.noc.topology import MeshTopology
+
+#: An escape channel: the (router, direction) pair naming one output link.
+Channel = Tuple[int, int]
+
+#: (router, direction) pairs of dead links / dead escape VCs.
+LinkSet = FrozenSet[Channel]
+
+EMPTY_LINKS: LinkSet = frozenset()
+
+
+def channel_name(topology: MeshTopology, channel: Channel) -> str:
+    """Human-readable channel label, e.g. ``r5-E>r6``."""
+    router, direction = channel
+    dst = topology.neighbors(router).get(direction)
+    arrow = f">{'' if dst is None else f'r{dst}'}"
+    return f"r{router}-{DIRECTION_NAMES[direction]}{arrow}"
+
+
+@dataclass
+class EscapeGraph:
+    """The escape-channel dependency graph plus construction hazards."""
+
+    topology: MeshTopology
+    #: adjacency: channel -> set of channels it may wait on next
+    edges: Dict[Channel, Set[Channel]] = field(default_factory=dict)
+    #: (router, dest, channel) triples where the escape hop is unusable
+    dead_escape_hops: List[Tuple[int, int, Channel]] = field(
+        default_factory=list
+    )
+    #: (router, dest) pairs whose escape hop leaves the mesh entirely
+    off_mesh_hops: List[Tuple[int, int]] = field(default_factory=list)
+    #: (vc, port) pairs where VC 0 refuses the escape hop it must accept
+    inadmissible: List[Tuple[int, int]] = field(default_factory=list)
+
+    def find_cycle(self) -> Optional[List[Channel]]:
+        """One dependency cycle as a channel list, or None if acyclic.
+
+        Iterative colored DFS; the returned list is the cycle in order
+        (first element repeated implicitly by the closing edge).
+        """
+        WHITE, GREY, BLACK = 0, 1, 2
+        color: Dict[Channel, int] = {c: WHITE for c in self.edges}
+        for root in self.edges:
+            if color[root] != WHITE:
+                continue
+            stack: List[Tuple[Channel, List[Channel]]] = [
+                (root, sorted(self.edges.get(root, ())))
+            ]
+            path: List[Channel] = [root]
+            color[root] = GREY
+            while stack:
+                node, succs = stack[-1]
+                if succs:
+                    nxt = succs.pop(0)
+                    state = color.setdefault(nxt, WHITE)
+                    if state == GREY:
+                        return path[path.index(nxt):]
+                    if state == WHITE:
+                        color[nxt] = GREY
+                        path.append(nxt)
+                        stack.append(
+                            (nxt, sorted(self.edges.get(nxt, ())))
+                        )
+                else:
+                    color[node] = BLACK
+                    path.pop()
+                    stack.pop()
+        return None
+
+    def format_cycle(self, cycle: Sequence[Channel]) -> str:
+        names = [channel_name(self.topology, c) for c in cycle]
+        names.append(names[0])
+        return " -> ".join(names)
+
+
+def build_escape_cdg(
+    routing: RoutingAlgorithm,
+    topology: MeshTopology,
+    dests: Sequence[int],
+    dead_links: LinkSet = EMPTY_LINKS,
+    dead_escape_vcs: LinkSet = EMPTY_LINKS,
+) -> EscapeGraph:
+    """Construct the escape-channel CDG for a routed destination set.
+
+    For every destination and every router that could hold a packet bound
+    for it, the escape hop defines an occupied channel; an edge is added
+    to the escape channel requested at the next router.  Channels on dead
+    links or dead escape VCs are recorded as hazards instead of nodes —
+    a routing function that still *points* at them is a finding, not a
+    crash.
+    """
+    graph = EscapeGraph(topology)
+    unusable = dead_links | dead_escape_vcs
+    for dest in dests:
+        dest_xy = topology.coords(dest)
+        for router in range(topology.num_routers):
+            if router == dest:
+                continue
+            cur_xy = topology.coords(router)
+            direction = routing.escape_port(cur_xy, dest_xy)
+            if direction == LOCAL:
+                # Escape routing gives up before reaching the
+                # destination; surfaces as a reachability finding.
+                continue
+            channel = (router, direction)
+            nxt = topology.neighbors(router).get(direction)
+            if nxt is None:
+                graph.off_mesh_hops.append((router, dest))
+                continue
+            if channel in unusable:
+                graph.dead_escape_hops.append((router, dest, channel))
+                continue
+            if not routing.vc_allowed(0, direction, direction):
+                graph.inadmissible.append((0, direction))
+            graph.edges.setdefault(channel, set())
+            if nxt == dest:
+                continue
+            nxt_dir = routing.escape_port(topology.coords(nxt), dest_xy)
+            if nxt_dir == LOCAL:
+                continue
+            nxt_channel = (nxt, nxt_dir)
+            if (
+                topology.neighbors(nxt).get(nxt_dir) is not None
+                and nxt_channel not in unusable
+            ):
+                graph.edges[channel].add(nxt_channel)
+                graph.edges.setdefault(nxt_channel, set())
+    return graph
+
+
+@dataclass(frozen=True)
+class EscapeTrace:
+    """Result of walking escape hops from one source to one destination."""
+
+    status: str                  # "ok" | "loop" | "dead" | "off-mesh" | "stuck"
+    path: Tuple[int, ...]        # router ids visited, source first
+    blocker: Optional[Channel] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def describe(self, topology: MeshTopology) -> str:
+        hops = "->".join(f"r{r}" for r in self.path)
+        if self.status == "ok":
+            return f"reaches via {hops}"
+        if self.status == "loop":
+            return f"escape path loops: {hops}"
+        if self.status == "dead":
+            assert self.blocker is not None
+            return (
+                f"escape path {hops} enters dead channel "
+                f"{channel_name(topology, self.blocker)}"
+            )
+        if self.status == "off-mesh":
+            return f"escape path {hops} points off the mesh"
+        return f"escape path stalls at r{self.path[-1]} ({hops})"
+
+
+def trace_escape(
+    routing: RoutingAlgorithm,
+    topology: MeshTopology,
+    src: int,
+    dest: int,
+    dead_links: LinkSet = EMPTY_LINKS,
+    dead_escape_vcs: LinkSet = EMPTY_LINKS,
+) -> EscapeTrace:
+    """Follow escape hops from ``src`` until ``dest``, a loop, or a wall."""
+    unusable = dead_links | dead_escape_vcs
+    dest_xy = topology.coords(dest)
+    path: List[int] = [src]
+    seen = {src}
+    cur = src
+    for _ in range(topology.num_routers + 1):
+        if cur == dest:
+            return EscapeTrace("ok", tuple(path))
+        direction = routing.escape_port(topology.coords(cur), dest_xy)
+        if direction == LOCAL:
+            return EscapeTrace("stuck", tuple(path))
+        channel = (cur, direction)
+        nxt = topology.neighbors(cur).get(direction)
+        if nxt is None:
+            return EscapeTrace("off-mesh", tuple(path), channel)
+        if channel in unusable:
+            return EscapeTrace("dead", tuple(path), channel)
+        if nxt in seen and nxt != dest:
+            path.append(nxt)
+            return EscapeTrace("loop", tuple(path))
+        path.append(nxt)
+        seen.add(nxt)
+        cur = nxt
+    return EscapeTrace("loop", tuple(path))
+
+
+def all_pairs_unreachable(
+    routing: RoutingAlgorithm,
+    topology: MeshTopology,
+    sources: Sequence[int],
+    dests: Sequence[int],
+    dead_links: LinkSet = EMPTY_LINKS,
+    dead_escape_vcs: LinkSet = EMPTY_LINKS,
+) -> List[Tuple[int, int, EscapeTrace]]:
+    """Every (src, dest) pair whose escape walk fails, with its trace."""
+    failures: List[Tuple[int, int, EscapeTrace]] = []
+    for src in sources:
+        for dest in dests:
+            if src == dest:
+                continue
+            trace = trace_escape(
+                routing, topology, src, dest, dead_links, dead_escape_vcs
+            )
+            if not trace.ok:
+                failures.append((src, dest, trace))
+    return failures

@@ -1,0 +1,181 @@
+"""Structured diagnostics for the pre-simulation static checker.
+
+Every analysis in :mod:`repro.staticcheck` reports findings as
+:class:`Diagnostic` records — rule id, severity, location, message, fix
+hint — collected into a :class:`CheckReport`.  One record format serves
+all consumers: the ``repro check`` CLI renders text or JSON from it, the
+:func:`~repro.staticcheck.runner.validate_spec` gate raises
+:class:`StaticCheckError` from its error subset, and tests assert on rule
+ids instead of message strings.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels (comparable: ``ERROR > WARNING > INFO``)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule at one location.
+
+    ``location`` is free-form but conventionally ``scheme=... mesh=...``
+    for model checks and ``path:line`` for code checks; ``hint`` is a
+    short actionable fix suggestion.
+    """
+
+    rule: str
+    severity: Severity
+    location: str
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        loc = f" [{self.location}]" if self.location else ""
+        text = f"{self.severity.label}: {self.rule}{loc}: {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "location": self.location,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+class StaticCheckError(ValueError):
+    """A static check found blocking problems.
+
+    Subclasses :class:`ValueError` so callers that guarded configuration
+    errors with ``except ValueError`` keep working when the gate catches
+    the problem earlier.  Carries the offending diagnostics.
+    """
+
+    def __init__(self, diagnostics: Sequence[Diagnostic]):
+        self.diagnostics = list(diagnostics)
+        lines = [d.format() for d in self.diagnostics]
+        super().__init__(
+            "static check failed with "
+            f"{len(lines)} finding(s):\n  " + "\n  ".join(lines)
+        )
+
+
+class StaticCheckWarning(UserWarning):
+    """Non-blocking static-check findings surfaced via ``warnings.warn``."""
+
+
+@dataclass
+class CheckReport:
+    """An ordered collection of diagnostics plus pass/fail helpers."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(
+        self,
+        rule: str,
+        severity: Severity,
+        location: str,
+        message: str,
+        hint: str = "",
+    ) -> Diagnostic:
+        diag = Diagnostic(rule, severity, location, message, hint)
+        self.diagnostics.append(diag)
+        return diag
+
+    def extend(self, other: "CheckReport") -> "CheckReport":
+        self.diagnostics.extend(other.diagnostics)
+        return self
+
+    # -- views ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def at_least(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.at_least(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [
+            d for d in self.diagnostics if d.severity == Severity.WARNING
+        ]
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (warnings/infos allowed)."""
+        return not self.errors
+
+    def failed(self, strict: bool = False) -> bool:
+        """Blocking per the gate policy: errors always, warnings if strict."""
+        threshold = Severity.WARNING if strict else Severity.ERROR
+        return bool(self.at_least(threshold))
+
+    def rules_hit(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for d in self.diagnostics:
+            seen.setdefault(d.rule, None)
+        return list(seen)
+
+    def filter(self, rules: Optional[Iterable[str]]) -> "CheckReport":
+        """A new report keeping only diagnostics of the given rule ids."""
+        if rules is None:
+            return self
+        keep = set(rules)
+        return CheckReport(
+            [d for d in self.diagnostics if d.rule in keep]
+        )
+
+    # -- rendering -----------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        out = {"error": 0, "warning": 0, "info": 0}
+        for d in self.diagnostics:
+            out[d.severity.label] += 1
+        return out
+
+    def summary(self) -> str:
+        c = self.counts()
+        return (
+            f"{len(self.diagnostics)} finding(s): {c['error']} error(s), "
+            f"{c['warning']} warning(s), {c['info']} info(s)"
+        )
+
+    def render(self, min_severity: Severity = Severity.INFO) -> str:
+        lines = [
+            d.format() for d in self.diagnostics if d.severity >= min_severity
+        ]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "counts": self.counts(),
+            "ok": self.ok,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

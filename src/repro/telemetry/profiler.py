@@ -32,17 +32,17 @@ class HostProfiler:
         self.phases: Dict[str, float] = {}      # name -> accumulated seconds
         self.phase_calls: Dict[str, int] = {}
         self.counters: Dict[str, int] = {}
-        self._created = time.perf_counter()
+        self._created = time.perf_counter()  # det: allow(det-wallclock)
 
     # -- phases ------------------------------------------------------------
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Time a block; re-entering the same name accumulates."""
-        start = time.perf_counter()
+        start = time.perf_counter()  # det: allow(det-wallclock)
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
+            elapsed = time.perf_counter() - start  # det: allow(det-wallclock)
             self.phases[name] = self.phases.get(name, 0.0) + elapsed
             self.phase_calls[name] = self.phase_calls.get(name, 0) + 1
 

@@ -7,18 +7,18 @@ row locality.  The paper classifies its 30 benchmarks into 9 highly
 NoC-sensitive, 11 medium, and 10 low — the suite mirrors that split.
 """
 
-from repro.workloads.profile import WorkloadProfile, InstructionStream, Instr
+from repro.workloads.profile import Instr, InstructionStream, WorkloadProfile
 from repro.workloads.suite import (
+    PAPER_FIG15_BENCHMARKS,
+    PAPER_FIG6_BENCHMARKS,
+    PAPER_FIG9_BENCHMARKS,
     SUITE,
     benchmark,
     benchmark_names,
     by_sensitivity,
-    PAPER_FIG6_BENCHMARKS,
-    PAPER_FIG9_BENCHMARKS,
-    PAPER_FIG15_BENCHMARKS,
 )
-from repro.workloads.traffic import SyntheticTrafficGenerator, ReplyTrafficPattern
 from repro.workloads.tracefile import TraceWorkload, load_trace, record_trace
+from repro.workloads.traffic import ReplyTrafficPattern, SyntheticTrafficGenerator
 
 __all__ = [
     "WorkloadProfile",

@@ -89,7 +89,9 @@ class InstructionStream:
         self, profile: WorkloadProfile, core_id: int, warp_id: int, seed: int
     ) -> None:
         self.profile = profile
-        self.rng = random.Random((seed * 1_000_003 + core_id * 977 + warp_id) & 0x7FFFFFFF)
+        self.rng = random.Random(
+            (seed * 1_000_003 + core_id * 977 + warp_id) & 0x7FFFFFFF
+        )
         self._window: List[int] = []
         ws = profile.working_set_lines
         # Spread warps across the working set so streams do not collide.

@@ -6,7 +6,6 @@ from repro.energy.gpuwattch import (
     ActivityCounts,
     EnergyModel,
     activity_from_system,
-    energy_per_work,
 )
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gpu.config import GDDR5TimingParams, GPUConfig
+from repro.gpu.config import GPUConfig
 
 
 class TestDefaults:

@@ -1,6 +1,5 @@
 """Tests for the SIMT core model."""
 
-import pytest
 
 from repro.gpu.config import GPUConfig
 from repro.gpu.core import Core

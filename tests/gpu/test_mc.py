@@ -1,6 +1,5 @@
 """Tests for the memory-controller node."""
 
-import pytest
 
 from repro.gpu.config import GPUConfig
 from repro.gpu.mc import MemoryController

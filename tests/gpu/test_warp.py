@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gpu.warp import GTOScheduler, LRRScheduler, Warp, WarpState, make_scheduler
+from repro.gpu.warp import GTOScheduler, LRRScheduler, Warp, make_scheduler
 
 
 class TestWarp:

@@ -91,7 +91,9 @@ class TestSimulatorAgreement:
         rng = random.Random(3)
         cycles = 4000
         for _ in range(cycles):
-            net.offer(5, Packet(PacketType.READ_REPLY, 5, rng.choice(dests), 9, net.now))
+            net.offer(
+                5, Packet(PacketType.READ_REPLY, 5, rng.choice(dests), 9, net.now)
+            )
             net.step()
         tput = net.stats.packets_offered / cycles
         assert tput == pytest.approx(saturation_throughput(9), rel=0.05)

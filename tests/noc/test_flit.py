@@ -3,7 +3,6 @@
 import pytest
 
 from repro.noc.flit import (
-    Flit,
     Packet,
     PacketType,
     classify_pair,
@@ -111,8 +110,10 @@ class TestClassifyPair:
         [
             (PacketType.READ_REQUEST, (PacketType.READ_REQUEST, PacketType.READ_REPLY)),
             (PacketType.READ_REPLY, (PacketType.READ_REQUEST, PacketType.READ_REPLY)),
-            (PacketType.WRITE_REQUEST, (PacketType.WRITE_REQUEST, PacketType.WRITE_REPLY)),
-            (PacketType.WRITE_REPLY, (PacketType.WRITE_REQUEST, PacketType.WRITE_REPLY)),
+            (PacketType.WRITE_REQUEST,
+             (PacketType.WRITE_REQUEST, PacketType.WRITE_REPLY)),
+            (PacketType.WRITE_REPLY,
+             (PacketType.WRITE_REQUEST, PacketType.WRITE_REPLY)),
         ],
     )
     def test_pairs(self, ptype, expected):

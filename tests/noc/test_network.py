@@ -5,7 +5,7 @@ import itertools
 import pytest
 
 from repro.noc import Network, NetworkConfig
-from repro.noc.flit import Packet, PacketType, packet_size_for
+from repro.noc.flit import Packet, PacketType
 from repro.noc.network import DeadlockError, PerfectNetwork
 from repro.noc.ni import NIKind
 

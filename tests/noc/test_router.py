@@ -5,8 +5,8 @@ import pytest
 from repro.noc.credit import CreditChannel
 from repro.noc.flit import Packet, PacketType
 from repro.noc.link import Link
-from repro.noc.router import OutputPort, Router
-from repro.noc.routing import EAST, LOCAL, WEST, XYRouting, MinimalAdaptiveRouting
+from repro.noc.router import Router
+from repro.noc.routing import EAST, WEST, MinimalAdaptiveRouting, XYRouting
 
 
 def make_router(routing=None, coords=(1, 0), **kw):

@@ -104,6 +104,102 @@ class TestAdaptiveRouting:
         assert MinimalAdaptiveRouting().adaptive
 
 
+class TestEscapePortEdgeCases:
+    """escape_port behaviour at its boundaries (ISSUE 4 satellite)."""
+
+    @pytest.mark.parametrize(
+        "routing", [XYRouting(), MinimalAdaptiveRouting()]
+    )
+    def test_destination_is_current_node(self, routing):
+        for xy in [(0, 0), (3, 2), (5, 5)]:
+            assert routing.escape_port(xy, xy) == LOCAL
+
+    @pytest.mark.parametrize(
+        "routing", [XYRouting(), MinimalAdaptiveRouting()]
+    )
+    def test_single_row_walk_uses_only_east_west(self, routing):
+        """On a 1-row coordinate band (y fixed) only E/W hops ever appear."""
+        y = 0
+        for src in range(6):
+            for dst in range(6):
+                if src == dst:
+                    continue
+                port = routing.escape_port((src, y), (dst, y))
+                assert port == (EAST if dst > src else WEST)
+
+    @pytest.mark.parametrize(
+        "routing", [XYRouting(), MinimalAdaptiveRouting()]
+    )
+    def test_single_column_walk_uses_only_north_south(self, routing):
+        """On a 1-column band (x fixed) only N/S hops ever appear."""
+        x = 2
+        for src in range(6):
+            for dst in range(6):
+                if src == dst:
+                    continue
+                port = routing.escape_port((x, src), (x, dst))
+                assert port == (NORTH if dst > src else SOUTH)
+
+    def test_single_row_walk_terminates(self):
+        """Following escape hops along a row reaches the destination."""
+        routing = MinimalAdaptiveRouting()
+        cur, dest = (0, 3), (5, 3)
+        hops = 0
+        while cur != dest:
+            port = routing.escape_port(cur, dest)
+            step = {NORTH: (0, 1), EAST: (1, 0),
+                    SOUTH: (0, -1), WEST: (-1, 0)}[port]
+            cur = (cur[0] + step[0], cur[1] + step[1])
+            hops += 1
+            assert hops <= 5
+        assert hops == 5
+
+    def test_fault_wrapper_delegates_verbatim_when_inactive(self):
+        """FaultAwareRouting with no active fault must mirror its base."""
+        from repro.noc.routing import FaultAwareRouting
+        from repro.noc.topology import MeshTopology
+
+        class InactiveState:
+            active = False
+
+            def link_ok(self, router, direction):  # pragma: no cover
+                raise AssertionError("must not consult links when inactive")
+
+        topo = MeshTopology(4, 4)
+        base = MinimalAdaptiveRouting()
+        wrapped = FaultAwareRouting(base, topo, InactiveState())
+        for cx in range(4):
+            for cy in range(4):
+                for dx in range(4):
+                    for dy in range(4):
+                        cur, dest = (cx, cy), (dx, dy)
+                        assert wrapped.candidates(cur, dest) == \
+                            base.candidates(cur, dest)
+                        assert wrapped.escape_port(cur, dest) == \
+                            base.escape_port(cur, dest)
+        assert wrapped.adaptive == base.adaptive
+
+    def test_fault_wrapper_escape_differs_only_when_active(self):
+        """Activating a fault may change the escape hop; deactivating
+        restores the base choice exactly."""
+        from repro.faults.injector import FaultState
+        from repro.noc.routing import FaultAwareRouting
+        from repro.noc.topology import MeshTopology
+
+        topo = MeshTopology(4, 4)
+        base = XYRouting()
+        state = FaultState(topo)
+        wrapped = FaultAwareRouting(base, topo, state)
+        cur, dest = (0, 0), (3, 0)
+        assert wrapped.escape_port(cur, dest) == EAST
+        state.dead_links.add((topo.router_at(0, 0), EAST))
+        state.invalidate()
+        assert wrapped.escape_port(cur, dest) == NORTH  # detour around cut
+        state.dead_links.clear()
+        state.invalidate()
+        assert wrapped.escape_port(cur, dest) == EAST
+
+
 class TestFactory:
     @pytest.mark.parametrize("name", ["xy", "dor"])
     def test_xy_aliases(self, name):

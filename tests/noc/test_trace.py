@@ -1,10 +1,9 @@
 """Tests for the packet tracer."""
 
-import pytest
 
 from repro.noc import Network, NetworkConfig
 from repro.noc.flit import Packet, PacketType
-from repro.noc.trace import PacketTracer, TraceEvent
+from repro.noc.trace import PacketTracer
 
 
 def traced_network():

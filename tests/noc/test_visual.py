@@ -1,6 +1,5 @@
 """Tests for the ASCII mesh renderer."""
 
-import pytest
 
 from repro.noc import Network, NetworkConfig
 from repro.noc.flit import Packet, PacketType

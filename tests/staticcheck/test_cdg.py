@@ -1,0 +1,184 @@
+"""Channel-dependency-graph construction and escape-walk tests."""
+
+import pytest
+
+from repro.noc.routing import (
+    EAST,
+    LOCAL,
+    NORTH,
+    SOUTH,
+    WEST,
+    MinimalAdaptiveRouting,
+    RoutingAlgorithm,
+    XYRouting,
+)
+from repro.noc.topology import MeshTopology, default_placement
+from repro.staticcheck.cdg import (
+    all_pairs_unreachable,
+    build_escape_cdg,
+    channel_name,
+    trace_escape,
+)
+
+
+class ClockwiseRingRouting(RoutingAlgorithm):
+    """Deliberately cyclic: every escape hop walks the mesh boundary
+    clockwise (E along the bottom, N up the right edge, W along the top,
+    S down the left edge), never terminating at interior destinations.
+    The CDG over the boundary channels is one big cycle."""
+
+    name = "clockwise-ring"
+
+    def __init__(self, width: int, height: int) -> None:
+        self.width = width
+        self.height = height
+
+    def candidates(self, cur, dest):
+        return [self.escape_port(cur, dest)]
+
+    def escape_port(self, cur, dest):
+        x, y = cur
+        if cur == dest:
+            return LOCAL
+        if y == 0 and x < self.width - 1:
+            return EAST
+        if x == self.width - 1 and y < self.height - 1:
+            return NORTH
+        if y == self.height - 1 and x > 0:
+            return WEST
+        if x == 0 and y > 0:
+            return SOUTH
+        return EAST  # interior: drift onto the ring
+
+    def vc_allowed(self, vc, port, escape):
+        return True
+
+
+class TestChannelName:
+    def test_names_edges_and_walls(self):
+        topo = MeshTopology(4, 4)
+        assert channel_name(topo, (0, EAST)) == "r0-E>r1"
+        assert channel_name(topo, (0, NORTH)) == "r0-N>r4"
+        # A channel pointing off the mesh has no destination router.
+        assert channel_name(topo, (0, WEST)) == "r0-W>"
+
+
+class TestAcyclicSchemes:
+    @pytest.mark.parametrize("mesh", [4, 6, 8])
+    @pytest.mark.parametrize(
+        "routing", [XYRouting(), MinimalAdaptiveRouting()]
+    )
+    def test_escape_network_acyclic(self, mesh, routing):
+        """Acceptance: xy and adaptive escape networks are cycle-free."""
+        topo = MeshTopology(mesh, mesh)
+        dests = list(range(topo.num_routers))
+        graph = build_escape_cdg(routing, topo, dests)
+        assert graph.find_cycle() is None
+        assert not graph.off_mesh_hops
+        assert not graph.inadmissible
+        assert not graph.dead_escape_hops
+
+    @pytest.mark.parametrize(
+        "routing", [XYRouting(), MinimalAdaptiveRouting()]
+    )
+    def test_all_cc_mc_pairs_reachable(self, routing):
+        topo = MeshTopology(6, 6)
+        mcs, ccs = default_placement(6, 6, 8)
+        assert all_pairs_unreachable(routing, topo, ccs, mcs) == []
+        assert all_pairs_unreachable(routing, topo, mcs, ccs) == []
+
+
+class TestCyclicRoutingDetected:
+    def test_ring_cycle_found_and_formatted(self):
+        """Acceptance: a hand-built cyclic routing function is rejected."""
+        topo = MeshTopology(4, 4)
+        routing = ClockwiseRingRouting(4, 4)
+        graph = build_escape_cdg(routing, topo, list(range(16)))
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        # The cycle closes: every consecutive pair is a recorded edge.
+        for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+            assert b in graph.edges[a]
+        text = graph.format_cycle(cycle)
+        assert text.count("->") == len(cycle)
+        assert text.split(" -> ")[0] == text.split(" -> ")[-1]
+
+    def test_ring_never_reaches_interior(self):
+        topo = MeshTopology(4, 4)
+        routing = ClockwiseRingRouting(4, 4)
+        interior = topo.router_at(1, 1)
+        trace = trace_escape(routing, topo, 0, interior)
+        assert trace.status == "loop"
+        assert not trace.ok
+
+
+class TestDeadChannels:
+    def test_dead_link_breaks_reachability(self):
+        topo = MeshTopology(4, 4)
+        routing = XYRouting()
+        # Kill r0's East output: XY paths from r0 to anything east die.
+        dead = frozenset({(0, EAST)})
+        trace = trace_escape(routing, topo, 0, 3, dead_links=dead)
+        assert trace.status == "dead"
+        assert trace.blocker == (0, EAST)
+        failures = all_pairs_unreachable(
+            routing, topo, [0], [1, 2, 3], dead_links=dead
+        )
+        assert {(src, dst) for src, dst, _t in failures} == {
+            (0, 1), (0, 2), (0, 3)
+        }
+
+    def test_dead_escape_vc_counts_as_unusable(self):
+        topo = MeshTopology(4, 4)
+        routing = MinimalAdaptiveRouting()
+        dead_vcs = frozenset({(0, EAST)})
+        trace = trace_escape(
+            routing, topo, 0, 1, dead_escape_vcs=dead_vcs
+        )
+        assert trace.status == "dead"
+        graph = build_escape_cdg(
+            routing, topo, [1], dead_escape_vcs=dead_vcs
+        )
+        assert (0, 1, (0, EAST)) in graph.dead_escape_hops
+        assert (0, EAST) not in graph.edges
+
+    def test_vertical_detour_keeps_pair_alive(self):
+        """With the fault-aware wrapper the same cut stays reachable."""
+        from repro.faults.injector import FaultState
+        from repro.noc.routing import FaultAwareRouting
+
+        topo = MeshTopology(4, 4)
+        state = FaultState(topo)
+        state.dead_links.add((0, EAST))
+        routing = FaultAwareRouting(XYRouting(), topo, state)
+        trace = trace_escape(
+            routing, topo, 0, 3, dead_links=frozenset(state.dead_links)
+        )
+        assert trace.ok, trace.describe(topo)
+
+
+class TestEscapeTraceDescribe:
+    def test_ok_and_stuck_descriptions(self):
+        topo = MeshTopology(4, 4)
+        ok = trace_escape(XYRouting(), topo, 0, 5)
+        assert ok.ok and "reaches via" in ok.describe(topo)
+
+        class StuckRouting(XYRouting):
+            def escape_port(self, cur, dest):
+                return LOCAL
+
+        stuck = trace_escape(StuckRouting(), topo, 0, 5)
+        assert stuck.status == "stuck"
+        assert "stalls" in stuck.describe(topo)
+
+    def test_off_mesh_description(self):
+        class OffMeshRouting(XYRouting):
+            def escape_port(self, cur, dest):
+                return WEST  # r0 has no West link
+
+        topo = MeshTopology(4, 4)
+        trace = trace_escape(OffMeshRouting(), topo, 0, 5)
+        assert trace.status == "off-mesh"
+        assert "off the mesh" in trace.describe(topo)
+        graph = build_escape_cdg(OffMeshRouting(), topo, [5])
+        assert (0, 5) in graph.off_mesh_hops

@@ -1,0 +1,204 @@
+"""Determinism-lint (AST) tests."""
+
+import textwrap
+
+from repro.staticcheck.detlint import lint_paths, lint_source
+
+
+def lint(code):
+    return lint_source(textwrap.dedent(code), path="mod.py")
+
+
+def rules_of(report):
+    return set(report.rules_hit())
+
+
+class TestDetRandom:
+    def test_global_rng_call_flagged(self):
+        report = lint("""
+            import random
+            def pick(items):
+                return random.choice(items)
+        """)
+        assert rules_of(report) == {"det-random"}
+        assert "mod.py:4" in report.diagnostics[0].location
+
+    def test_numpy_global_rng_flagged(self):
+        report = lint("""
+            import numpy as np
+            x = np.random.randint(0, 10)
+        """)
+        assert rules_of(report) == {"det-random"}
+
+    def test_from_import_of_global_fn_flagged(self):
+        report = lint("from random import shuffle, randint\n")
+        assert rules_of(report) == {"det-random"}
+        assert "shuffle" in report.diagnostics[0].message
+
+    def test_seeded_instance_allowed(self):
+        report = lint("""
+            import random
+            rng = random.Random(3)
+            x = rng.random()
+            y = rng.sample(range(10), 2)
+        """)
+        assert len(report) == 0
+
+    def test_from_import_of_class_allowed(self):
+        report = lint("from random import Random\nrng = Random(1)\n")
+        assert len(report) == 0
+
+
+class TestDetWallclock:
+    def test_time_calls_flagged(self):
+        report = lint("""
+            import time
+            def stamp():
+                return time.time()
+        """)
+        assert rules_of(report) == {"det-wallclock"}
+
+    def test_datetime_now_flagged(self):
+        report = lint("""
+            import datetime
+            t = datetime.datetime.now()
+        """)
+        assert rules_of(report) == {"det-wallclock"}
+
+    def test_from_import_flagged(self):
+        report = lint("from time import perf_counter\n")
+        assert rules_of(report) == {"det-wallclock"}
+
+    def test_sleep_not_flagged(self):
+        report = lint("import time\ntime.sleep(1)\n")
+        assert len(report) == 0
+
+
+class TestDetSetIter:
+    def test_for_over_set_literal(self):
+        report = lint("""
+            for x in {1, 2, 3}:
+                print(x)
+        """)
+        assert rules_of(report) == {"det-set-iter"}
+
+    def test_for_over_set_typed_local(self):
+        report = lint("""
+            def arbitrate(reqs):
+                ready = set(reqs)
+                for r in ready:
+                    yield r
+        """)
+        assert rules_of(report) == {"det-set-iter"}
+
+    def test_comprehension_over_set_call(self):
+        report = lint("xs = [x for x in set(range(3))]\n")
+        assert rules_of(report) == {"det-set-iter"}
+
+    def test_sorted_set_allowed(self):
+        report = lint("""
+            ready = set()
+            for r in sorted(ready):
+                print(r)
+        """)
+        assert len(report) == 0
+
+    def test_membership_test_allowed(self):
+        report = lint("""
+            seen = set()
+            def check(x):
+                return x in seen
+        """)
+        assert len(report) == 0
+
+    def test_rebound_name_not_flagged(self):
+        report = lint("""
+            items = set()
+            items = sorted(items)
+            for x in items:
+                print(x)
+        """)
+        assert len(report) == 0
+
+
+class TestDetFloatCycle:
+    def test_float_augassign_flagged(self):
+        report = lint("""
+            cycle = 0
+            cycle += 0.5
+        """)
+        assert rules_of(report) == {"det-float-cycle"}
+
+    def test_float_binop_assign_flagged(self):
+        report = lint("next_tick = now + 1.5\n")
+        assert rules_of(report) == {"det-float-cycle"}
+
+    def test_attribute_counter_flagged(self):
+        report = lint("""
+            class Clock:
+                def advance(self):
+                    self.cycle += 2.0
+        """)
+        assert rules_of(report) == {"det-float-cycle"}
+
+    def test_integer_arithmetic_allowed(self):
+        report = lint("""
+            cycle = 0
+            cycle += 1
+            next_cycle = cycle + 4
+        """)
+        assert len(report) == 0
+
+    def test_non_cycle_names_allowed(self):
+        report = lint("ratio = 1.0\nratio += 0.5\n")
+        assert len(report) == 0
+
+
+class TestSuppression:
+    def test_bare_allow(self):
+        report = lint("""
+            import time
+            t = time.time()  # det: allow
+        """)
+        assert len(report) == 0
+
+    def test_named_allow_matches(self):
+        report = lint("""
+            import time
+            t = time.time()  # det: allow(det-wallclock)
+        """)
+        assert len(report) == 0
+
+    def test_named_allow_for_other_rule_does_not_match(self):
+        report = lint("""
+            import time
+            t = time.time()  # det: allow(det-random)
+        """)
+        assert rules_of(report) == {"det-wallclock"}
+
+
+class TestFilesAndErrors:
+    def test_syntax_error_reported_not_raised(self):
+        report = lint_source("def broken(:\n", path="bad.py")
+        assert not report.ok
+        assert "cannot parse" in report.diagnostics[0].message
+
+    def test_lint_paths_walks_tree(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("import time\nx = time.time()\n")
+        (pkg / "b.py").write_text("y = 1\n")
+        cache = pkg / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-312.py").write_text("import time\ntime.time()\n")
+        report = lint_paths([str(tmp_path)])
+        assert len(report) == 1
+        assert report.diagnostics[0].location.endswith("a.py:2")
+
+    def test_repo_simulator_sources_are_clean(self):
+        """Acceptance: the determinism lint runs clean on src/repro."""
+        import repro
+
+        root = repro.__path__[0]
+        report = lint_paths([root])
+        assert len(report) == 0, report.render()

@@ -1,0 +1,107 @@
+"""Diagnostic / CheckReport data-model tests."""
+
+import json
+
+import pytest
+
+from repro.staticcheck.diagnostics import (
+    CheckReport,
+    Diagnostic,
+    Severity,
+    StaticCheckError,
+)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_labels(self):
+        assert Severity.ERROR.label == "error"
+        assert Severity.INFO.label == "info"
+
+
+class TestDiagnostic:
+    def test_format_with_hint(self):
+        d = Diagnostic(
+            "eq2-bound", Severity.ERROR, "scheme=x mesh=6", "too big",
+            hint="shrink it",
+        )
+        text = d.format()
+        assert text == (
+            "error: eq2-bound [scheme=x mesh=6]: too big (hint: shrink it)"
+        )
+
+    def test_format_without_location_or_hint(self):
+        d = Diagnostic("cdg-cycle", Severity.WARNING, "", "loop")
+        assert d.format() == "warning: cdg-cycle: loop"
+
+    def test_to_dict_round_trips_through_json(self):
+        d = Diagnostic("r", Severity.INFO, "loc", "msg", "hint")
+        payload = json.loads(json.dumps(d.to_dict()))
+        assert payload == {
+            "rule": "r",
+            "severity": "info",
+            "location": "loc",
+            "message": "msg",
+            "hint": "hint",
+        }
+
+
+class TestCheckReport:
+    def _sample(self):
+        report = CheckReport()
+        report.add("a-rule", Severity.ERROR, "l1", "bad")
+        report.add("b-rule", Severity.WARNING, "l2", "iffy")
+        report.add("b-rule", Severity.INFO, "l3", "fyi")
+        return report
+
+    def test_views(self):
+        report = self._sample()
+        assert len(report) == 3
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert not report.ok
+        assert report.rules_hit() == ["a-rule", "b-rule"]
+
+    def test_failed_strictness(self):
+        warn_only = CheckReport()
+        warn_only.add("r", Severity.WARNING, "", "w")
+        assert warn_only.ok
+        assert not warn_only.failed(strict=False)
+        assert warn_only.failed(strict=True)
+
+    def test_filter_by_rule(self):
+        report = self._sample()
+        only_b = report.filter(["b-rule"])
+        assert len(only_b) == 2
+        assert only_b.ok
+        assert report.filter(None) is report
+
+    def test_render_min_severity(self):
+        report = self._sample()
+        text = report.render(Severity.WARNING)
+        assert "bad" in text and "iffy" in text and "fyi" not in text
+        assert "1 error(s)" in text
+
+    def test_to_json(self):
+        payload = json.loads(self._sample().to_json())
+        assert payload["counts"] == {"error": 1, "warning": 1, "info": 1}
+        assert payload["ok"] is False
+        assert len(payload["diagnostics"]) == 3
+
+    def test_extend(self):
+        a, b = self._sample(), self._sample()
+        a.extend(b)
+        assert len(a) == 6
+
+
+class TestStaticCheckError:
+    def test_is_value_error_and_carries_diagnostics(self):
+        diags = [Diagnostic("r", Severity.ERROR, "loc", "broken")]
+        err = StaticCheckError(diags)
+        assert isinstance(err, ValueError)
+        assert err.diagnostics == diags
+        assert "broken" in str(err)
+        with pytest.raises(ValueError):
+            raise StaticCheckError(diags)

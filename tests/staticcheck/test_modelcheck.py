@@ -1,0 +1,237 @@
+"""Model-level rule tests: Eq. 1/2 sizing, clamps, fault epochs."""
+
+import pytest
+
+from repro.core.schemes import scheme_names
+from repro.staticcheck.modelcheck import (
+    ModelInputs,
+    check_model,
+    dram_injection_rate,
+    fault_epochs,
+)
+
+
+def rules_of(report):
+    return set(report.rules_hit())
+
+
+class TestRegisteredSchemes:
+    @pytest.mark.parametrize("name", scheme_names())
+    def test_every_scheme_error_free_at_defaults(self, name):
+        report = check_model(ModelInputs(scheme=name))
+        assert report.ok, report.render()
+        assert not report.warnings, report.render()
+
+    @pytest.mark.parametrize("mesh", [4, 6, 8])
+    def test_default_geometry_scales(self, mesh):
+        report = check_model(ModelInputs(scheme="ada-ari", mesh=mesh))
+        assert report.ok, report.render()
+
+
+class TestEq2Bound:
+    def test_explicit_overflow_is_error(self):
+        """Acceptance: S > min(N_out, N_VC) requested explicitly fails."""
+        report = check_model(
+            ModelInputs(scheme="ada-ari", num_vcs=2, injection_speedup=4)
+        )
+        assert not report.ok
+        assert any(
+            d.rule == "eq2-bound" and d.severity.label == "error"
+            for d in report
+        )
+
+    def test_scheme_default_overflow_only_warns(self):
+        """The builder clamps scheme defaults silently; mirror that."""
+        report = check_model(ModelInputs(scheme="ada-ari", num_vcs=2))
+        assert report.ok
+        assert any(
+            d.rule == "eq2-bound" and d.severity.label == "warning"
+            for d in report
+        )
+
+    def test_within_bound_is_silent(self):
+        report = check_model(
+            ModelInputs(scheme="ada-ari", num_vcs=2, injection_speedup=2,
+                        num_split_queues=2)
+        )
+        assert "eq2-bound" not in rules_of(report)
+
+
+class TestEq1Speedup:
+    def test_dram_rate_estimate(self):
+        from repro.gpu.config import GPUConfig
+
+        rate = dram_injection_rate(GPUConfig())
+        assert rate == pytest.approx(16 * 1.75 / 128)
+
+    def test_undersized_speedup_warns(self):
+        report = check_model(
+            ModelInputs(scheme="ada-ari", injection_speedup=1)
+        )
+        assert any(d.rule == "eq1-speedup" for d in report)
+
+    def test_consume_off_scheme_skips_eq1(self):
+        report = check_model(ModelInputs(scheme="xy-baseline"))
+        assert "eq1-speedup" not in rules_of(report)
+
+
+class TestSplitQueues:
+    def test_explicit_overflow_is_error(self):
+        report = check_model(
+            ModelInputs(scheme="acc-supply", num_vcs=2, num_split_queues=4)
+        )
+        diags = [d for d in report if d.rule == "split-queues"]
+        assert diags and diags[0].severity.label == "error"
+
+    def test_underuse_is_info(self):
+        report = check_model(
+            ModelInputs(scheme="acc-supply", num_split_queues=2)
+        )
+        diags = [d for d in report if d.rule == "split-queues"]
+        assert diags and diags[0].severity.label == "info"
+
+
+class TestVcClassAndResolve:
+    def test_adaptive_single_vc_is_error(self):
+        report = check_model(ModelInputs(scheme="ada-baseline", num_vcs=1))
+        assert any(
+            d.rule == "vc-class" and d.severity.label == "error"
+            for d in report
+        )
+
+    def test_xy_single_vc_is_fine(self):
+        report = check_model(ModelInputs(scheme="xy-baseline", num_vcs=1))
+        assert "vc-class" not in rules_of(report)
+
+    def test_unsupported_mesh_is_config_resolve(self):
+        report = check_model(ModelInputs(scheme="xy-baseline", mesh=5))
+        assert not report.ok
+        assert rules_of(report) == {"config-resolve"}
+
+    def test_bad_override_is_config_resolve(self):
+        report = check_model(
+            ModelInputs(scheme="ada-ari", injection_speedup=0)
+        )
+        assert not report.ok
+        assert rules_of(report) == {"config-resolve"}
+
+    def test_unknown_scheme_raises_key_error(self):
+        with pytest.raises(KeyError):
+            check_model(ModelInputs(scheme="warp-drive"))
+
+
+class TestStarvationAndInertKnobs:
+    def test_tiny_threshold_warns(self):
+        report = check_model(
+            ModelInputs(scheme="ada-ari", starvation_threshold=5)
+        )
+        assert any(
+            d.rule == "starvation" and d.severity.label == "warning"
+            for d in report
+        )
+
+    def test_unreachable_threshold_is_info(self):
+        report = check_model(
+            ModelInputs(
+                scheme="ada-ari", cycles=100, warmup=400,
+                starvation_threshold=100000,
+            )
+        )
+        assert any(
+            d.rule == "starvation" and d.severity.label == "info"
+            for d in report
+        )
+
+    def test_inert_overrides_flagged(self):
+        report = check_model(
+            ModelInputs(
+                scheme="xy-baseline",
+                injection_speedup=4,
+                num_split_queues=4,
+                starvation_threshold=500,
+            )
+        )
+        inert = [d for d in report if d.rule == "inert-knob"]
+        assert len(inert) == 3
+        assert all(d.severity.label == "info" for d in inert)
+
+
+class TestCreditRtt:
+    def test_deep_pipeline_warns(self):
+        report = check_model(
+            ModelInputs(scheme="xy-baseline", noc_hop_latency=8)
+        )
+        assert any(d.rule == "credit-rtt" for d in report)
+
+    def test_default_latency_silent(self):
+        report = check_model(ModelInputs(scheme="xy-baseline"))
+        assert "credit-rtt" not in rules_of(report)
+
+
+class TestMcDegree:
+    def test_edge_mcs_flagged_as_info(self):
+        """The 6x6 diamond band has two degree-3 edge MCs."""
+        report = check_model(ModelInputs(scheme="ada-ari"))
+        diags = [d for d in report if d.rule == "mc-degree"]
+        assert len(diags) == 2
+        assert all(d.severity.label == "info" for d in diags)
+        assert all("@(" in d.message for d in diags)
+
+
+class TestFaultEpochs:
+    def test_epochs_dedupe_and_map_kinds(self):
+        from repro.faults.model import FaultPlan
+        from repro.noc.routing import EAST, SOUTH, WEST
+        from repro.noc.topology import MeshTopology
+
+        topo = MeshTopology(6, 6)
+        plan = FaultPlan.parse(
+            "link:r7.E@100+50;port:r7.W@100+50;vc:r7.S.0@200;vc:r7.N.1@200"
+        )
+        epochs = fault_epochs(plan.events, topo)
+        # 100: link + port active; 150: both repaired (skipped, empty at
+        # that instant until 200); 200: vc fault only.
+        assert [start for start, _l, _v in epochs] == [100, 200]
+        links_100 = epochs[0][1]
+        # port:r7.W kills the upstream neighbour's East output (r6->r7).
+        assert links_100 == frozenset({(7, EAST), (6, EAST)})
+        assert epochs[0][2] == frozenset()
+        # Only the VC-0 fault enters the escape set; VC 1 does not.
+        assert epochs[1][1] == frozenset()
+        assert epochs[1][2] == frozenset({(7, SOUTH)})
+        assert (7, WEST) not in epochs[1][2]
+
+    def test_detoured_cut_stays_clean(self):
+        report = check_model(
+            ModelInputs(scheme="ada-ari", faults="link:r7.E@100+50")
+        )
+        assert report.ok
+        assert not report.warnings, report.render()
+
+    def test_undetoured_cut_warns_not_errors(self):
+        report = check_model(
+            ModelInputs(
+                scheme="ada-ari", faults="link:r7.E@100",
+                fault_detour=False,
+            )
+        )
+        assert report.ok  # degradation is graceful at runtime
+        assert any(d.rule == "cdg-reach" for d in report.warnings)
+        assert all("cycle=100" in d.location for d in report.warnings)
+
+    def test_bad_plan_is_config_resolve_error(self):
+        # r5 sits on the East edge of a 6x6 mesh: no East output link.
+        report = check_model(
+            ModelInputs(scheme="ada-ari", faults="link:r5.E@0")
+        )
+        assert not report.ok
+        assert any(d.rule == "config-resolve" for d in report.errors)
+
+    def test_request_net_fault_scopes_to_request_net(self):
+        report = check_model(
+            ModelInputs(
+                scheme="ada-ari", faults="req:link:r7.E@0",
+                fault_detour=False,
+            )
+        )
+        assert all("net=req" in d.location for d in report.warnings)

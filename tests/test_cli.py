@@ -238,3 +238,84 @@ class TestFaultsCommand:
     def test_bad_dead_links_fails_cleanly(self):
         with pytest.raises(SystemExit):
             main(["faults", "--dead-links", "two"])
+
+
+class TestCheckCommand:
+    def test_list_rules(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "cdg-cycle" in out
+        assert "det-random" in out
+        assert "[model]" in out and "[code " in out
+
+    def test_all_schemes_pass(self, capsys):
+        """Acceptance: every registered scheme checks clean (exit 0)."""
+        assert main(["check", "--all-schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_explicit_eq2_violation_fails(self, capsys):
+        """Acceptance: S > min(N_out, N_VC) rejected with non-zero exit."""
+        rc = main(
+            ["check", "--scheme", "ada-ari", "--num-vcs", "2",
+             "--injection-speedup", "4"]
+        )
+        assert rc == 1
+        assert "eq2-bound" in capsys.readouterr().out
+
+    def test_json_to_stdout(self, capsys):
+        import json
+
+        rc = main(
+            ["check", "--scheme", "ada-ari", "--num-vcs", "2",
+             "--injection-speedup", "4", "--json", "-"]
+        )
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] is True
+        assert any(
+            d["rule"] == "eq2-bound" for d in payload["diagnostics"]
+        )
+
+    def test_rule_filter_limits_output(self, capsys):
+        rc = main(
+            ["check", "--scheme", "ada-ari", "--num-vcs", "2",
+             "--injection-speedup", "4", "--rule", "cdg-cycle"]
+        )
+        assert rc == 0  # eq2 finding filtered out
+        assert "eq2-bound" not in capsys.readouterr().out
+
+    def test_unknown_rule_fails_cleanly(self, capsys):
+        assert main(["check", "--all-schemes", "--rule", "bogus"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_strict_escalates_clamp_warning(self, capsys):
+        args = ["check", "--scheme", "ada-ari", "--num-vcs", "2"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--strict"]) == 1
+
+    def test_scheme_alias_and_comma_list(self, capsys):
+        rc = main(["check", "--scheme", "ari,xy-baseline"])
+        assert rc == 0
+
+    def test_code_lint_on_clean_tree(self, capsys, tmp_path):
+        mod = tmp_path / "sim.py"
+        mod.write_text("import time\nt = time.time()\n")
+        rc = main(["check", "--code", str(tmp_path)])
+        assert rc == 0  # det findings are warnings
+        assert "det-wallclock" in capsys.readouterr().out
+        capsys.readouterr()
+        assert main(["check", "--code", str(tmp_path), "--strict"]) == 1
+
+    def test_nothing_selected_is_usage_error(self, capsys):
+        assert main(["check"]) == 2
+        assert "nothing to check" in capsys.readouterr().err
+
+    def test_fault_plan_checked(self, capsys):
+        # r5 sits on the East edge of a 6x6 mesh: invalid link fault.
+        rc = main(
+            ["check", "--scheme", "ada-ari", "--faults", "link:r5.E@0"]
+        )
+        assert rc == 1
+        assert "config-resolve" in capsys.readouterr().out

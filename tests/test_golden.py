@@ -7,8 +7,6 @@ here first, and if it is intentional the pinned values get updated in the
 same commit (the git history then documents the behaviour change).
 """
 
-import pytest
-
 from repro.core.schemes import scheme
 from repro.gpu.config import GPUConfig
 from repro.gpu.system import GPGPUSystem

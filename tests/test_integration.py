@@ -7,7 +7,7 @@ the whole stack, and the CLI-to-simulator path.
 
 import pytest
 
-from repro import GPUConfig, GPGPUSystem, benchmark, scheme
+from repro import GPGPUSystem, GPUConfig, benchmark, scheme
 from repro.noc.flit import PacketType
 
 

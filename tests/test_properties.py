@@ -13,7 +13,6 @@ These complement the unit suites with randomized adversarial inputs:
 import random
 from collections import OrderedDict
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.gpu.cache import Cache

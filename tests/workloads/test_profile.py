@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.workloads.profile import InstructionStream, WorkloadProfile
+from repro.workloads.profile import WorkloadProfile
 
 
 def profile(**kw):

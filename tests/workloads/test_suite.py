@@ -3,9 +3,9 @@
 import pytest
 
 from repro.workloads.suite import (
+    PAPER_FIG15_BENCHMARKS,
     PAPER_FIG6_BENCHMARKS,
     PAPER_FIG9_BENCHMARKS,
-    PAPER_FIG15_BENCHMARKS,
     SUITE,
     benchmark,
     benchmark_names,

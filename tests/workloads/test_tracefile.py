@@ -6,8 +6,6 @@ import pytest
 
 from repro.workloads.suite import benchmark
 from repro.workloads.tracefile import (
-    TraceStream,
-    TraceWorkload,
     load_trace,
     parse_trace,
     record_trace,
