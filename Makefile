@@ -2,12 +2,13 @@
 
 PY ?= python
 
-.PHONY: install test check bench figures figures-paper telemetry-demo sweep-demo faults-demo clean-cache loc help
+.PHONY: install test check flowcheck bench figures figures-paper telemetry-demo sweep-demo faults-demo clean-cache loc help
 
 help:
 	@echo "make install        editable install"
 	@echo "make test           full unit/integration/property suite"
-	@echo "make check          static model checks + determinism lint (+ ruff if installed)"
+	@echo "make check          static model checks + code lints (+ ruff if installed)"
+	@echo "make flowcheck      CI's repro-check job: model checks + all code lints, strict"
 	@echo "make bench          regenerate every figure at CI scale"
 	@echo "make figures        regenerate figures at quick scale (9 benchmarks)"
 	@echo "make figures-paper  full 30-benchmark regeneration (~1h)"
@@ -23,13 +24,19 @@ install:
 test:
 	$(PY) -m pytest tests/
 
-# Mirrors the CI lint job: ruff (when available), the pre-run model
-# checks for every registered scheme, and the determinism lint.
+# Ruff (when available) plus the CI repro-check job.
 check:
 	@command -v ruff >/dev/null 2>&1 && ruff check src tests || \
 		echo "ruff not installed; skipping style pass"
-	PYTHONPATH=src $(PY) -m repro check --all-schemes
-	PYTHONPATH=src $(PY) -m repro check --code src/repro --strict
+	$(MAKE) flowcheck
+
+# Mirrors CI's `repro-check` job exactly: the pre-run model checks for
+# every registered scheme, then all four code lints (determinism, unit
+# inference, credit conservation, pool captures) strict against the
+# committed staticcheck-baseline.json.
+flowcheck:
+	PYTHONPATH=src $(PY) -m repro check --all-schemes --json -
+	PYTHONPATH=src $(PY) -m repro check --code src/repro --strict --json -
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

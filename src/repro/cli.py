@@ -24,6 +24,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -418,12 +419,45 @@ def _cmd_check(args: argparse.Namespace) -> int:
             ))
         report = report.filter(args.rule or None)
     if args.code:
+        from repro.staticcheck import baseline as baseline_mod
+
         selected = True
         code_report = runner.check_paths(args.code)
+        if args.update_baseline:
+            target = args.baseline or baseline_mod.DEFAULT_BASELINE
+            count = baseline_mod.save(target, code_report)
+            print(f"wrote {target} with {count} grandfathered finding(s)")
+            code_report = code_report.__class__()
+        elif not args.no_baseline:
+            source = args.baseline or baseline_mod.DEFAULT_BASELINE
+            if args.baseline or os.path.exists(source):
+                try:
+                    grandfathered = baseline_mod.load(source)
+                except ValueError as exc:
+                    print(str(exc), file=sys.stderr)
+                    return 2
+                code_report, matched, stale = baseline_mod.apply(
+                    code_report, grandfathered
+                )
+                if matched and not args.quiet:
+                    print(
+                        f"baseline {source}: {matched} grandfathered "
+                        "finding(s) suppressed",
+                        file=sys.stderr,
+                    )
+                for fp in stale:
+                    print(
+                        f"baseline {source}: stale entry {fp!r} no longer "
+                        "matches (run --update-baseline)",
+                        file=sys.stderr,
+                    )
         if report is None:
             report = code_report
         else:
             report.extend(code_report)
+    elif args.update_baseline:
+        print("--update-baseline requires --code", file=sys.stderr)
+        return 2
     if not selected:
         print(
             "nothing to check: pass --scheme/--all-schemes and/or --code "
@@ -580,7 +614,8 @@ def build_parser() -> argparse.ArgumentParser:
         "check",
         help="pre-simulation static checks: escape-network deadlock "
              "freedom (CDG), Eq. 1/2 sizing, queue/credit sanity, plus "
-             "an AST determinism lint over simulator sources",
+             "AST code lints (determinism, unit inference, credit "
+             "conservation, pool-worker captures) over simulator sources",
     )
     chk.add_argument(
         "--scheme", action="append", default=[], metavar="NAME[,NAME]",
@@ -605,7 +640,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="analyze faulted epochs without detour routing")
     chk.add_argument(
         "--code", action="append", default=[], metavar="PATH",
-        help="run the determinism lint over these files/dirs; repeatable",
+        help="run the code lints (det/unit/proto/pool) over these "
+             "files/dirs; repeatable",
+    )
+    chk.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="grandfathered-findings file for --code (default: "
+             "staticcheck-baseline.json when present)",
+    )
+    chk.add_argument("--no-baseline", action="store_true",
+                     help="ignore any baseline file; report every finding")
+    chk.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file from the current --code findings "
+             "and treat them all as grandfathered",
     )
     chk.add_argument("--rule", action="append", default=[], metavar="ID",
                      help="only report these rule ids; repeatable")

@@ -9,6 +9,17 @@ sources.  See ``docs/staticcheck.md`` for the rule catalog and the
 ``repro check`` CLI subcommand for the command-line front end.
 """
 
+from repro.staticcheck.baseline import DEFAULT_BASELINE
+from repro.staticcheck.baseline import apply as apply_baseline
+from repro.staticcheck.baseline import load as load_baseline
+from repro.staticcheck.baseline import save as save_baseline
+from repro.staticcheck.flow import (
+    CFG,
+    BasicBlock,
+    BranchCondition,
+    ForwardAnalysis,
+    build_cfg,
+)
 from repro.staticcheck.cdg import (
     EscapeGraph,
     EscapeTrace,
@@ -36,11 +47,16 @@ from repro.staticcheck.runner import (
 )
 
 __all__ = [
+    "CFG",
+    "DEFAULT_BASELINE",
     "RULES",
     "STATICCHECK_ENV",
+    "BasicBlock",
+    "BranchCondition",
     "CheckReport",
     "CheckRunner",
     "Diagnostic",
+    "ForwardAnalysis",
     "EscapeGraph",
     "EscapeTrace",
     "ModelInputs",
@@ -48,10 +64,14 @@ __all__ = [
     "StaticCheckError",
     "StaticCheckWarning",
     "all_pairs_unreachable",
+    "apply_baseline",
+    "build_cfg",
     "build_escape_cdg",
     "channel_name",
     "check_model",
     "clear_validation_cache",
+    "load_baseline",
+    "save_baseline",
     "resolve_mode",
     "rule_ids",
     "trace_escape",

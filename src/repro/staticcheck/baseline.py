@@ -1,0 +1,122 @@
+"""Grandfathered-findings baseline for the code lints.
+
+New rules should be able to land *strict* in CI on day one without
+forcing a same-PR cleanup of every pre-existing finding.  The baseline
+file records the findings we have consciously accepted; ``apply``
+filters them out of a fresh report so only *new* findings fail the
+build.
+
+Fingerprints are deliberately line-number-free — ``rule::path::message``
+— so routine edits elsewhere in a file do not churn the baseline.  If
+two findings in the same file produce the same rule and message they
+share a fingerprint; the baseline then covers however many instances it
+recorded, and any excess still fails (a count is stored per
+fingerprint).
+
+The file format is versioned JSON, sorted for stable diffs:
+
+.. code-block:: json
+
+    {"version": 1,
+     "findings": [{"fingerprint": "...", "count": 1,
+                   "rule": "...", "location": "...", "message": "..."}]}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple
+
+from repro.staticcheck.diagnostics import CheckReport, Diagnostic
+
+#: Default committed baseline, relative to the repository root.
+DEFAULT_BASELINE = "staticcheck-baseline.json"
+
+_VERSION = 1
+
+
+def fingerprint(diag: Diagnostic) -> str:
+    """Line-number-independent identity of a finding."""
+    path = diag.location.rsplit(":", 1)[0] if ":" in diag.location else diag.location
+    return f"{diag.rule}::{path}::{diag.message}"
+
+
+def save(path: str, report: CheckReport) -> int:
+    """Write every finding in ``report`` to ``path``; returns the count."""
+    counts: Dict[str, int] = {}
+    meta: Dict[str, Diagnostic] = {}
+    for diag in report.diagnostics:
+        fp = fingerprint(diag)
+        counts[fp] = counts.get(fp, 0) + 1
+        meta.setdefault(fp, diag)
+    findings = [
+        {
+            "fingerprint": fp,
+            "count": counts[fp],
+            "rule": meta[fp].rule,
+            "location": meta[fp].location,
+            "message": meta[fp].message,
+        }
+        for fp in sorted(counts)
+    ]
+    payload = {"version": _VERSION, "findings": findings}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(report.diagnostics)
+
+
+def load(path: str) -> Dict[str, int]:
+    """Read a baseline file into ``{fingerprint: allowed_count}``.
+
+    A missing file is an empty baseline; a malformed or wrong-version
+    file raises ``ValueError`` so CI fails loudly rather than silently
+    accepting everything.
+    """
+    if not os.path.exists(path):
+        return {}
+    with open(path, encoding="utf-8") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise ValueError(
+            f"baseline {path!r} has unsupported format "
+            f"(expected version {_VERSION})"
+        )
+    out: Dict[str, int] = {}
+    for entry in payload.get("findings", []):
+        fp = entry.get("fingerprint")
+        if isinstance(fp, str):
+            out[fp] = out.get(fp, 0) + int(entry.get("count", 1))
+    return out
+
+
+def apply(
+    report: CheckReport, baseline: Dict[str, int]
+) -> Tuple[CheckReport, int, List[str]]:
+    """Filter grandfathered findings out of ``report``.
+
+    Returns ``(fresh_report, matched_count, stale_fingerprints)`` where
+    *fresh_report* contains only findings not covered by the baseline,
+    *matched_count* is how many findings the baseline absorbed, and
+    *stale_fingerprints* lists baseline entries that no longer match
+    anything (candidates for ``--update-baseline``).
+    """
+    remaining = dict(baseline)
+    fresh = CheckReport()
+    matched = 0
+    for diag in report.diagnostics:
+        fp = fingerprint(diag)
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            matched += 1
+        else:
+            fresh.diagnostics.append(diag)
+    stale = sorted(fp for fp, count in remaining.items() if count > 0)
+    return fresh, matched, stale
+
+
+__all__ = ["DEFAULT_BASELINE", "apply", "fingerprint", "load", "save"]

@@ -135,12 +135,34 @@ class _DetLinter(ast.NodeVisitor):
         self.lines = lines
         self.report = report
         self.scopes: List[_Scope] = [_Scope()]
+        self._stmt_lines: List[int] = []
+
+    def visit(self, node: ast.AST) -> None:
+        # Track the first line of the enclosing statement so that a
+        # suppression trailing it also covers nodes on continuation
+        # lines of a multi-line expression.
+        if isinstance(node, ast.stmt):
+            self._stmt_lines.append(node.lineno)
+            try:
+                super().visit(node)
+            finally:
+                self._stmt_lines.pop()
+        else:
+            super().visit(node)
 
     # -- helpers -------------------------------------------------------------
+    def _line(self, line_no: int) -> str:
+        if 0 < line_no <= len(self.lines):
+            return self.lines[line_no - 1]
+        return ""
+
     def _emit(self, rule: str, node: ast.AST, message: str, hint: str) -> None:
         line_no = getattr(node, "lineno", 0)
-        text = self.lines[line_no - 1] if 0 < line_no <= len(self.lines) else ""
-        if _suppressed(text, rule):
+        if _suppressed(self._line(line_no), rule):
+            return
+        if self._stmt_lines and _suppressed(
+            self._line(self._stmt_lines[-1]), rule
+        ):
             return
         self.report.add(
             rule,

@@ -1,0 +1,461 @@
+"""Worker-capture race detection — rules ``pool-global-write`` and
+``pool-capture``.
+
+The parallel sweep executor promises record-for-record parallel==serial
+determinism.  That promise dies quietly when a function shipped to a
+``ProcessPoolExecutor`` mutates state it does not own:
+
+``pool-global-write``
+    A worker function (or anything it calls in the same module) writes a
+    module-global — rebinding through ``global``, assigning into a
+    module-level container (``CACHE[key] = ...``), or calling a mutating
+    method (``append``/``update``/``setdefault``/...) on one.  In the
+    parent process that write is shared state; in a pool worker it lands
+    in a forked copy and silently diverges between serial and parallel
+    runs (the exact bug class the result-store migration removed from
+    the old module-global cache by hand).
+
+``pool-capture``
+    The callable submitted to the pool is itself suspect: a ``lambda``
+    or locally-defined closure (captured state is pickled per task — a
+    write to it is lost), or a bound method (``self`` is *copied* into
+    the worker, so mutations never reach the parent's instance).
+
+Detection is intentionally module-local: submission sites are calls to
+``submit``/``map`` on a pool object (a name bound from
+``ProcessPoolExecutor(...)``, or named ``pool``/``executor``), and the
+submitted function plus its transitive same-module callees are scanned.
+Writes to *documented* side channels can be excused with a trailing
+``# pool: allow`` (optionally ``# pool: allow(rule-id)``) comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.staticcheck.diagnostics import CheckReport, Severity
+
+_ALLOW_RE = re.compile(r"#\s*pool:\s*allow(?:\(([a-z0-9_,\- ]+)\))?")
+
+#: Container methods that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "clear", "add", "discard",
+        "update", "setdefault", "popitem", "appendleft", "extendleft",
+        "sort", "reverse",
+    }
+)
+
+#: Pool variable names recognized even without a visible constructor.
+_POOL_NAMES = frozenset({"pool", "executor"})
+
+#: Constructor names that mark a variable as a process pool.
+_POOL_CTORS = frozenset({"ProcessPoolExecutor", "Pool"})
+
+
+def _suppressed(lines: Sequence[str], lineno: int, rule: str) -> bool:
+    if not (0 < lineno <= len(lines)):
+        return False
+    m = _ALLOW_RE.search(lines[lineno - 1])
+    if m is None:
+        return False
+    named = m.group(1)
+    return named is None or rule in {t.strip() for t in named.split(",")}
+
+
+def _module_mutable_globals(tree: ast.Module) -> Set[str]:
+    """Module-level names bound to mutable containers."""
+    out: Set[str] = set()
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        if _is_mutable_ctor(value):
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    out.add(target.id)
+    return out
+
+
+def _is_mutable_ctor(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        fn = node.func
+        name = (
+            fn.id if isinstance(fn, ast.Name)
+            else fn.attr if isinstance(fn, ast.Attribute) else ""
+        )
+        return name in (
+            "list", "dict", "set", "deque", "defaultdict", "OrderedDict",
+            "Counter",
+        )
+    return False
+
+
+class _ModuleIndex:
+    """Module-level functions, mutable globals and pool variables."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.tree = tree
+        self.functions: Dict[str, ast.FunctionDef] = {}
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[stmt.name] = stmt
+        self.mutable_globals = _module_mutable_globals(tree)
+        self.module_names = self._module_level_names(tree)
+
+    @staticmethod
+    def _module_level_names(tree: ast.Module) -> Set[str]:
+        out: Set[str] = set()
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        out.add(target.id)
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    out.add(stmt.target.id)
+        return out
+
+
+def _pool_variables(fn: ast.AST) -> Set[str]:
+    """Names bound (anywhere inside ``fn``) to a process-pool constructor."""
+    pools: Set[str] = set(_POOL_NAMES)
+    for node in ast.walk(fn):
+        value: Optional[ast.expr] = None
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            targets, value = [node.optional_vars], node.context_expr
+        if value is None or not isinstance(value, ast.Call):
+            continue
+        fn_node = value.func
+        name = (
+            fn_node.id if isinstance(fn_node, ast.Name)
+            else fn_node.attr if isinstance(fn_node, ast.Attribute) else ""
+        )
+        if name in _POOL_CTORS:
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    pools.add(target.id)
+    return pools
+
+
+class _Submission:
+    """One ``pool.submit(fn, ...)`` / ``pool.map(fn, ...)`` site."""
+
+    __slots__ = ("node", "target")
+
+    def __init__(self, node: ast.Call, target: ast.expr) -> None:
+        self.node = node
+        self.target = target
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+
+def _find_submissions(tree: ast.Module) -> List[_Submission]:
+    out: List[_Submission] = []
+    pools = _pool_variables(tree)
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr not in ("submit", "map"):
+            continue
+        base = node.func.value
+        if not (isinstance(base, ast.Name) and base.id in pools):
+            continue
+        if not node.args:
+            continue
+        out.append(_Submission(node, node.args[0]))
+    return out
+
+
+class _WorkerScan:
+    """Scans one worker function (+ same-module callees) for shared writes."""
+
+    def __init__(
+        self,
+        index: _ModuleIndex,
+        path: str,
+        lines: Sequence[str],
+        report: CheckReport,
+    ) -> None:
+        self.index = index
+        self.path = path
+        self.lines = lines
+        self.report = report
+        self._visited: Set[str] = set()
+
+    def scan(self, fn: ast.FunctionDef, worker_name: str) -> None:
+        if fn.name in self._visited:
+            return
+        self._visited.add(fn.name)
+        local_names = self._local_bindings(fn)
+        for node in ast.walk(fn):
+            self._check_global_stmt(node, fn, worker_name)
+            self._check_write(node, fn, worker_name, local_names)
+            self._check_mutator_call(node, fn, worker_name, local_names)
+            # Recurse into same-module callees.
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                callee = self.index.functions.get(node.func.id)
+                if callee is not None:
+                    self.scan(callee, worker_name)
+
+    # -- binding classification ----------------------------------------------
+    @staticmethod
+    def _local_bindings(fn: ast.FunctionDef) -> Set[str]:
+        local: Set[str] = set()
+        args = fn.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            local.add(arg.arg)
+        if args.vararg:
+            local.add(args.vararg.arg)
+        if args.kwarg:
+            local.add(args.kwarg.arg)
+        def bind(target: ast.expr) -> None:
+            # A subscript/attribute target mutates an object, it does not
+            # bind a local — only plain names (and tuple unpacks of them)
+            # create bindings.
+            if isinstance(target, ast.Name):
+                local.add(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for elt in target.elts:
+                    bind(elt)
+            elif isinstance(target, ast.Starred):
+                bind(target.value)
+
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    bind(target)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(node.target, ast.Name):
+                    local.add(node.target.id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for sub in ast.walk(node.target):
+                    if isinstance(sub, ast.Name):
+                        local.add(sub.id)
+            elif isinstance(node, ast.withitem) and node.optional_vars:
+                for sub in ast.walk(node.optional_vars):
+                    if isinstance(sub, ast.Name):
+                        local.add(sub.id)
+            elif isinstance(node, ast.Global):
+                # global declarations make the name shared, not local
+                local.difference_update(node.names)
+            elif isinstance(node, ast.comprehension):
+                for sub in ast.walk(node.target):
+                    if isinstance(sub, ast.Name):
+                        local.add(sub.id)
+        return local
+
+    def _is_shared(self, name: str, local_names: Set[str]) -> bool:
+        if name in local_names:
+            return False
+        return (
+            name in self.index.mutable_globals
+            or name in self.index.module_names
+        )
+
+    # -- the three write shapes ----------------------------------------------
+    def _check_global_stmt(
+        self, node: ast.AST, fn: ast.FunctionDef, worker: str
+    ) -> None:
+        if not isinstance(node, ast.Global):
+            return
+        self._emit(
+            "pool-global-write",
+            node,
+            f"worker {worker!r} (via {fn.name!r}) declares "
+            f"'global {', '.join(node.names)}' — rebinding a module "
+            "global inside a pool worker diverges from the parent process",
+            "pass state through the task payload and return results "
+            "instead of writing globals",
+        )
+
+    def _check_write(
+        self,
+        node: ast.AST,
+        fn: ast.FunctionDef,
+        worker: str,
+        local_names: Set[str],
+    ) -> None:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for target in targets:
+            base = target
+            # peel subscripts/attributes down to the root name
+            while isinstance(base, (ast.Subscript, ast.Attribute)):
+                base = base.value
+            if not isinstance(base, ast.Name) or base is target:
+                # plain name rebinds are local unless declared global
+                # (handled by _check_global_stmt)
+                continue
+            if self._is_shared(base.id, local_names):
+                self._emit(
+                    "pool-global-write",
+                    node,
+                    f"worker {worker!r} (via {fn.name!r}) writes into "
+                    f"module-global {base.id!r} — the write lands in the "
+                    "worker's copy and is lost to the parent",
+                    "return the value from the worker and merge in the "
+                    "parent, or use a content-addressed store",
+                )
+
+    def _check_mutator_call(
+        self,
+        node: ast.AST,
+        fn: ast.FunctionDef,
+        worker: str,
+        local_names: Set[str],
+    ) -> None:
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+        ):
+            return
+        base = node.func.value
+        while isinstance(base, (ast.Subscript, ast.Attribute)):
+            base = base.value
+        if isinstance(base, ast.Name) and self._is_shared(
+            base.id, local_names
+        ):
+            self._emit(
+                "pool-global-write",
+                node,
+                f"worker {worker!r} (via {fn.name!r}) calls "
+                f".{node.func.attr}() on module-global {base.id!r} — "
+                "mutation is invisible to the parent process and "
+                "order-dependent under fork",
+                "return results instead of mutating shared containers",
+            )
+
+    def _emit(
+        self, rule: str, node: ast.AST, message: str, hint: str
+    ) -> None:
+        lineno = getattr(node, "lineno", 0)
+        if _suppressed(self.lines, lineno, rule):
+            return
+        self.report.add(
+            rule, Severity.WARNING, f"{self.path}:{lineno}", message, hint
+        )
+
+
+def lint_source(text: str, path: str = "<string>") -> CheckReport:
+    """Worker-capture lint over one module's source text."""
+    report = CheckReport()
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        report.add(
+            "pool-capture",
+            Severity.ERROR,
+            f"{path}:{exc.lineno or 0}",
+            f"cannot parse module: {exc.msg}",
+            "fix the syntax error first",
+        )
+        return report
+    lines = text.splitlines()
+    index = _ModuleIndex(tree)
+    submissions = _find_submissions(tree)
+    if not submissions:
+        return report
+
+    nested_defs = {
+        id(node)
+        for parent in ast.walk(tree)
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for node in ast.walk(parent)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and node is not parent
+    }
+    nested_by_name = {}
+    for parent in ast.walk(tree):
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for node in ast.walk(parent):
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node is not parent
+                ):
+                    nested_by_name[node.name] = node
+
+    for sub in submissions:
+        target = sub.target
+        if isinstance(target, ast.Lambda):
+            if not _suppressed(lines, sub.lineno, "pool-capture"):
+                report.add(
+                    "pool-capture",
+                    Severity.WARNING,
+                    f"{path}:{sub.lineno}",
+                    "lambda submitted to a process pool — captured "
+                    "variables are pickled per task; writes to them are "
+                    "lost and the closure may not pickle at all",
+                    "hoist the worker to a module-level function",
+                )
+            continue
+        if isinstance(target, ast.Attribute):
+            if not _suppressed(lines, sub.lineno, "pool-capture"):
+                report.add(
+                    "pool-capture",
+                    Severity.WARNING,
+                    f"{path}:{sub.lineno}",
+                    f"bound method {target.attr!r} submitted to a process "
+                    "pool — the instance is copied into the worker, so "
+                    "attribute writes never reach the parent object",
+                    "submit a module-level function taking explicit "
+                    "arguments",
+                )
+            continue
+        if not isinstance(target, ast.Name):
+            continue
+        fn = index.functions.get(target.id)
+        if fn is None:
+            nested = nested_by_name.get(target.id)
+            if nested is not None and id(nested) in nested_defs:
+                if not _suppressed(lines, sub.lineno, "pool-capture"):
+                    report.add(
+                        "pool-capture",
+                        Severity.WARNING,
+                        f"{path}:{sub.lineno}",
+                        f"closure {target.id!r} submitted to a process "
+                        "pool — closed-over state is pickled per task; "
+                        "writes to it are silently dropped",
+                        "hoist the worker to a module-level function and "
+                        "pass state explicitly",
+                    )
+            continue
+        _WorkerScan(index, path, lines, report).scan(fn, target.id)
+    return report
+
+
+def lint_paths(paths) -> CheckReport:
+    """Worker-capture lint over files/directories of Python code."""
+    from repro.staticcheck.detlint import iter_python_files
+
+    report = CheckReport()
+    for path in iter_python_files(paths):
+        with open(path, encoding="utf-8") as fh:
+            report.extend(lint_source(fh.read(), path))
+    return report
+
+
+__all__ = ["lint_paths", "lint_source"]

@@ -120,6 +120,30 @@ RULES: Dict[str, tuple] = {
         "code",
         "no float accumulation in cycle arithmetic",
     ),
+    "unit-mix": (
+        "code",
+        "no mixed-dimension arithmetic (bits/bytes/flits/packets/cycles "
+        "inferred via dataflow; convert explicitly or annotate '# unit:')",
+    ),
+    "proto-credit-return": (
+        "code",
+        "every buffer pop path in credit-owning classes reaches a "
+        "credit-return call (wormhole conservation)",
+    ),
+    "proto-push-guard": (
+        "code",
+        "every buffer push path is dominated by a capacity/credit check",
+    ),
+    "pool-global-write": (
+        "code",
+        "pool worker functions must not write module-global mutable "
+        "state (parallel==serial determinism)",
+    ),
+    "pool-capture": (
+        "code",
+        "no lambdas, closures, or bound methods submitted to the "
+        "process pool (captured state is copied, not shared)",
+    ),
 }
 
 
@@ -180,16 +204,25 @@ class CheckRunner:
 
     # -- code checks ---------------------------------------------------------
     def check_source(self, text: str, path: str = "<string>") -> CheckReport:
-        """Determinism lint over one module's source text."""
-        from repro.staticcheck.detlint import lint_source
+        """All code lints (det/unit/proto/pool) over one module's text."""
+        from repro.staticcheck import detlint, poollint, protolint, unitlint
 
-        return self._filtered(lint_source(text, path))
+        report = CheckReport()
+        for module in (detlint, unitlint, protolint, poollint):
+            report.extend(module.lint_source(text, path))
+        return self._filtered(report)
 
     def check_paths(self, paths: Sequence[str]) -> CheckReport:
-        """Determinism lint over files/directories of Python code."""
-        from repro.staticcheck.detlint import lint_paths
+        """All code lints over files/directories of Python code."""
+        from repro.staticcheck import detlint, poollint, protolint, unitlint
 
-        return self._filtered(lint_paths(paths))
+        report = CheckReport()
+        for path in detlint.iter_python_files(paths):
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+            for module in (detlint, unitlint, protolint, poollint):
+                report.extend(module.lint_source(text, path))
+        return self._filtered(report)
 
     # -- verdict -------------------------------------------------------------
     def failed(self, report: CheckReport) -> bool:

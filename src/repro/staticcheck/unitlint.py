@@ -1,0 +1,575 @@
+"""Unit (dimension) inference lint — rule ``unit-mix``.
+
+The simulator mixes five base quantities with incompatible meanings:
+**bits**, **bytes**, **flits**, **packets** and **cycles** (plus derived
+per-cycle rates such as ``flits/cycle``).  The paper's sizing math lives
+exactly at their conversion points — ``W``-bit wide MC→NI links feeding
+``N``-flit packets, flits-per-packet factors in the Eq. 1 speedup, cycle
+counts from :func:`repro.noc.credit.credit_round_trip_cycles` — and a
+silent ``bits + flits`` or ``cycles < packets`` corrupts every result
+downstream.
+
+This pass infers a dimension for every value from three sources:
+
+1. **Names.** Parameter/variable/attribute names carry units by
+   convention: ``*_cycles``, ``*_latency``, ``*_at``, ``now`` are
+   cycles; ``*_flits``, ``occ``, ``occupancy``, ``capacity`` are flits;
+   ``*_bytes``, ``*_bits``, ``*_packets`` likewise.
+2. **Annotations.** A trailing ``# unit: <dim>`` comment on a statement
+   both *casts* the statement's value to ``<dim>`` and suppresses mix
+   findings on it — the sanctioned spelling for a deliberate conversion
+   (e.g. a narrow link streaming one flit per cycle turns a flit count
+   into a cycle count).  ``# unit: ignore`` suppresses without binding.
+3. **Known APIs.** Calls such as ``packet_size_for(...)`` (flits) and
+   ``credit_round_trip_cycles(...)`` (cycles), and attributes such as
+   ``packet.size`` (flits) or ``link.latency`` (cycles).
+
+Dimensions propagate forward through assignments and arithmetic using
+the CFG dataflow framework in :mod:`repro.staticcheck.flow`: ``+``/``-``
+preserve a dimension (adding a dimensionless literal is fine), ``*`` by
+a dimensionless factor preserves it, ``X / cycles`` forms the rate
+``X/cycle`` and ``X/cycle * cycles`` collapses back to ``X``.  A ``+``,
+``-`` or comparison whose two sides carry *different known* dimensions
+is reported as ``unit-mix``; anything involving an unknown dimension is
+silently accepted (the lint only fires on provable mixes).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.staticcheck.diagnostics import CheckReport, Severity
+from repro.staticcheck.flow import (
+    BranchCondition,
+    ForwardAnalysis,
+    build_cfg,
+    iter_function_defs,
+)
+
+#: The base dimension vocabulary (rates are spelled ``<dim>/cycle``).
+DIMENSIONS = ("bits", "bytes", "flits", "packets", "cycles")
+
+#: Dimensionless marker (integer literals, ratios of like quantities).
+DIMLESS = "1"
+
+_UNIT_RE = re.compile(r"#\s*unit:\s*([a-z0-9_/]+)")
+
+#: Exact (lowercased) names that imply a dimension.
+_EXACT_NAME_DIMS: Dict[str, str] = {
+    "now": "cycles",
+    "cycle": "cycles",
+    "cycles": "cycles",
+    "warmup": "cycles",
+    "latency": "cycles",
+    "horizon": "cycles",
+    "deadline": "cycles",
+    "occ": "flits",
+    "occupancy": "flits",
+    "capacity": "flits",
+    "vc_capacity": "flits",
+    "capacity_flits": "flits",
+    "free_space": "flits",
+}
+
+#: Name suffixes that imply a dimension.
+_SUFFIX_NAME_DIMS: Tuple[Tuple[str, str], ...] = (
+    ("_cycles", "cycles"),
+    ("_cycle", "cycles"),
+    ("_latency", "cycles"),
+    ("_at", "cycles"),
+    ("_since", "cycles"),
+    ("_until", "cycles"),
+    ("_flits", "flits"),
+    ("_packets", "packets"),
+    ("_pkts", "packets"),
+    ("_bits", "bits"),
+    ("_bytes", "bytes"),
+)
+
+#: Name prefixes that imply a dimension (counters like ``flits_sent``).
+_PREFIX_NAME_DIMS: Tuple[Tuple[str, str], ...] = (
+    ("flits_", "flits"),
+    ("packets_", "packets"),
+    ("bits_", "bits"),
+    ("bytes_", "bytes"),
+)
+
+#: Known function names -> dimension of their return value.
+_KNOWN_CALL_DIMS: Dict[str, str] = {
+    "packet_size_for": "flits",
+    "credit_round_trip_cycles": "cycles",
+}
+
+#: Attribute names -> dimension, independent of the base object.  Only
+#: names that are unambiguous across the codebase belong here.
+_KNOWN_ATTR_DIMS: Dict[str, str] = {
+    "size": "flits",          # Packet.size is "number of flits"
+    "latency": "cycles",      # Link.latency / CreditChannel.latency
+    "vc_capacity": "flits",
+    "capacity": "flits",
+    "occ": "flits",
+    "occupancy": "flits",
+    "free_space": "flits",
+}
+
+#: ``min``/``max``/``abs``/``int`` and friends preserve their operand dim.
+_DIM_PRESERVING_CALLS = frozenset({"int", "abs", "round", "min", "max"})
+
+
+def name_dim(name: str) -> Optional[str]:
+    """Dimension implied by an identifier, or None."""
+    low = name.lower()
+    hit = _EXACT_NAME_DIMS.get(low)
+    if hit is not None:
+        return hit
+    for suffix, dim in _SUFFIX_NAME_DIMS:
+        if low.endswith(suffix):
+            return dim
+    for prefix, dim in _PREFIX_NAME_DIMS:
+        if low.startswith(prefix):
+            return dim
+    return None
+
+
+def parse_unit_comment(line: str) -> Optional[str]:
+    """The dimension named by a ``# unit:`` comment on ``line``, if any."""
+    m = _UNIT_RE.search(line)
+    if m is None:
+        return None
+    return m.group(1)
+
+
+class _Env:
+    """Immutable-ish mapping name -> dimension (absence = unknown)."""
+
+    __slots__ = ("dims",)
+
+    def __init__(self, dims: Optional[Dict[str, str]] = None) -> None:
+        self.dims = dims or {}
+
+    def get(self, name: str) -> Optional[str]:
+        return self.dims.get(name)
+
+    def bind(self, name: str, dim: Optional[str]) -> "_Env":
+        new = dict(self.dims)
+        if dim is None:
+            new.pop(name, None)
+        else:
+            new[name] = dim
+        return _Env(new)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Env) and self.dims == other.dims
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Env({self.dims})"
+
+
+def _join_dim(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    if a == b:
+        return a
+    if a == DIMLESS:
+        return b
+    if b == DIMLESS:
+        return a
+    return None
+
+
+class _UnitAnalysis(ForwardAnalysis):
+    """Forward dimension propagation over one function's CFG."""
+
+    def __init__(self, cfg, params: Dict[str, str], linter: "_UnitLinter"):
+        super().__init__(cfg)
+        self.params = params
+        self.linter = linter
+        self.emit = False  # diagnostics only during the final replay
+
+    # -- lattice -------------------------------------------------------------
+    def initial_state(self):
+        return _Env(dict(self.params))
+
+    def join(self, a: _Env, b: _Env) -> _Env:
+        # DIMLESS joins with any concrete dimension (a zero-initialized
+        # accumulator adopts the dimension fed into it); disagreeing
+        # concrete dimensions become unknown.
+        dims = {}
+        for k in a.dims:
+            if k in b.dims:
+                joined = _join_dim(a.dims[k], b.dims[k])
+                if joined is not None:
+                    dims[k] = joined
+        return _Env(dims)
+
+    # -- transfer ------------------------------------------------------------
+    def transfer(self, state: _Env, stmt) -> _Env:
+        if isinstance(stmt, BranchCondition):
+            self._expr_dim(state, stmt.expr)
+            return state
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return state  # nested scopes are analyzed separately
+        if isinstance(stmt, ast.Assign):
+            return self._assign(state, stmt)
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is None:
+                return state
+            dim = self._stmt_value_dim(state, stmt, stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                return state.bind(stmt.target.id, dim)
+            return state
+        if isinstance(stmt, ast.AugAssign):
+            return self._aug_assign(state, stmt)
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expr_dim(state, stmt.value)
+            return state
+        if isinstance(stmt, ast.Expr):
+            self._expr_dim(state, stmt.value)
+            return state
+        if isinstance(stmt, (ast.Assert, ast.Raise, ast.Delete)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._expr_dim(state, child)
+            return state
+        return state
+
+    # -- statement helpers ---------------------------------------------------
+    def _stmt_value_dim(self, state: _Env, stmt, value: ast.expr):
+        """Dimension of a statement's RHS, honoring ``# unit:`` casts."""
+        cast = self.linter.unit_cast_for(stmt)
+        if cast is not None:
+            # The cast also suppresses mix findings inside the statement.
+            was = self.emit
+            self.emit = False
+            self._expr_dim(state, value)
+            self.emit = was
+            return None if cast == "ignore" else cast
+        return self._expr_dim(state, value)
+
+    def _assign(self, state: _Env, stmt: ast.Assign) -> _Env:
+        dim = self._stmt_value_dim(state, stmt, stmt.value)
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                state = state.bind(target.id, dim)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for elt in target.elts:
+                    if isinstance(elt, ast.Name):
+                        state = state.bind(elt.id, None)
+        return state
+
+    def _aug_assign(self, state: _Env, stmt: ast.AugAssign) -> _Env:
+        cast = self.linter.unit_cast_for(stmt)
+        value_dim = None
+        if cast is None:
+            value_dim = self._expr_dim(state, stmt.value)
+        target_dim = self._target_dim(state, stmt.target)
+        if cast is None and isinstance(stmt.op, (ast.Add, ast.Sub)):
+            self._check_mix(stmt, target_dim, value_dim, "augmented assignment")
+        if isinstance(stmt.target, ast.Name):
+            if cast is not None and cast != "ignore":
+                return state.bind(stmt.target.id, cast)
+            if target_dim is None and value_dim not in (None, DIMLESS):
+                if isinstance(stmt.op, (ast.Add, ast.Sub)):
+                    return state.bind(stmt.target.id, value_dim)
+        return state
+
+    def _target_dim(self, state: _Env, target: ast.expr) -> Optional[str]:
+        if isinstance(target, ast.Name):
+            return state.get(target.id) or name_dim(target.id)
+        if isinstance(target, ast.Attribute):
+            return self._attr_dim(target)
+        if isinstance(target, ast.Subscript):
+            return self._subscript_dim(state, target)
+        return None
+
+    # -- expression evaluation -----------------------------------------------
+    def _expr_dim(self, state: _Env, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(
+                node.value, (int, float)
+            ):
+                return None
+            return DIMLESS
+        if isinstance(node, ast.Name):
+            return state.get(node.id) or name_dim(node.id)
+        if isinstance(node, ast.Attribute):
+            self._expr_dim(state, node.value)
+            return self._attr_dim(node)
+        if isinstance(node, ast.Subscript):
+            return self._subscript_dim(state, node)
+        if isinstance(node, ast.BinOp):
+            return self._binop_dim(state, node)
+        if isinstance(node, ast.UnaryOp):
+            return self._expr_dim(state, node.operand)
+        if isinstance(node, ast.Compare):
+            return self._compare(state, node)
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self._expr_dim(state, value)
+            return None
+        if isinstance(node, ast.Call):
+            return self._call_dim(state, node)
+        if isinstance(node, ast.IfExp):
+            self._expr_dim(state, node.test)
+            a = self._expr_dim(state, node.body)
+            b = self._expr_dim(state, node.orelse)
+            return _join_dim(a, b)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self._expr_dim(state, elt)
+            return None
+        if isinstance(node, ast.Dict):
+            for sub in list(node.keys) + list(node.values):
+                if sub is not None:
+                    self._expr_dim(state, sub)
+            return None
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            for gen in node.generators:
+                self._expr_dim(state, gen.iter)
+            return None
+        if isinstance(node, ast.Lambda):
+            return None
+        if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+            return None
+        return None
+
+    def _attr_dim(self, node: ast.Attribute) -> Optional[str]:
+        hit = _KNOWN_ATTR_DIMS.get(node.attr)
+        if hit is not None:
+            return hit
+        return name_dim(node.attr)
+
+    def _subscript_dim(self, state: _Env, node: ast.Subscript) -> Optional[str]:
+        # ``credits[(port, vc)]`` counts free downstream slots, i.e. flits.
+        base = node.value
+        if isinstance(base, (ast.Name, ast.Attribute)):
+            last = base.id if isinstance(base, ast.Name) else base.attr
+            if "credit" in last.lower():
+                return "flits"
+        return None
+
+    def _call_dim(self, state: _Env, node: ast.Call) -> Optional[str]:
+        for arg in node.args:
+            self._expr_dim(state, arg)
+        for kw in node.keywords:
+            if kw.value is not None:
+                self._expr_dim(state, kw.value)
+        fn = node.func
+        fn_name = None
+        if isinstance(fn, ast.Name):
+            fn_name = fn.id
+        elif isinstance(fn, ast.Attribute):
+            fn_name = fn.attr
+            self._expr_dim(state, fn.value)
+        if fn_name is None:
+            return None
+        hit = _KNOWN_CALL_DIMS.get(fn_name)
+        if hit is not None:
+            return hit
+        if fn_name in _DIM_PRESERVING_CALLS and node.args:
+            dims = [self._peek_dim(state, a) for a in node.args]
+            out = dims[0]
+            for d in dims[1:]:
+                out = _join_dim(out, d)
+            return out
+        if fn_name == "range" and node.args:
+            out = None
+            for a in node.args:
+                out = _join_dim(out, self._peek_dim(state, a))
+            return out
+        return name_dim(fn_name)
+
+    def _peek_dim(self, state: _Env, node: ast.expr) -> Optional[str]:
+        """Like :meth:`_expr_dim` but never emits (re-evaluation)."""
+        was = self.emit
+        self.emit = False
+        try:
+            return self._expr_dim(state, node)
+        finally:
+            self.emit = was
+
+    def _binop_dim(self, state: _Env, node: ast.BinOp) -> Optional[str]:
+        left = self._expr_dim(state, node.left)
+        right = self._expr_dim(state, node.right)
+        op = node.op
+        if isinstance(op, (ast.Add, ast.Sub)):
+            self._check_mix(node, left, right, "arithmetic")
+            return _join_dim(left, right)
+        if isinstance(op, ast.Mult):
+            if left == DIMLESS:
+                return right
+            if right == DIMLESS:
+                return left
+            # rate * time collapses: (X/cycle) * cycles -> X
+            for a, b in ((left, right), (right, left)):
+                if a is not None and a.endswith("/cycle") and b == "cycles":
+                    return a[: -len("/cycle")]
+            return None
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            if left is None or right is None:
+                return None
+            if left == right:
+                return DIMLESS
+            if right == DIMLESS:
+                return left
+            if right == "cycles" and "/" not in left and left != DIMLESS:
+                return f"{left}/cycle"
+            return None
+        if isinstance(op, ast.Mod):
+            return left
+        return None
+
+    def _compare(self, state: _Env, node: ast.Compare) -> Optional[str]:
+        dims = [self._expr_dim(state, node.left)]
+        for comparator in node.comparators:
+            dims.append(self._expr_dim(state, comparator))
+        ops_ok = all(
+            isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq))
+            for op in node.ops
+        )
+        if ops_ok:
+            for a, b in zip(dims, dims[1:]):
+                self._check_mix(node, a, b, "comparison")
+        return None
+
+    # -- reporting -----------------------------------------------------------
+    def _check_mix(
+        self,
+        node: ast.AST,
+        left: Optional[str],
+        right: Optional[str],
+        context: str,
+    ) -> None:
+        if not self.emit:
+            return
+        if left is None or right is None:
+            return
+        if left == right or DIMLESS in (left, right):
+            return
+        self.linter.report_mix(node, left, right, context)
+
+
+class _UnitLinter:
+    """Runs the unit analysis over every scope of one module."""
+
+    def __init__(self, path: str, lines: Sequence[str], report: CheckReport):
+        self.path = path
+        self.lines = lines
+        self.report = report
+        self._seen: Dict[Tuple[int, int, str], None] = {}
+
+    # -- annotations ---------------------------------------------------------
+    def _line(self, lineno: int) -> str:
+        if 0 < lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def unit_cast_for(self, stmt) -> Optional[str]:
+        """The ``# unit:`` cast on a statement's first or last line."""
+        for lineno in (getattr(stmt, "lineno", 0), getattr(stmt, "end_lineno", 0)):
+            cast = parse_unit_comment(self._line(lineno))
+            if cast is not None:
+                return cast
+        return None
+
+    def _suppressed(self, node: ast.AST) -> bool:
+        lineno = getattr(node, "lineno", 0)
+        return parse_unit_comment(self._line(lineno)) is not None
+
+    # -- reporting -----------------------------------------------------------
+    def report_mix(
+        self, node: ast.AST, left: str, right: str, context: str
+    ) -> None:
+        if self._suppressed(node):
+            return
+        lineno = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        key = (lineno, col, f"{left}|{right}|{context}")
+        if key in self._seen:
+            return
+        self._seen[key] = None
+        self.report.add(
+            "unit-mix",
+            Severity.WARNING,
+            f"{self.path}:{lineno}",
+            f"{context} mixes {left} with {right}",
+            "convert explicitly or annotate the intended result "
+            "with '# unit: <dim>'",
+        )
+
+    # -- driving -------------------------------------------------------------
+    def run(self, tree: ast.Module) -> None:
+        self._run_scope(tree, params={})
+        for fn in iter_function_defs(tree):
+            self._run_scope(fn, params=self._param_dims(fn))
+
+    def _param_dims(self, fn) -> Dict[str, str]:
+        params: Dict[str, str] = {}
+        args = fn.args
+        all_args = (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+        )
+        for arg in all_args:
+            dim = name_dim(arg.arg)
+            if dim is not None:
+                params[arg.arg] = dim
+        # A ``# unit:`` comment on the def line annotates the return, not
+        # the params; per-parameter dims come from the name vocabulary.
+        return params
+
+    def _run_scope(self, node, params: Dict[str, str]) -> None:
+        cfg = build_cfg(node)
+        analysis = _UnitAnalysis(cfg, params, self)
+        analysis.run()
+        # Replay every block from its fixpoint input state, now emitting.
+        analysis.emit = True
+        for bid in sorted(cfg.blocks):
+            state = analysis.block_in.get(bid)
+            if state is None:
+                state = analysis.initial_state()
+            for stmt in cfg.blocks[bid].stmts:
+                state = analysis.transfer(state, stmt)
+
+
+def lint_source(text: str, path: str = "<string>") -> CheckReport:
+    """Unit-inference lint over one module's source text."""
+    report = CheckReport()
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        report.add(
+            "unit-mix",
+            Severity.ERROR,
+            f"{path}:{exc.lineno or 0}",
+            f"cannot parse module: {exc.msg}",
+            "fix the syntax error first",
+        )
+        return report
+    _UnitLinter(path, text.splitlines(), report).run(tree)
+    return report
+
+
+def lint_paths(paths) -> CheckReport:
+    """Unit-inference lint over files/directories of Python code."""
+    from repro.staticcheck.detlint import iter_python_files
+
+    report = CheckReport()
+    for path in iter_python_files(paths):
+        with open(path, encoding="utf-8") as fh:
+            report.extend(lint_source(fh.read(), path))
+    return report
+
+
+__all__ = [
+    "DIMENSIONS",
+    "DIMLESS",
+    "lint_paths",
+    "lint_source",
+    "name_dim",
+    "parse_unit_comment",
+]

@@ -202,3 +202,58 @@ class TestFilesAndErrors:
         root = repro.__path__[0]
         report = lint_paths([root])
         assert len(report) == 0, report.render()
+
+
+class TestMultiLineSuppression:
+    """Suppressions on the statement's first line cover the whole
+    statement, including nodes on continuation lines (regression: a
+    ``# det: allow`` above the flagged line of a multi-line expression
+    used to be ignored)."""
+
+    def test_statement_first_line_covers_continuation(self):
+        report = lint("""
+            import time
+            elapsed = (  # det: allow(det-wallclock)
+                time.time()
+                - start
+            )
+        """)
+        assert len(report) == 0
+
+    def test_bare_allow_on_first_line_covers_continuation(self):
+        report = lint("""
+            import time
+            elapsed = (  # det: allow
+                time.time()
+            )
+        """)
+        assert len(report) == 0
+
+    def test_unsuppressed_multiline_still_flagged(self):
+        report = lint("""
+            import time
+            elapsed = (
+                time.time()
+            )
+        """)
+        assert rules_of(report) == {"det-wallclock"}
+
+    def test_wrong_rule_name_on_first_line_does_not_suppress(self):
+        report = lint("""
+            import time
+            elapsed = (  # det: allow(det-random)
+                time.time()
+            )
+        """)
+        assert rules_of(report) == {"det-wallclock"}
+
+    def test_suppression_scoped_to_its_own_statement(self):
+        report = lint("""
+            import time
+            a = (  # det: allow(det-wallclock)
+                time.time()
+            )
+            b = time.time()
+        """)
+        assert rules_of(report) == {"det-wallclock"}
+        assert report.diagnostics[0].location.endswith(":6")

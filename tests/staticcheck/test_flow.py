@@ -1,0 +1,342 @@
+"""CFG construction + forward-analysis engine tests."""
+
+import ast
+import textwrap
+
+from repro.staticcheck.flow import (
+    BranchCondition,
+    ForwardAnalysis,
+    build_cfg,
+    iter_function_defs,
+)
+
+
+def cfg_of(code):
+    tree = ast.parse(textwrap.dedent(code))
+    fn = next(iter_function_defs(tree))
+    return build_cfg(fn)
+
+
+def labels(cfg):
+    return {b.label for b in cfg.blocks.values()}
+
+
+class TestLinear:
+    def test_straight_line_single_path(self):
+        cfg = cfg_of("""
+            def f():
+                a = 1
+                b = 2
+                return a + b
+        """)
+        paths = cfg.paths_to_exit(cfg.entry)
+        assert len(paths) == 1
+        assert paths[0][-1] == cfg.exit
+
+    def test_statements_enumerates_everything(self):
+        cfg = cfg_of("""
+            def f(x):
+                if x:
+                    y = 1
+                else:
+                    y = 2
+                return y
+        """)
+        stmts = [s for _bid, s in cfg.statements()]
+        assert any(isinstance(s, BranchCondition) for s in stmts)
+        assert sum(isinstance(s, ast.Assign) for s in stmts) == 2
+
+
+class TestBranches:
+    def test_if_else_joins(self):
+        cfg = cfg_of("""
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+        """)
+        assert {"then", "else", "join"} <= labels(cfg)
+        # two acyclic paths: through then and through else
+        assert len(cfg.paths_to_exit(cfg.entry)) == 2
+
+    def test_if_without_else_falls_through(self):
+        cfg = cfg_of("""
+            def f(x):
+                if x:
+                    a = 1
+                return 0
+        """)
+        assert len(cfg.paths_to_exit(cfg.entry)) == 2
+
+    def test_return_in_both_arms_kills_join(self):
+        cfg = cfg_of("""
+            def f(x):
+                if x:
+                    return 1
+                else:
+                    return 2
+        """)
+        assert "join" not in labels(cfg)
+        assert len(cfg.paths_to_exit(cfg.entry)) == 2
+
+
+class TestLoops:
+    def test_while_else_runs_on_exhaustion(self):
+        cfg = cfg_of("""
+            def f(n):
+                while n:
+                    n -= 1
+                else:
+                    done = True
+                return done
+        """)
+        assert "loop-else" in labels(cfg)
+        # the else block lies on a path from entry to exit
+        else_bid = next(
+            b.bid for b in cfg.blocks.values() if b.label == "loop-else"
+        )
+        assert any(
+            else_bid in path for path in cfg.paths_to_exit(cfg.entry)
+        )
+
+    def test_break_skips_loop_else(self):
+        cfg = cfg_of("""
+            def f(items):
+                for item in items:
+                    if item:
+                        break
+                else:
+                    missed = True
+                return 0
+        """)
+        else_bid = next(
+            b.bid for b in cfg.blocks.values() if b.label == "loop-else"
+        )
+        after_bid = next(
+            b.bid for b in cfg.blocks.values() if b.label == "loop-after"
+        )
+        break_block = next(
+            bid
+            for bid, stmt in cfg.statements()
+            if isinstance(stmt, ast.Break)
+        )
+        # break edges go straight to loop-after, not through the else
+        assert after_bid in cfg.blocks[break_block].succs
+        assert else_bid not in cfg.blocks[break_block].succs
+
+    def test_loop_back_edge_exists(self):
+        cfg = cfg_of("""
+            def f(n):
+                while n:
+                    n -= 1
+                return n
+        """)
+        head = next(
+            b.bid for b in cfg.blocks.values() if b.label == "loop-head"
+        )
+        body = next(
+            b.bid for b in cfg.blocks.values() if b.label == "loop-body"
+        )
+        assert head in cfg.blocks[body].succs
+
+    def test_for_target_is_bound_in_head(self):
+        cfg = cfg_of("""
+            def f(items):
+                for x in items:
+                    pass
+                return 0
+        """)
+        head = next(
+            b for b in cfg.blocks.values() if b.label == "loop-head"
+        )
+        binds = [s for s in head.stmts if isinstance(s, ast.Assign)]
+        assert binds and isinstance(binds[0].targets[0], ast.Name)
+        assert binds[0].targets[0].id == "x"
+
+
+class TestTry:
+    def test_try_body_statements_may_reach_handler(self):
+        cfg = cfg_of("""
+            def f():
+                try:
+                    risky()
+                    more()
+                except ValueError:
+                    fallback()
+                return 0
+        """)
+        handler = next(
+            b.bid for b in cfg.blocks.values() if b.label == "except"
+        )
+        try_blocks = [
+            b for b in cfg.blocks.values() if b.label == "try"
+        ]
+        assert all(handler in b.succs for b in try_blocks)
+
+    def test_finally_on_normal_and_abrupt_exit(self):
+        cfg = cfg_of("""
+            def f():
+                try:
+                    risky()
+                    return 1
+                finally:
+                    cleanup()
+                return 0
+        """)
+        # one finally copy for the fallthrough path, one for the return
+        assert "finally" in labels(cfg)
+        assert "finally-abrupt" in labels(cfg)
+        # the cleanup() call appears on every entry->exit path
+        cleanup_blocks = {
+            bid
+            for bid, stmt in cfg.statements()
+            if isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Name)
+            and stmt.value.func.id == "cleanup"
+        }
+        for path in cfg.paths_to_exit(cfg.entry):
+            assert cleanup_blocks & set(path)
+
+    def test_break_routed_through_finally(self):
+        cfg = cfg_of("""
+            def f(items):
+                for item in items:
+                    try:
+                        break
+                    finally:
+                        cleanup()
+                return 0
+        """)
+        assert "finally-abrupt" in labels(cfg)
+        abrupt = next(
+            b for b in cfg.blocks.values() if b.label == "finally-abrupt"
+        )
+        after = next(
+            b.bid for b in cfg.blocks.values() if b.label == "loop-after"
+        )
+        # the finally copy flows on to the loop's break target
+        assert after in abrupt.succs
+
+    def test_except_else_runs_only_on_clean_body(self):
+        cfg = cfg_of("""
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    return -1
+                else:
+                    ok = True
+                return 0
+        """)
+        # the else statement lands in a block reachable from the try body
+        ok_bid = next(
+            bid
+            for bid, stmt in cfg.statements()
+            if isinstance(stmt, ast.Assign)
+        )
+        try_bid = next(
+            b.bid for b in cfg.blocks.values() if b.label == "try"
+        )
+        assert ok_bid in cfg.reachable_from(try_bid)
+
+
+class TestComprehensions:
+    def test_nested_comprehension_is_one_simple_statement(self):
+        cfg = cfg_of("""
+            def f(grid):
+                flat = [x for row in grid for x in row if x]
+                pairs = {(a, b) for a in flat for b in flat}
+                return len(pairs)
+        """)
+        # comprehensions are expressions: no loop blocks appear
+        assert "loop-head" not in labels(cfg)
+        assert len(cfg.paths_to_exit(cfg.entry)) == 1
+        assigns = [
+            s for _bid, s in cfg.statements() if isinstance(s, ast.Assign)
+        ]
+        assert len(assigns) == 2
+
+
+class _CollectingAnalysis(ForwardAnalysis):
+    """Collects the set of assigned names (may-analysis, set-union join)."""
+
+    def initial_state(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, state, stmt):
+        if isinstance(stmt, ast.Assign):
+            names = frozenset(
+                t.id for t in stmt.targets if isinstance(t, ast.Name)
+            )
+            return state | names
+        if isinstance(stmt, ast.AugAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            return state | {stmt.target.id}
+        return state
+
+
+class TestForwardAnalysis:
+    def test_fixpoint_over_loop(self):
+        cfg = cfg_of("""
+            def f(n):
+                total = 0
+                while n:
+                    total += n
+                    n -= 1
+                return total
+        """)
+        analysis = _CollectingAnalysis(cfg)
+        analysis.run()
+        assert "total" in analysis.block_in[cfg.exit]
+        assert "n" in analysis.block_in[cfg.exit]
+
+    def test_branch_join_is_union(self):
+        cfg = cfg_of("""
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    b = 2
+                return 0
+        """)
+        analysis = _CollectingAnalysis(cfg)
+        analysis.run()
+        assert {"a", "b"} <= analysis.block_in[cfg.exit]
+
+    def test_state_before_replays_block_prefix(self):
+        cfg = cfg_of("""
+            def f():
+                a = 1
+                b = 2
+                return b
+        """)
+        analysis = _CollectingAnalysis(cfg)
+        analysis.run()
+        assigns = [
+            (bid, s)
+            for bid, s in cfg.statements()
+            if isinstance(s, ast.Assign)
+        ]
+        bid, second = assigns[1]
+        state = analysis.state_before(bid, second)
+        assert "a" in state and "b" not in state
+
+    def test_terminates_on_pathological_loop_nest(self):
+        cfg = cfg_of("""
+            def f(n):
+                while n:
+                    while n:
+                        while n:
+                            n -= 1
+                return n
+        """)
+        analysis = _CollectingAnalysis(cfg)
+        analysis.run()  # must not hang
+        assert "n" in analysis.block_in[cfg.exit]

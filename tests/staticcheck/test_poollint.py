@@ -1,0 +1,184 @@
+"""Worker-capture race detection tests (pool-global-write / pool-capture)."""
+
+import textwrap
+
+from repro.staticcheck.poollint import lint_source
+
+
+def lint(code):
+    return lint_source(textwrap.dedent(code), path="mod.py")
+
+
+def rules_of(report):
+    return set(report.rules_hit())
+
+
+class TestGlobalWrite:
+    def test_subscript_write_to_module_global_flagged(self):
+        report = lint("""
+            from concurrent.futures import ProcessPoolExecutor
+            CACHE = {}
+
+            def _work(key):
+                CACHE[key] = key * 2
+                return key
+
+            def run(pool, items):
+                return [pool.submit(_work, i) for i in items]
+        """)
+        assert rules_of(report) == {"pool-global-write"}
+        assert "CACHE" in report.diagnostics[0].message
+
+    def test_mutator_call_on_module_global_flagged(self):
+        report = lint("""
+            RESULTS = []
+
+            def _work(x):
+                RESULTS.append(x)
+
+            def run(pool, items):
+                pool.map(_work, items)
+        """)
+        assert rules_of(report) == {"pool-global-write"}
+        assert ".append()" in report.diagnostics[0].message
+
+    def test_global_rebind_flagged(self):
+        report = lint("""
+            STATE = {}
+
+            def _work(x):
+                global STATE
+                STATE = {"last": x}
+
+            def run(pool, items):
+                pool.map(_work, items)
+        """)
+        assert rules_of(report) == {"pool-global-write"}
+
+    def test_transitive_callee_write_flagged(self):
+        report = lint("""
+            COUNTS = []
+
+            def _helper(x):
+                COUNTS.append(x)
+
+            def _work(x):
+                _helper(x)
+                return x
+
+            def run(pool, items):
+                return [pool.submit(_work, i) for i in items]
+        """)
+        assert rules_of(report) == {"pool-global-write"}
+        assert "_helper" in report.diagnostics[0].message
+
+    def test_pure_worker_accepted(self):
+        report = lint("""
+            LIMIT = 4
+
+            def _work(payload):
+                out = []
+                for rec in payload:
+                    out.append(rec * LIMIT)
+                local = {}
+                local["k"] = 1
+                return out
+
+            def run(pool, chunks):
+                return [pool.submit(_work, c).result() for c in chunks]
+        """)
+        assert len(report) == 0
+
+    def test_shadowing_local_is_not_a_global_write(self):
+        report = lint("""
+            CACHE = {}
+
+            def _work(x):
+                CACHE = {}
+                CACHE[x] = 1
+                return CACHE
+
+            def run(pool, items):
+                pool.map(_work, items)
+        """)
+        assert len(report) == 0
+
+    def test_suppression_comment_honored(self):
+        report = lint("""
+            METRICS = []
+
+            def _work(x):
+                METRICS.append(x)  # pool: allow(pool-global-write)
+                return x
+
+            def run(pool, items):
+                pool.map(_work, items)
+        """)
+        assert len(report) == 0
+
+    def test_non_pool_callsite_ignored(self):
+        # writing a module global from a normally-called function is the
+        # parent process mutating its own state; not this lint's business
+        report = lint("""
+            CACHE = {}
+
+            def memoize(key):
+                CACHE[key] = key
+                return key
+
+            def run(items):
+                return [memoize(i) for i in items]
+        """)
+        assert len(report) == 0
+
+
+class TestCapture:
+    def test_lambda_submission_flagged(self):
+        report = lint("""
+            def run(pool, items):
+                return pool.map(lambda i: i * 2, items)
+        """)
+        assert rules_of(report) == {"pool-capture"}
+
+    def test_bound_method_submission_flagged(self):
+        report = lint("""
+            class Sweep:
+                def step(self, item):
+                    return item
+
+                def run(self, pool, items):
+                    return [pool.submit(self.step, i) for i in items]
+        """)
+        assert rules_of(report) == {"pool-capture"}
+        assert "step" in report.diagnostics[0].message
+
+    def test_closure_submission_flagged(self):
+        report = lint("""
+            def run(pool, items):
+                seen = []
+                def inner(x):
+                    seen.append(x)
+                    return x
+                return [pool.submit(inner, i) for i in items]
+        """)
+        assert rules_of(report) == {"pool-capture"}
+
+    def test_module_level_worker_accepted(self):
+        report = lint("""
+            def _work(x):
+                return x * 2
+
+            def run(pool, items):
+                return [pool.submit(_work, i) for i in items]
+        """)
+        assert len(report) == 0
+
+    def test_pool_detected_via_constructor_binding(self):
+        report = lint("""
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(items):
+                with ProcessPoolExecutor(max_workers=2) as ppe:
+                    return list(ppe.map(lambda i: i, items))
+        """)
+        assert rules_of(report) == {"pool-capture"}

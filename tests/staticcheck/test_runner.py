@@ -39,7 +39,19 @@ class TestRuleCatalog:
         model, code = rule_ids("model"), rule_ids("code")
         assert set(model) | set(code) == set(RULES)
         assert not set(model) & set(code)
-        assert all(r.startswith("det-") for r in code)
+        assert all(
+            r.startswith(("det-", "unit-", "proto-", "pool-")) for r in code
+        )
+
+    def test_dataflow_rules_registered(self):
+        code = set(rule_ids("code"))
+        assert {
+            "unit-mix",
+            "proto-credit-return",
+            "proto-push-guard",
+            "pool-global-write",
+            "pool-capture",
+        } <= code
 
     def test_rule_ids_default_is_everything(self):
         assert rule_ids() == list(RULES)
@@ -88,6 +100,35 @@ class TestCheckRunner:
             "import time\nt = time.time()\n", path="x.py"
         )
         assert report.rules_hit() == ["det-wallclock"]
+
+    def test_check_source_runs_every_code_pass(self):
+        source = (
+            "import time\n"
+            "CACHE = {}\n"
+            "t = time.time()\n"                        # det-wallclock
+            "def f(now, payload_flits):\n"
+            "    return now + payload_flits\n"         # unit-mix
+            "def _work(x):\n"
+            "    CACHE[x] = x\n"                       # pool-global-write
+            "def run(pool, items):\n"
+            "    pool.map(_work, items)\n"
+        )
+        report = CheckRunner().check_source(source, path="x.py")
+        assert {"det-wallclock", "unit-mix", "pool-global-write"} <= set(
+            report.rules_hit()
+        )
+
+    def test_rule_filter_applies_to_code_passes(self):
+        source = (
+            "import time\n"
+            "t = time.time()\n"
+            "def f(now, payload_flits):\n"
+            "    return now + payload_flits\n"
+        )
+        report = CheckRunner(rules=["unit-mix"]).check_source(
+            source, path="x.py"
+        )
+        assert report.rules_hit() == ["unit-mix"]
 
 
 class TestResolveMode:

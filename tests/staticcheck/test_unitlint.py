@@ -1,0 +1,224 @@
+"""Unit-inference lint tests (rule ``unit-mix``)."""
+
+import textwrap
+
+from repro.staticcheck.unitlint import lint_source, name_dim, parse_unit_comment
+
+
+def lint(code):
+    return lint_source(textwrap.dedent(code), path="mod.py")
+
+
+def rules_of(report):
+    return set(report.rules_hit())
+
+
+class TestVocabulary:
+    def test_name_dims(self):
+        assert name_dim("link_latency_cycles") == "cycles"
+        assert name_dim("now") == "cycles"
+        assert name_dim("retired_at") == "cycles"
+        assert name_dim("payload_flits") == "flits"
+        assert name_dim("flits_sent") == "flits"
+        assert name_dim("reply_packets") == "packets"
+        assert name_dim("width_bits") == "bits"
+        assert name_dim("payload") is None
+
+    def test_unit_comment_parsing(self):
+        assert parse_unit_comment("x = 1  # unit: cycles") == "cycles"
+        assert parse_unit_comment("x = 1  # unit: flits") == "flits"
+        assert parse_unit_comment("x = 1  # unit: ignore") == "ignore"
+        assert parse_unit_comment("x = 1  # just a comment") is None
+
+
+class TestTruePositives:
+    def test_add_flits_to_cycles_flagged(self):
+        report = lint("""
+            def deadline(now, payload_flits):
+                return now + payload_flits
+        """)
+        assert rules_of(report) == {"unit-mix"}
+        assert "cycles" in report.diagnostics[0].message
+        assert "flits" in report.diagnostics[0].message
+
+    def test_bits_meet_flits_flagged(self):
+        report = lint("""
+            def width_check(link_bits, packet_flits):
+                return link_bits - packet_flits
+        """)
+        assert rules_of(report) == {"unit-mix"}
+
+    def test_mixed_comparison_flagged(self):
+        report = lint("""
+            def stalled(occupancy, horizon):
+                return occupancy > horizon
+        """)
+        assert rules_of(report) == {"unit-mix"}
+        assert "comparison" in report.diagnostics[0].message
+
+    def test_mix_through_assignment_propagation(self):
+        report = lint("""
+            def f(packet_flits, budget_cycles):
+                n = packet_flits
+                m = n
+                return m + budget_cycles
+        """)
+        assert rules_of(report) == {"unit-mix"}
+
+    def test_augmented_mix_flagged(self):
+        report = lint("""
+            def f(total_cycles, payload_flits):
+                total_cycles += payload_flits
+                return total_cycles
+        """)
+        assert rules_of(report) == {"unit-mix"}
+
+
+class TestAcceptedPatterns:
+    def test_same_dimension_arithmetic_clean(self):
+        report = lint("""
+            def f(send_at, latency_cycles):
+                arrive_at = send_at + latency_cycles
+                return arrive_at + 1
+        """)
+        assert len(report) == 0
+
+    def test_dimensionless_literals_clean(self):
+        report = lint("""
+            def f(payload_flits):
+                return payload_flits + 1
+        """)
+        assert len(report) == 0
+
+    def test_unknown_dimension_not_flagged(self):
+        report = lint("""
+            def f(payload_flits, mystery):
+                return payload_flits + mystery
+        """)
+        assert len(report) == 0
+
+    def test_explicit_unit_cast_accepted(self):
+        # a narrow link streams one flit per cycle: the flit count is
+        # deliberately reused as a cycle count, annotated as such.
+        report = lint("""
+            def f(now, payload_flits):
+                stream_cycles = payload_flits  # unit: cycles
+                return now + stream_cycles
+        """)
+        assert len(report) == 0
+
+    def test_unit_ignore_suppresses(self):
+        report = lint("""
+            def f(now, payload_flits):
+                x = now + payload_flits  # unit: ignore
+                return x
+        """)
+        assert len(report) == 0
+
+    def test_ratio_of_like_quantities_is_dimensionless(self):
+        report = lint("""
+            def f(used_flits, capacity_flits, now):
+                frac = used_flits / capacity_flits
+                return now + frac
+        """)
+        assert len(report) == 0
+
+    def test_rate_times_time_collapses(self):
+        report = lint("""
+            def f(flits_sent, elapsed_cycles, capacity_flits):
+                rate = flits_sent / elapsed_cycles
+                recovered = rate * elapsed_cycles
+                return recovered + capacity_flits
+        """)
+        assert len(report) == 0
+
+
+class TestKnownApis:
+    def test_credit_round_trip_cycles_propagates(self):
+        # the satellite case: rtt is cycles, adding it to a cycle
+        # counter is clean, adding it to a flit count is a mix.
+        clean = lint("""
+            def f(now, link_latency):
+                rtt = credit_round_trip_cycles(link_latency)
+                return now + rtt
+        """)
+        assert len(clean) == 0
+
+        mixed = lint("""
+            def f(payload_flits, link_latency):
+                rtt = credit_round_trip_cycles(link_latency)
+                return payload_flits + rtt
+        """)
+        assert rules_of(mixed) == {"unit-mix"}
+
+    def test_packet_size_for_is_flits(self):
+        report = lint("""
+            def f(now):
+                size = packet_size_for("read_reply")
+                return now + size
+        """)
+        assert rules_of(report) == {"unit-mix"}
+
+    def test_attribute_dims(self):
+        report = lint("""
+            def f(packet, link):
+                return packet.size + link.latency
+        """)
+        assert rules_of(report) == {"unit-mix"}
+
+    def test_min_preserves_dimension(self):
+        report = lint("""
+            def f(now, payload_flits):
+                clamped = min(payload_flits, 8)
+                return now + clamped
+        """)
+        assert rules_of(report) == {"unit-mix"}
+
+
+class TestControlFlow:
+    def test_branch_join_keeps_agreeing_dim(self):
+        report = lint("""
+            def f(cond, a_cycles, b_cycles, payload_flits):
+                if cond:
+                    x = a_cycles
+                else:
+                    x = b_cycles
+                return x + payload_flits
+        """)
+        assert rules_of(report) == {"unit-mix"}
+
+    def test_branch_join_drops_conflicting_dim(self):
+        report = lint("""
+            def f(cond, a_cycles, payload_flits):
+                if cond:
+                    x = a_cycles
+                else:
+                    x = payload_flits
+                return x + a_cycles
+        """)
+        assert len(report) == 0
+
+    def test_loop_reassignment_reaches_fixpoint(self):
+        report = lint("""
+            def f(n, step_cycles, payload_flits):
+                total = 0
+                while n:
+                    total = total + step_cycles
+                    n -= 1
+                return total + payload_flits
+        """)
+        assert rules_of(report) == {"unit-mix"}
+
+
+class TestModuleScope:
+    def test_module_level_mix_flagged(self):
+        report = lint("""
+            WARMUP = 100  # plain literal, dimensionless
+            def f(payload_flits, horizon):
+                return payload_flits < horizon
+        """)
+        assert rules_of(report) == {"unit-mix"}
+
+    def test_syntax_error_is_error_severity(self):
+        report = lint("def f(:\n")
+        assert report.failed()

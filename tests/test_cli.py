@@ -319,3 +319,71 @@ class TestCheckCommand:
         )
         assert rc == 1
         assert "config-resolve" in capsys.readouterr().out
+
+
+class TestCheckBaseline:
+    def _dirty_tree(self, tmp_path):
+        mod = tmp_path / "sim.py"
+        mod.write_text(
+            "def f(now, payload_flits):\n"
+            "    return now + payload_flits\n"
+        )
+        return tmp_path
+
+    def test_update_baseline_then_strict_is_clean(self, capsys, tmp_path):
+        tree = self._dirty_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        rc = main(
+            ["check", "--code", str(tree),
+             "--baseline", str(baseline), "--update-baseline"]
+        )
+        assert rc == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        rc = main(
+            ["check", "--code", str(tree),
+             "--baseline", str(baseline), "--strict"]
+        )
+        assert rc == 0
+        out = capsys.readouterr()
+        assert "grandfathered" in out.err
+
+    def test_new_finding_escapes_baseline(self, capsys, tmp_path):
+        tree = self._dirty_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        main(["check", "--code", str(tree),
+              "--baseline", str(baseline), "--update-baseline"])
+        capsys.readouterr()
+        (tree / "sim.py").write_text(
+            "def f(now, payload_flits):\n"
+            "    return now + payload_flits\n"
+            "def g(horizon, width_bits):\n"
+            "    return horizon - width_bits\n"
+        )
+        rc = main(
+            ["check", "--code", str(tree),
+             "--baseline", str(baseline), "--strict"]
+        )
+        assert rc == 1
+        assert "bits" in capsys.readouterr().out
+
+    def test_no_baseline_reports_everything(self, capsys, tmp_path):
+        tree = self._dirty_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        main(["check", "--code", str(tree),
+              "--baseline", str(baseline), "--update-baseline"])
+        capsys.readouterr()
+        rc = main(
+            ["check", "--code", str(tree), "--no-baseline", "--strict"]
+        )
+        assert rc == 1
+        assert "unit-mix" in capsys.readouterr().out
+
+    def test_update_baseline_requires_code(self, capsys):
+        assert main(["check", "--all-schemes", "--update-baseline"]) == 2
+        assert "--update-baseline requires --code" in capsys.readouterr().err
+
+    def test_repo_default_baseline_keeps_strict_green(self, capsys):
+        """Acceptance: all passes run clean against the repo post-baseline."""
+        rc = main(["check", "--code", "src/repro", "--strict"])
+        assert rc == 0, capsys.readouterr().out
