@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test check flowcheck bench figures figures-paper telemetry-demo sweep-demo faults-demo clean-cache loc help
+.PHONY: install test check flowcheck bench figures figures-paper telemetry-demo sweep-demo faults-demo perfwatch perfwatch-demo clean-cache loc help
 
 help:
 	@echo "make install        editable install"
@@ -15,6 +15,8 @@ help:
 	@echo "make telemetry-demo time-series telemetry, baseline vs ARI"
 	@echo "make sweep-demo     parallel design-space sweep across 2 workers"
 	@echo "make faults-demo    degradation campaign: dead links, detour routing"
+	@echo "make perfwatch      CI's perfwatch job: smoke benches -> ingest -> gate"
+	@echo "make perfwatch-demo inject a synthetic regression and watch it flagged"
 	@echo "make clean-cache    drop the simulation result cache"
 	@echo "make loc            count lines of code"
 
@@ -67,6 +69,24 @@ faults-demo:
 	$(PY) -m repro faults --benchmark bfs \
 		--schemes xy-baseline,ada-ari --dead-links 0,1,2 \
 		--cycles 600 --mesh 4 --workers 2
+
+# Mirrors CI's `perfwatch` job: regenerate the three KPI bench tables
+# (timers off), ingest them into the append-only perf ledger, then gate
+# on regressions vs the rolling baseline and render the trend report.
+perfwatch:
+	$(PY) -m pytest -q --benchmark-disable \
+		benchmarks/bench_simulator_speed.py \
+		benchmarks/bench_parallel_sweep.py \
+		benchmarks/bench_fault_degradation.py
+	PYTHONPATH=src $(PY) -m repro perfwatch ingest
+	PYTHONPATH=src $(PY) -m repro perfwatch check --strict --json -
+	PYTHONPATH=src $(PY) -m repro perfwatch report
+
+# End-to-end detector demo on a throwaway ledger: fabricate a healthy
+# history, halve one KPI at the head, and show the error finding with
+# its baseline band and changed-axis attribution.
+perfwatch-demo:
+	PYTHONPATH=src $(PY) examples/perfwatch_demo.py
 
 clean-cache:
 	rm -rf results/cache results/cache.json

@@ -14,9 +14,9 @@ deadlock-free and violation-free with detour routing, and latency never
 *improves* when links die.
 """
 
-import json
 import os
 
+import _emit
 from repro.faults import CampaignConfig, run_campaign
 
 DEGRADATION_JSON = os.path.join(
@@ -43,11 +43,11 @@ def test_fault_degradation_campaign(benchmark, save_table):
         lambda: run_campaign(CONFIG, use_cache=False), rounds=1, iterations=1
     )
 
-    path = os.path.abspath(DEGRADATION_JSON)
-    os.makedirs(os.path.dirname(path), exist_ok=True)
-    with open(path, "w") as fh:
-        json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    _emit.write_bench_json(
+        os.path.abspath(DEGRADATION_JSON),
+        report.to_dict(),
+        seed=CONFIG.seeds[0],
+    )
 
     zero_cells = [r for r in report.rows if r["dead_links"] == 0]
     fault_cells = [r for r in report.rows if r["dead_links"] > 0]

@@ -13,9 +13,9 @@ only assert record-for-record determinism.
 """
 
 import dataclasses
-import json
 import os
 
+import _emit
 from repro.experiments.executor import SweepExecutor
 from repro.experiments.runner import RunSpec
 
@@ -86,11 +86,9 @@ def test_parallel_sweep_throughput(benchmark, save_table):
         },
         "speedup": speedup,
     }
-    path = os.path.abspath(SWEEP_JSON)
-    os.makedirs(os.path.dirname(path), exist_ok=True)
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    _emit.write_bench_json(
+        os.path.abspath(SWEEP_JSON), payload, config=dict(BUDGET)
+    )
 
     save_table(
         "parallel_sweep",

@@ -19,6 +19,9 @@ Usage::
     python -m repro check --scheme ada-ari --faults link:r7.E@100 \\
         --json - [--strict] [--rule cdg-cycle]   # one config, JSON out
     python -m repro check --code src/repro       # determinism lint
+    python -m repro perfwatch ingest             # bench tables -> KPI ledger
+    python -m repro perfwatch check --strict     # perf regression gate
+    python -m repro perfwatch report             # sparkline trend report
 """
 
 from __future__ import annotations
@@ -189,12 +192,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments.store import default_store
+
     if args.clear:
         clear_cache(disk=True)
         print("cleared result store")
     info = cache_info()
     for k, v in info.items():
         print(f"{k:12s}: {v}")
+    legacy = default_store().scan_legacy()
+    if legacy:
+        print(
+            f"warning: {len(legacy)} legacy-format entr"
+            f"{'y' if len(legacy) == 1 else 'ies'} no longer match the "
+            "result schema and will be re-simulated on use "
+            "(--clear purges them):",
+            file=sys.stderr,
+        )
+        for key in legacy[:10]:
+            print(f"  {key}", file=sys.stderr)
+        if len(legacy) > 10:
+            print(f"  ... and {len(legacy) - 10} more", file=sys.stderr)
     return 0
 
 
@@ -484,6 +502,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_perfwatch(args: argparse.Namespace) -> int:
+    from repro.perfwatch.cli import cmd_perfwatch
+
+    return cmd_perfwatch(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -665,6 +689,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="hide info-severity findings in text output")
     chk.add_argument("--list-rules", action="store_true",
                      help="print the rule catalog and exit")
+
+    from repro.perfwatch.cli import add_perfwatch_parser
+
+    add_perfwatch_parser(sub)
     return p
 
 
@@ -682,6 +710,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "telemetry": _cmd_telemetry,
         "faults": _cmd_faults,
         "check": _cmd_check,
+        "perfwatch": _cmd_perfwatch,
     }
     return handlers[args.command](args)
 

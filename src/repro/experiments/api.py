@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import warnings
 from dataclasses import fields, replace
 from typing import Dict, List, Mapping, Optional, Sequence
 
@@ -37,7 +38,7 @@ from repro.experiments.executor import (
     simulate_spec,
 )
 from repro.experiments.runner import RunSpec
-from repro.experiments.store import ResultStore, default_store
+from repro.experiments.store import ResultStore, coerce_record, default_store
 from repro.gpu.system import SimulationResult
 from repro.telemetry.profiler import HostProfiler
 
@@ -133,7 +134,15 @@ def run(
     if use_cache and mode != "raise":
         hit = st.get(spec.key())
         if hit is not None:
-            return SimulationResult(**hit)
+            cached = coerce_record(hit)
+            if cached is not None:
+                return cached
+            warnings.warn(
+                f"ignoring legacy-format cache entry for {spec.key()[:12]}; "
+                "re-simulating (run `repro cache --clear` to purge)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     result = simulate_spec(spec, check_invariants=check_invariants)
     if use_cache:
         st.put(spec.key(), dataclasses.asdict(result))

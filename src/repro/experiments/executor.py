@@ -33,7 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.energy.gpuwattch import energy_per_work
 from repro.experiments.runner import RunSpec, build_system
-from repro.experiments.store import ResultStore, default_store
+from repro.experiments.store import ResultStore, coerce_record, default_store
 from repro.gpu.system import SimulationResult
 from repro.telemetry.profiler import HostProfiler
 
@@ -343,11 +343,21 @@ class SweepExecutor:
             with self.profiler.phase("cache"):
                 for i in unique:
                     hit = store.get(specs[i].key()) if self.use_cache else None
-                    if hit is not None:
-                        results[i] = SimulationResult(**hit)
+                    cached = coerce_record(hit) if hit is not None else None
+                    if cached is not None:
+                        results[i] = cached
                         report.cache_hits += 1
                         self._emit(specs[i], "cache")
                     else:
+                        if hit is not None:
+                            import warnings
+
+                            warnings.warn(
+                                "ignoring legacy-format cache entry for "
+                                f"{specs[i].key()[:12]}; re-simulating",
+                                RuntimeWarning,
+                                stacklevel=2,
+                            )
                         misses.append(i)
 
             def complete(i: int, result: SimulationResult) -> None:

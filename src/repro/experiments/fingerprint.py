@@ -1,0 +1,91 @@
+"""Config/host fingerprints and config diffs for provenance tracking.
+
+A *fingerprint* is a short stable hash of an arbitrary JSON-able payload
+(a :class:`~repro.experiments.runner.RunSpec`, a bench configuration, a
+host description).  Two results are comparable when their fingerprints
+match; when they differ, :func:`diff_config` names exactly which axes
+moved — the input of perfwatch's driver analysis
+(:mod:`repro.perfwatch.drivers`) and of any future A/B tooling.
+
+Unlike :meth:`RunSpec.key`, which content-addresses the *result store*
+and therefore must stay byte-stable across releases, these fingerprints
+are a provenance convenience: they hash the flattened payload with
+``None`` fields included, so adding a field to a spec changes its
+fingerprint (which is exactly what driver analysis wants to see).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, Mapping, Optional, Tuple
+
+#: Marker used in diffs for an axis absent on one side.
+ABSENT = "<absent>"
+
+
+def flatten_config(payload: Mapping, prefix: str = "") -> Dict[str, object]:
+    """Flatten nested dicts/lists into dotted/indexed scalar leaves.
+
+    ``{"a": {"b": 1}, "c": [2, 3]}`` becomes
+    ``{"a.b": 1, "c[0]": 2, "c[1]": 3}``.  Scalars pass through; any
+    non-JSON-native leaf is stringified so the result always serializes.
+    """
+    out: Dict[str, object] = {}
+    for key, value in payload.items():
+        name = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, Mapping):
+            out.update(flatten_config(value, name))
+        elif isinstance(value, (list, tuple)):
+            for i, item in enumerate(value):
+                item_name = f"{name}[{i}]"
+                if isinstance(item, Mapping):
+                    out.update(flatten_config(item, item_name))
+                else:
+                    out[item_name] = _leaf(item)
+        else:
+            out[name] = _leaf(value)
+    return out
+
+
+def _leaf(value) -> object:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON: sorted keys, stringified non-native leaves."""
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def config_fingerprint(payload: Mapping, length: int = 12) -> str:
+    """Short stable hash of a (possibly nested) configuration mapping."""
+    blob = canonical_json(flatten_config(payload))
+    return hashlib.sha1(blob.encode()).hexdigest()[:length]
+
+
+def spec_fingerprint(spec, length: int = 12) -> str:
+    """Fingerprint of a :class:`RunSpec` (all fields, ``None`` included)."""
+    return config_fingerprint(dataclasses.asdict(spec), length=length)
+
+
+def diff_config(
+    old: Optional[Mapping], new: Optional[Mapping]
+) -> Dict[str, Tuple[object, object]]:
+    """Axes whose values differ between two configs: ``{axis: (old, new)}``.
+
+    Both sides are flattened first, so nested configs diff leaf-by-leaf;
+    an axis present on only one side reports :data:`ABSENT` for the
+    other.  An empty dict means the configs are identical.
+    """
+    flat_old = flatten_config(old or {})
+    flat_new = flatten_config(new or {})
+    changed: Dict[str, Tuple[object, object]] = {}
+    for axis in sorted(set(flat_old) | set(flat_new)):
+        a = flat_old.get(axis, ABSENT)
+        b = flat_new.get(axis, ABSENT)
+        if a != b:
+            changed[axis] = (a, b)
+    return changed

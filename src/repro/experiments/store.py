@@ -30,6 +30,21 @@ _DEFAULT_LOCATION = os.path.join(
 _MIGRATION_MARKER = ".legacy-imported"
 
 
+def coerce_record(record: dict):
+    """Build a ``SimulationResult`` from a stored record, or ``None``.
+
+    Records written before a result-schema change (fields added, renamed
+    or removed) no longer construct; callers treat that as a cache miss
+    and re-simulate instead of crashing on ``TypeError``.
+    """
+    from repro.gpu.system import SimulationResult
+
+    try:
+        return SimulationResult(**record)
+    except TypeError:
+        return None
+
+
 class ResultStore:
     """Sharded on-disk store of run records with a write-through memory layer.
 
@@ -172,6 +187,20 @@ class ResultStore:
         except OSError:
             pass
         return imported
+
+    def scan_legacy(self) -> list:
+        """Keys whose records no longer construct a ``SimulationResult``.
+
+        These are stale pre-migration entries (or records from an older
+        result schema); ``repro cache`` surfaces them as warnings, and
+        the run paths silently treat them as misses.
+        """
+        bad = []
+        for key in self.keys():
+            record = self.get(key)
+            if record is None or coerce_record(record) is None:
+                bad.append(key)
+        return bad
 
     def info(self) -> Dict[str, object]:
         return {

@@ -10,7 +10,7 @@ matched bucket.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 
 class LatencyHistogram:
@@ -51,12 +51,20 @@ class LatencyHistogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def percentile(self, p: float) -> float:
-        """Approximate percentile via interpolation inside the bucket."""
+    def percentile(self, p: float) -> Optional[float]:
+        """Approximate percentile via interpolation inside the bucket.
+
+        An empty histogram has no percentiles — ``None``, not a fake
+        0.0 that would poison downstream KPI series.  A single sample
+        *is* every percentile, exactly (interpolating inside its bucket
+        would invent a value the sample never had).
+        """
         if not (0.0 <= p <= 100.0):
             raise ValueError("percentile in [0, 100]")
         if self.count == 0:
-            return 0.0
+            return None
+        if self.count == 1:
+            return float(self.min_value)
         if p == 0:
             return float(self.min_value)
         target = p / 100.0 * self.count
@@ -76,18 +84,19 @@ class LatencyHistogram:
 
     # Named percentile queries — the tail views every latency report uses.
     @property
-    def p50(self) -> float:
+    def p50(self) -> Optional[float]:
         return self.percentile(50)
 
     @property
-    def p95(self) -> float:
+    def p95(self) -> Optional[float]:
         return self.percentile(95)
 
     @property
-    def p99(self) -> float:
+    def p99(self) -> Optional[float]:
         return self.percentile(99)
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> Dict[str, Optional[float]]:
+        """Distribution summary; percentile slots are ``None`` when empty."""
         return {
             "count": self.count,
             "mean": self.mean,

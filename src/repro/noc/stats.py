@@ -54,15 +54,15 @@ class LatencyAccumulator:
         return self.net_total / self.count if self.count else 0.0
 
     @property
-    def p50(self) -> float:
+    def p50(self) -> Optional[float]:
         return self.hist.p50
 
     @property
-    def p95(self) -> float:
+    def p95(self) -> Optional[float]:
         return self.hist.p95
 
     @property
-    def p99(self) -> float:
+    def p99(self) -> Optional[float]:
         return self.hist.p99
 
 

@@ -1,0 +1,94 @@
+"""repro.perfwatch — continuous performance intelligence over bench tables.
+
+The layer has four pieces, mirroring how a perf regression is actually
+hunted down:
+
+* **ledger** (:mod:`~repro.perfwatch.ledger`) — an append-only,
+  schema-versioned JSONL KPI store under ``results/perf_ledger/``, keyed
+  by commit SHA, bench, metric path, and config/host fingerprint;
+* **ingest** (:mod:`~repro.perfwatch.ingest`) — flattens the
+  ``BENCH_*.json`` tables (stamped envelopes and legacy bare dicts
+  alike) plus run extras / HostProfiler summaries into ledger records;
+* **detect** (:mod:`~repro.perfwatch.detect`) — noise-aware
+  regression/improvement detection against a rolling median+MAD
+  baseline, with per-metric direction policies and a min-samples guard,
+  plus driver analysis (:mod:`~repro.perfwatch.drivers`) attributing
+  deltas to changed config axes and flagging data-quality rot;
+* **report** (:mod:`~repro.perfwatch.report`) — markdown/JSON reports
+  with sparkline trends, and a CLI/CI gate
+  (:mod:`~repro.perfwatch.cli`) riding the staticcheck severity model.
+"""
+
+from repro.perfwatch.detect import (
+    COUNTER,
+    DEFAULT_POLICIES,
+    EITHER,
+    HIGHER_BETTER,
+    LOWER_BETTER,
+    MetricPolicy,
+    detect,
+    detect_series,
+    pin_baseline,
+    policy_for,
+    robust_band,
+)
+from repro.perfwatch.drivers import attribute_axes, data_quality, format_axes
+from repro.perfwatch.findings import PerfFinding, findings_report, sort_findings
+from repro.perfwatch.ingest import (
+    ingest_tables,
+    records_from_extras,
+    records_from_payload,
+    records_from_profiler,
+)
+from repro.perfwatch.ledger import LedgerRecord, PerfLedger, series_id
+from repro.perfwatch.report import render_json, render_markdown, series_rows
+from repro.perfwatch.schema import (
+    SCHEMA_VERSION,
+    bench_envelope,
+    flatten_metrics,
+    git_sha,
+    host_fingerprint,
+    host_info,
+    is_envelope,
+    split_payload,
+    utc_now,
+)
+
+__all__ = [
+    "COUNTER",
+    "DEFAULT_POLICIES",
+    "EITHER",
+    "HIGHER_BETTER",
+    "LOWER_BETTER",
+    "LedgerRecord",
+    "MetricPolicy",
+    "PerfFinding",
+    "PerfLedger",
+    "SCHEMA_VERSION",
+    "attribute_axes",
+    "bench_envelope",
+    "data_quality",
+    "detect",
+    "detect_series",
+    "findings_report",
+    "flatten_metrics",
+    "format_axes",
+    "git_sha",
+    "host_fingerprint",
+    "host_info",
+    "ingest_tables",
+    "is_envelope",
+    "pin_baseline",
+    "policy_for",
+    "records_from_extras",
+    "records_from_payload",
+    "records_from_profiler",
+    "render_json",
+    "render_markdown",
+    "robust_band",
+    "series_id",
+    "series_rows",
+    "sort_findings",
+    "split_payload",
+    "utc_now",
+]

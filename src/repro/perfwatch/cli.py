@@ -1,0 +1,238 @@
+"""The ``repro perfwatch`` subcommand: ingest / check / report / baseline.
+
+Wired into :mod:`repro.cli` as one subparser with nested actions::
+
+    repro perfwatch ingest [--tables DIR] [--ledger DIR] [--sha SHA]
+    repro perfwatch check  [--strict] [--json -] [--no-improvements]
+    repro perfwatch report [--json] [--out FILE] [--width N]
+    repro perfwatch baseline update|show|clear
+
+``check`` is the CI gate: exit 1 on error-severity findings (warnings
+too with ``--strict``), reusing the staticcheck ``CheckReport`` policy.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List
+
+from repro.perfwatch.ledger import PerfLedger
+
+
+def add_perfwatch_parser(sub) -> None:
+    """Register the ``perfwatch`` subparser on the main CLI."""
+    pw = sub.add_parser(
+        "perfwatch",
+        help="continuous performance intelligence over the bench tables: "
+             "ledger ingest, noise-aware regression detection with driver "
+             "analysis, markdown/JSON reports, CI gate",
+    )
+    actions = pw.add_subparsers(dest="action", required=True)
+
+    def common(p):
+        p.add_argument("--ledger", default=None, metavar="DIR",
+                       help="perf-ledger directory (default: "
+                            "results/perf_ledger, env REPRO_PERF_LEDGER)")
+
+    ing = actions.add_parser(
+        "ingest",
+        help="flatten results/bench_tables/BENCH_*.json into ledger records "
+             "(idempotent; also the one-shot backfill of committed history)",
+    )
+    common(ing)
+    ing.add_argument("--tables", default=None, metavar="DIR",
+                     help="bench-tables directory "
+                          "(default: results/bench_tables)")
+    ing.add_argument("--sha", default=None,
+                     help="commit SHA to stamp on legacy (un-enveloped) "
+                          "artifacts (default: git HEAD)")
+    ing.add_argument("--dry-run", action="store_true",
+                     help="parse and report, but append nothing")
+
+    chk = actions.add_parser(
+        "check",
+        help="detect regressions/improvements vs the rolling (or pinned) "
+             "baseline, attribute them to changed config axes, and run "
+             "data-quality checks; exit 1 on errors",
+    )
+    common(chk)
+    chk.add_argument("--tables", default=None, metavar="DIR",
+                     help="bench-tables directory for data-quality checks")
+    chk.add_argument("--strict", action="store_true",
+                     help="exit non-zero on warnings too")
+    chk.add_argument("--no-improvements", action="store_true",
+                     help="suppress info-severity improvement findings")
+    chk.add_argument("--no-pinned", action="store_true",
+                     help="ignore any pinned baseline.json")
+    chk.add_argument("--stale-after", type=int, default=None, metavar="N",
+                     help="flag benches more than N ledger commits stale "
+                          "(default: 5)")
+    chk.add_argument("--json", default=None, metavar="FILE",
+                     help="write the findings as JSON ('-' for stdout)")
+    chk.add_argument("--quiet", action="store_true",
+                     help="hide info-severity findings in text output")
+
+    rep = actions.add_parser(
+        "report",
+        help="render the KPI history as markdown (sparkline trends + "
+             "findings) or JSON",
+    )
+    common(rep)
+    rep.add_argument("--tables", default=None, metavar="DIR")
+    rep.add_argument("--json", action="store_true",
+                     help="emit the JSON report instead of markdown")
+    rep.add_argument("--out", default=None, metavar="FILE",
+                     help="write the report to a file instead of stdout")
+    rep.add_argument("--width", type=int, default=24,
+                     help="sparkline width in characters")
+    rep.add_argument("--max-series", type=int, default=None,
+                     help="truncate the trend table to the first N series")
+
+    bas = actions.add_parser(
+        "baseline",
+        help="manage the pinned per-series baseline bands "
+             "(baseline.json next to the ledger)",
+    )
+    common(bas)
+    bas.add_argument("op", choices=("update", "show", "clear"),
+                     help="update: pin the current history as the blessed "
+                          "bands; show: print the pinned file; clear: "
+                          "remove it (fall back to rolling baselines)")
+
+
+def _ledger(args) -> PerfLedger:
+    return PerfLedger(args.ledger)
+
+
+def _all_findings(ledger: PerfLedger, args) -> List:
+    from repro.perfwatch.detect import detect
+    from repro.perfwatch.drivers import STALE_AFTER_SHAS, data_quality
+    from repro.perfwatch.findings import sort_findings
+    from repro.perfwatch.ingest import default_tables_dir
+
+    findings = detect(
+        ledger,
+        use_pinned=not getattr(args, "no_pinned", False),
+        include_improvements=not getattr(args, "no_improvements", False),
+    )
+    stale_after = getattr(args, "stale_after", None)
+    findings += data_quality(
+        ledger,
+        tables_dir=getattr(args, "tables", None) or default_tables_dir(),
+        stale_after=stale_after if stale_after is not None else STALE_AFTER_SHAS,
+    )
+    return sort_findings(findings)
+
+
+def _cmd_ingest(args) -> int:
+    from repro.perfwatch.ingest import ingest_tables
+
+    ledger = _ledger(args)
+    appended, records, problems = ingest_tables(
+        ledger, args.tables, sha=args.sha, dry_run=args.dry_run
+    )
+    benches = sorted({r.bench for r in records})
+    origin = f"{len(benches)} bench(es): {', '.join(benches) or '-'}"
+    if args.dry_run:
+        print(f"dry run: parsed {len(records)} record(s) from {origin}")
+    else:
+        print(
+            f"appended {appended} record(s) ({len(records)} parsed, "
+            f"{len(records) - appended} duplicate(s) skipped) from {origin}"
+        )
+    for name, reason in sorted(problems.items()):
+        print(f"warning: {name}: {reason}", file=sys.stderr)
+    print(f"ledger: {ledger.path}")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    from repro.perfwatch.findings import findings_report
+    from repro.perfwatch.report import render_json
+    from repro.staticcheck.diagnostics import Severity
+
+    ledger = _ledger(args)
+    if not ledger.exists:
+        print(
+            f"no ledger at {ledger.path}; run `repro perfwatch ingest` first",
+            file=sys.stderr,
+        )
+        return 2
+    findings = _all_findings(ledger, args)
+    report = findings_report(findings)
+    failed = report.failed(strict=args.strict)
+    if args.json is not None:
+        payload = render_json(ledger, findings)
+        payload["failed"] = failed
+        text = json.dumps(payload, indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.json}")
+            print(report.summary())
+    else:
+        min_severity = Severity.WARNING if args.quiet else Severity.INFO
+        print(report.render(min_severity))
+    return 1 if failed else 0
+
+
+def _cmd_report(args) -> int:
+    from repro.perfwatch.report import render_json, render_markdown
+
+    ledger = _ledger(args)
+    if not ledger.exists:
+        print(
+            f"no ledger at {ledger.path}; run `repro perfwatch ingest` first",
+            file=sys.stderr,
+        )
+        return 2
+    findings = _all_findings(ledger, args)
+    if args.json:
+        text = json.dumps(render_json(ledger, findings), indent=2)
+    else:
+        text = render_markdown(
+            ledger, findings, width=args.width, max_series=args.max_series
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + ("\n" if not text.endswith("\n") else ""))
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_baseline(args) -> int:
+    from repro.perfwatch.detect import pin_baseline
+
+    ledger = _ledger(args)
+    if args.op == "update":
+        if not ledger.exists:
+            print(
+                f"no ledger at {ledger.path}; nothing to pin", file=sys.stderr
+            )
+            return 2
+        baseline = pin_baseline(ledger)
+        path = ledger.save_baseline(baseline)
+        print(f"pinned {len(baseline)} series band(s) into {path}")
+        return 0
+    if args.op == "show":
+        baseline = ledger.load_baseline()
+        print(json.dumps(baseline, indent=2, sort_keys=True))
+        return 0
+    removed = ledger.clear_baseline()
+    print("removed pinned baseline" if removed else "no pinned baseline")
+    return 0
+
+
+def cmd_perfwatch(args) -> int:
+    handlers = {
+        "ingest": _cmd_ingest,
+        "check": _cmd_check,
+        "report": _cmd_report,
+        "baseline": _cmd_baseline,
+    }
+    return handlers[args.action](args)

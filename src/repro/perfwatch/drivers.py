@@ -1,0 +1,189 @@
+"""Driver analysis and data-quality checks over the perf ledger.
+
+*Driver analysis* answers "what changed?" when a metric moves: the
+latest record's config/host axes are diffed (via
+:func:`repro.experiments.fingerprint.diff_config`) against the nearest
+earlier record with a different fingerprint.  An empty diff is itself
+the answer — same config, same host, so the delta is code (or raw host
+noise).
+
+*Data quality* answers "can the history be trusted?":
+
+``pw-missing-bench``
+    A bench with ledger history reported nothing at the latest commit —
+    its table silently stopped regenerating.
+``pw-stale-table``
+    A bench's newest record is more than N distinct commits behind the
+    ledger head.
+``pw-counter-drift``
+    A workload-size counter (simulated cycles, grid size) changed
+    between records with the *same* fingerprint — the bench definition
+    moved under the series, so rate comparisons across that edge are
+    invalid.  Non-monotonic cycle counts are the canonical case.
+``pw-uningested-table`` / ``pw-ledger-skip``
+    A ``BENCH_*.json`` on disk that the ledger has never seen; ledger
+    lines that failed to parse.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.fingerprint import diff_config
+from repro.perfwatch.findings import PerfFinding
+from repro.perfwatch.ledger import LedgerRecord, PerfLedger
+from repro.staticcheck.diagnostics import Severity
+
+#: Default staleness horizon, in distinct ledger commits.
+STALE_AFTER_SHAS = 5
+
+
+def _axes_payload(record: LedgerRecord) -> Dict[str, object]:
+    return {
+        "config": record.config,
+        "host": record.host,
+        "seed": record.seed,
+    }
+
+
+def attribute_axes(
+    records: Sequence[LedgerRecord],
+) -> Dict[str, Tuple[object, object]]:
+    """Config/host axes separating the latest record from its history.
+
+    Diffs against the nearest earlier record with a *different*
+    fingerprint; an empty dict means no tracked axis changed (the delta
+    is code or environment drift the fingerprint cannot see).
+    """
+    if len(records) < 2:
+        return {}
+    latest = records[-1]
+    for prev in reversed(records[:-1]):
+        if prev.fingerprint != latest.fingerprint:
+            return diff_config(_axes_payload(prev), _axes_payload(latest))
+    return {}
+
+
+def format_axes(axes: Dict[str, Tuple[object, object]], limit: int = 6) -> str:
+    """Human-readable axis diff for finding messages."""
+    if not axes:
+        return "no config/host axes changed"
+    parts = [
+        f"{axis}: {old!r} -> {new!r}"
+        for axis, (old, new) in list(axes.items())[:limit]
+    ]
+    more = len(axes) - limit
+    if more > 0:
+        parts.append(f"(+{more} more)")
+    return "changed axes: " + ", ".join(parts)
+
+
+def data_quality(
+    ledger: PerfLedger,
+    *,
+    tables_dir: Optional[str] = None,
+    stale_after: int = STALE_AFTER_SHAS,
+    policies=None,
+) -> List[PerfFinding]:
+    """All data-quality findings for the current ledger + tables dir."""
+    from repro.perfwatch.detect import COUNTER, policy_for
+
+    records = ledger.records()
+    findings: List[PerfFinding] = []
+    if ledger.skipped_lines:
+        findings.append(PerfFinding(
+            rule="pw-ledger-skip",
+            severity=Severity.WARNING,
+            bench="ledger",
+            metric="",
+            message=(
+                f"{ledger.skipped_lines} unparseable ledger line(s) skipped"
+            ),
+            hint="inspect ledger.jsonl for merge damage",
+        ))
+    if not records:
+        return findings
+
+    shas = ledger.shas()
+    sha_index = {sha: i for i, sha in enumerate(shas)}
+    head = shas[-1]
+
+    last_sha_per_bench: Dict[str, str] = {}
+    for rec in records:
+        last_sha_per_bench[rec.bench] = rec.sha
+
+    for bench, sha in sorted(last_sha_per_bench.items()):
+        if len(shas) < 2:
+            break
+        behind = sha_index[head] - sha_index[sha]
+        if sha != head:
+            findings.append(PerfFinding(
+                rule="pw-missing-bench",
+                severity=Severity.WARNING,
+                bench=bench,
+                metric="",
+                message=(
+                    f"no record at ledger head {head}; "
+                    f"last seen at {sha} ({behind} commit(s) behind)"
+                ),
+                sha=head,
+                hint="re-run the bench and `repro perfwatch ingest`",
+            ))
+        if behind >= stale_after:
+            findings.append(PerfFinding(
+                rule="pw-stale-table",
+                severity=Severity.WARNING,
+                bench=bench,
+                metric="",
+                message=(
+                    f"bench table is stale: newest record is {behind} "
+                    f"distinct commit(s) behind the ledger head "
+                    f"(threshold {stale_after})"
+                ),
+                sha=sha,
+                hint="regenerate the bench table or retire the series",
+            ))
+
+    # Counter drift: a workload-size counter must not move while the
+    # fingerprint stands still (non-monotonic cycle counts etc.).
+    for key, series in ledger.series().items():
+        policy = policy_for(key[1], policies)
+        if policy.direction != COUNTER:
+            continue
+        for prev, cur in zip(series, series[1:]):
+            if prev.fingerprint == cur.fingerprint and prev.value != cur.value:
+                findings.append(PerfFinding(
+                    rule="pw-counter-drift",
+                    severity=Severity.WARNING,
+                    bench=key[0],
+                    metric=key[1],
+                    message=(
+                        f"workload counter moved {prev.value:g} -> "
+                        f"{cur.value:g} between {prev.sha} and {cur.sha} "
+                        "with an unchanged config/host fingerprint; rate "
+                        "series across this edge are not comparable"
+                    ),
+                    value=cur.value,
+                    sha=cur.sha,
+                    hint="bench workload changed without a config bump",
+                ))
+                break  # one finding per series is enough signal
+
+    if tables_dir and os.path.isdir(tables_dir):
+        known = {rec.bench for rec in records}
+        pattern = os.path.join(tables_dir, "BENCH_*.json")
+        for path in sorted(glob.glob(pattern)):
+            name = os.path.basename(path)[len("BENCH_"):-len(".json")]
+            if name not in known:
+                findings.append(PerfFinding(
+                    rule="pw-uningested-table",
+                    severity=Severity.INFO,
+                    bench=name,
+                    metric="",
+                    message=f"{os.path.basename(path)} has never been "
+                            "ingested into the perf ledger",
+                    hint="run `repro perfwatch ingest`",
+                ))
+    return findings

@@ -1,0 +1,75 @@
+"""PerfFinding: the structured output record of every perfwatch analysis.
+
+Perfwatch grades findings on the same severity ladder as the static
+checker and projects them onto :class:`~repro.staticcheck.diagnostics.
+Diagnostic` records, so one report/gate model (``CheckReport`` rendering,
+``failed(strict)`` exit policy) serves lint findings and perf findings
+alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.staticcheck.diagnostics import CheckReport, Diagnostic, Severity
+
+
+@dataclass
+class PerfFinding:
+    """One detector/driver-analysis finding, staticcheck-severity graded."""
+
+    rule: str
+    severity: Severity
+    bench: str
+    metric: str
+    message: str
+    value: Optional[float] = None
+    baseline_median: Optional[float] = None
+    band: Optional[Tuple[float, float]] = None
+    rel_delta: Optional[float] = None
+    changed_axes: Dict[str, Tuple[object, object]] = field(default_factory=dict)
+    sha: str = ""
+    hint: str = ""
+
+    @property
+    def location(self) -> str:
+        loc = f"{self.bench}:{self.metric}" if self.metric else self.bench
+        return f"{loc}@{self.sha}" if self.sha else loc
+
+    def to_diagnostic(self) -> Diagnostic:
+        return Diagnostic(
+            rule=self.rule,
+            severity=self.severity,
+            location=self.location,
+            message=self.message,
+            hint=self.hint,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "bench": self.bench,
+            "metric": self.metric,
+            "message": self.message,
+            "value": self.value,
+            "baseline_median": self.baseline_median,
+            "band": list(self.band) if self.band else None,
+            "rel_delta": self.rel_delta,
+            "changed_axes": {
+                axis: list(pair) for axis, pair in self.changed_axes.items()
+            },
+            "sha": self.sha,
+            "hint": self.hint,
+        }
+
+
+def findings_report(findings: Sequence[PerfFinding]) -> CheckReport:
+    """Project findings onto the staticcheck report/gate model."""
+    return CheckReport([f.to_diagnostic() for f in findings])
+
+
+def sort_findings(findings: Sequence[PerfFinding]) -> list:
+    """Most-severe first, then stable by bench/metric."""
+    return sorted(findings, key=lambda f: (-int(f.severity), f.bench, f.metric))

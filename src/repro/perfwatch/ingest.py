@@ -1,0 +1,191 @@
+"""Ingest: flatten bench artifacts (and run extras) into ledger records.
+
+Three sources feed the ledger:
+
+* ``results/bench_tables/BENCH_*.json`` — both the stamped envelope
+  format (:mod:`repro.perfwatch.schema`) and the bare pre-envelope
+  dicts, so the one-shot *backfill* of the committed history is just an
+  ordinary :func:`ingest_tables` call;
+* :class:`~repro.gpu.system.SimulationResult` extras — the HostProfiler
+  rates (``sim_wall_s`` / ``sim_cycles_per_sec`` / ``build_wall_s``)
+  that :mod:`repro.experiments.api` stamps on every live run;
+* a raw :class:`~repro.telemetry.HostProfiler` summary.
+
+Every record carries the config/host fingerprint
+(:func:`repro.experiments.fingerprint.config_fingerprint` over
+``{"config":…, "host":…, "seed":…}``) so the detector's driver analysis
+can later diff exactly which axes moved.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.experiments.fingerprint import config_fingerprint, flatten_config
+from repro.perfwatch import schema
+from repro.perfwatch.ledger import LedgerRecord, PerfLedger
+
+_DEFAULT_TABLES = os.path.join(
+    os.path.dirname(__file__), "..", "..", "..", "results", "bench_tables"
+)
+
+
+def default_tables_dir() -> str:
+    return os.path.abspath(_DEFAULT_TABLES)
+
+
+def bench_name_of(path: str) -> str:
+    """``.../BENCH_simulator_speed.json`` -> ``simulator_speed``."""
+    base = os.path.basename(path)
+    if base.startswith("BENCH_"):
+        base = base[len("BENCH_"):]
+    if base.endswith(".json"):
+        base = base[: -len(".json")]
+    return base
+
+
+def _fingerprint(config: Mapping, host: Mapping, seed) -> str:
+    return config_fingerprint({"config": config, "host": host, "seed": seed})
+
+
+def _build_records(
+    bench: str,
+    data: Mapping,
+    config: Mapping,
+    host: Mapping,
+    *,
+    sha: str,
+    ts: str,
+    seed: Optional[int],
+) -> List[LedgerRecord]:
+    flat_config = flatten_config(dict(config))
+    fingerprint = _fingerprint(flat_config, host, seed)
+    return [
+        LedgerRecord(
+            bench=bench,
+            metric=metric,
+            value=value,
+            sha=sha,
+            fingerprint=fingerprint,
+            ts=ts,
+            seed=seed,
+            config=flat_config,
+            host=dict(host),
+        )
+        for metric, value in sorted(schema.flatten_metrics(data).items())
+    ]
+
+
+def records_from_payload(
+    bench: str,
+    payload: Mapping,
+    *,
+    sha: Optional[str] = None,
+    ts: Optional[str] = None,
+) -> List[LedgerRecord]:
+    """Ledger records for one bench artifact (envelope or bare dict).
+
+    For envelopes, the stamp (sha/timestamp/seed/host/config) comes from
+    the artifact itself; ``sha``/``ts`` arguments only fill gaps.  Bare
+    legacy dicts are split heuristically (:func:`schema.split_payload`)
+    and stamped with the caller's sha/ts and the current host.
+    """
+    if schema.is_envelope(payload):
+        inner_config, data = schema.split_payload(payload["data"])
+        config = dict(payload.get("config") or {})
+        config.update(inner_config)
+        seed = payload.get("seed")
+        return _build_records(
+            str(payload.get("bench") or bench),
+            data,
+            config,
+            dict(payload.get("host") or {}),
+            sha=str(payload.get("git_sha") or sha or "unknown"),
+            ts=str(payload.get("generated_utc") or ts or ""),
+            seed=int(seed) if isinstance(seed, int) else None,
+        )
+    config, data = schema.split_payload(payload)
+    return _build_records(
+        bench,
+        data,
+        config,
+        schema.host_info(),
+        sha=sha if sha is not None else schema.git_sha(),
+        ts=ts if ts is not None else schema.utc_now(),
+        seed=None,
+    )
+
+
+def records_from_extras(
+    bench: str,
+    extras: Mapping,
+    *,
+    config: Optional[Mapping] = None,
+    sha: Optional[str] = None,
+    ts: Optional[str] = None,
+    seed: Optional[int] = None,
+) -> List[LedgerRecord]:
+    """Ledger records from a run's extras (HostProfiler rates etc.)."""
+    return _build_records(
+        bench,
+        dict(extras),
+        dict(config or {}),
+        schema.host_info(),
+        sha=sha if sha is not None else schema.git_sha(),
+        ts=ts if ts is not None else schema.utc_now(),
+        seed=seed,
+    )
+
+
+def records_from_profiler(
+    bench: str,
+    profiler,
+    *,
+    config: Optional[Mapping] = None,
+    sha: Optional[str] = None,
+    seed: Optional[int] = None,
+) -> List[LedgerRecord]:
+    """Ledger records from a :class:`HostProfiler` phase/rate summary."""
+    return records_from_extras(
+        bench, profiler.summary(), config=config, sha=sha, seed=seed
+    )
+
+
+def ingest_tables(
+    ledger: PerfLedger,
+    tables_dir: Optional[str] = None,
+    *,
+    sha: Optional[str] = None,
+    dry_run: bool = False,
+) -> Tuple[int, List[LedgerRecord], Dict[str, str]]:
+    """Ingest every ``BENCH_*.json`` under ``tables_dir`` into the ledger.
+
+    Returns ``(appended, records, problems)`` where ``problems`` maps
+    file names to the reason they were skipped.  Ingesting the same
+    artifacts twice is a no-op thanks to ledger-key dedup — which is
+    exactly what makes the one-shot backfill safe to re-run.
+    """
+    tables_dir = os.path.abspath(tables_dir or default_tables_dir())
+    records: List[LedgerRecord] = []
+    problems: Dict[str, str] = {}
+    for path in sorted(glob.glob(os.path.join(tables_dir, "BENCH_*.json"))):
+        name = os.path.basename(path)
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            problems[name] = f"unreadable: {exc}"
+            continue
+        if not isinstance(payload, dict):
+            problems[name] = "not a JSON object"
+            continue
+        recs = records_from_payload(bench_name_of(path), payload, sha=sha)
+        if not recs:
+            problems[name] = "no numeric metrics found"
+            continue
+        records.extend(recs)
+    appended = 0 if dry_run else ledger.append(records)
+    return appended, records, problems

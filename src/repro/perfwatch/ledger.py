@@ -1,0 +1,214 @@
+"""The perf ledger: append-only, schema-versioned JSONL KPI history.
+
+One :class:`LedgerRecord` is one observed value of one metric of one
+bench at one commit under one config/host fingerprint.  The ledger file
+(``results/perf_ledger/ledger.jsonl`` by default, ``REPRO_PERF_LEDGER``
+to relocate) is append-only: ingest never rewrites history, re-ingesting
+the same (sha, bench, metric, fingerprint) is a no-op, and unreadable
+lines are skipped (and counted) rather than fatal — a merge conflict in
+a ledger must never brick the perf gate.
+
+The optional pinned baseline (``baseline.json`` next to the ledger)
+stores blessed per-series bands written by ``repro perfwatch baseline
+update``; when present for a series it replaces the rolling-window
+baseline in :mod:`repro.perfwatch.detect`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Version of the ledger record format.
+LEDGER_SCHEMA = 1
+
+#: Env var naming the ledger directory.
+LEDGER_ENV = "REPRO_PERF_LEDGER"
+
+_DEFAULT_ROOT = os.path.join(
+    os.path.dirname(__file__), "..", "..", "..", "results", "perf_ledger"
+)
+
+SeriesKey = Tuple[str, str]  # (bench, metric)
+
+
+@dataclass(frozen=True)
+class LedgerRecord:
+    """One metric observation: what was measured, where, when, under what."""
+
+    bench: str
+    metric: str
+    value: float
+    sha: str = "unknown"
+    fingerprint: str = ""
+    ts: str = ""
+    seed: Optional[int] = None
+    config: Dict[str, object] = field(default_factory=dict)
+    host: Dict[str, object] = field(default_factory=dict)
+    schema: int = LEDGER_SCHEMA
+
+    def key(self) -> Tuple[str, str, str, str]:
+        """Dedup identity: commit x bench x metric path x fingerprint."""
+        return (self.sha, self.bench, self.metric, self.fingerprint)
+
+    def series(self) -> SeriesKey:
+        return (self.bench, self.metric)
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "LedgerRecord":
+        if not isinstance(payload, dict):
+            raise ValueError("ledger record must be a JSON object")
+        schema = payload.get("schema", LEDGER_SCHEMA)
+        if not isinstance(schema, int) or schema > LEDGER_SCHEMA:
+            raise ValueError(f"unsupported ledger schema {schema!r}")
+        try:
+            bench = str(payload["bench"])
+            metric = str(payload["metric"])
+            value = float(payload["value"])  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed ledger record: {exc}") from exc
+        seed = payload.get("seed")
+        return cls(
+            bench=bench,
+            metric=metric,
+            value=value,
+            sha=str(payload.get("sha", "unknown")),
+            fingerprint=str(payload.get("fingerprint", "")),
+            ts=str(payload.get("ts", "")),
+            seed=int(seed) if isinstance(seed, (int, float)) else None,
+            config=dict(payload.get("config") or {}),
+            host=dict(payload.get("host") or {}),
+            schema=schema,
+        )
+
+
+def default_ledger_root() -> str:
+    return os.path.abspath(os.environ.get(LEDGER_ENV, _DEFAULT_ROOT))
+
+
+class PerfLedger:
+    """Append-only JSONL history of :class:`LedgerRecord` entries."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = os.path.abspath(root) if root else default_ledger_root()
+        self.path = os.path.join(self.root, "ledger.jsonl")
+        self.baseline_path = os.path.join(self.root, "baseline.json")
+        self._lock = threading.Lock()
+        #: Unparseable/incompatible lines seen by the last :meth:`records`.
+        self.skipped_lines = 0
+
+    @property
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    # -- read ----------------------------------------------------------------
+    def records(self) -> List[LedgerRecord]:
+        """All parseable records in file (= ingest) order."""
+        out: List[LedgerRecord] = []
+        skipped = 0
+        try:
+            with open(self.path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        out.append(LedgerRecord.from_dict(json.loads(line)))
+                    except (ValueError, TypeError):
+                        skipped += 1
+        except OSError:
+            pass
+        self.skipped_lines = skipped
+        return out
+
+    def series(self) -> Dict[SeriesKey, List[LedgerRecord]]:
+        """Records grouped per (bench, metric), each series in file order."""
+        grouped: Dict[SeriesKey, List[LedgerRecord]] = {}
+        for rec in self.records():
+            grouped.setdefault(rec.series(), []).append(rec)
+        return grouped
+
+    def history(self, bench: str, metric: str) -> List[LedgerRecord]:
+        return [
+            r for r in self.records() if r.bench == bench and r.metric == metric
+        ]
+
+    def shas(self) -> List[str]:
+        """Distinct commit SHAs in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for rec in self.records():
+            seen.setdefault(rec.sha)
+        return list(seen)
+
+    # -- write ---------------------------------------------------------------
+    def append(
+        self, records: Iterable[LedgerRecord], dedupe: bool = True
+    ) -> int:
+        """Append records, skipping keys already present; returns # written."""
+        records = list(records)
+        if not records:
+            return 0
+        with self._lock:
+            known = (
+                {r.key() for r in self.records()} if dedupe else set()
+            )
+            os.makedirs(self.root, exist_ok=True)
+            written = 0
+            with open(self.path, "a") as fh:
+                for rec in records:
+                    if dedupe and rec.key() in known:
+                        continue
+                    known.add(rec.key())
+                    fh.write(json.dumps(rec.to_dict(), sort_keys=True) + "\n")
+                    written += 1
+        return written
+
+    # -- pinned baseline -----------------------------------------------------
+    def load_baseline(self) -> Dict[str, Dict[str, float]]:
+        """``{"bench::metric": {"median":..,"lo":..,"hi":..,"n":..}}``."""
+        try:
+            with open(self.baseline_path) as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return payload if isinstance(payload, dict) else {}
+
+    def save_baseline(self, baseline: Dict[str, Dict[str, float]]) -> str:
+        os.makedirs(self.root, exist_ok=True)
+        with open(self.baseline_path, "w") as fh:
+            json.dump(baseline, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return self.baseline_path
+
+    def clear_baseline(self) -> bool:
+        try:
+            os.remove(self.baseline_path)
+            return True
+        except OSError:
+            return False
+
+    def info(self) -> Dict[str, object]:
+        recs = self.records()
+        return {
+            "path": self.path,
+            "records": len(recs),
+            "series": len({r.series() for r in recs}),
+            "shas": len({r.sha for r in recs}),
+            "skipped_lines": self.skipped_lines,
+            "baseline_pinned": len(self.load_baseline()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PerfLedger({self.root!r})"
+
+
+def series_id(key: SeriesKey) -> str:
+    """The flat ``bench::metric`` id used by baseline files and reports."""
+    return f"{key[0]}::{key[1]}"

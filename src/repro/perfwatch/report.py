@@ -1,0 +1,133 @@
+"""Markdown/JSON perf-intelligence reports over the ledger.
+
+The markdown report reads like the telemetry summary tables: one row per
+KPI series with min/median/last plus a sparkline trend rendered by the
+same :func:`repro.telemetry.render.series_sparkline` the ``repro
+telemetry`` CLI uses, followed by the findings grouped by severity.  The
+JSON report is the same content machine-readable, for dashboards or a
+PR-comment bot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.perfwatch.detect import COUNTER, Policies, policy_for, robust_band
+from repro.perfwatch.findings import PerfFinding
+from repro.perfwatch.ledger import PerfLedger, series_id
+from repro.telemetry.render import series_sparkline
+
+_SEVERITY_MARK = {"error": "✗", "warning": "!", "info": "·"}
+
+
+def series_rows(
+    ledger: PerfLedger, *, policies: Optional[Policies] = None
+) -> List[Dict[str, object]]:
+    """One summary row per (bench, metric) series, in ledger order."""
+    rows: List[Dict[str, object]] = []
+    for key, records in ledger.series().items():
+        values = [r.value for r in records]
+        policy = policy_for(key[1], policies)
+        if len(values) > 1:
+            center, lo, hi = robust_band(values, policy)
+        else:
+            center, lo, hi = values[0], values[0], values[0]
+        rows.append({
+            "series": series_id(key),
+            "bench": key[0],
+            "metric": key[1],
+            "n": len(values),
+            "first": values[0],
+            "median": center,
+            "band": [lo, hi],
+            "last": values[-1],
+            "last_sha": records[-1].sha,
+            "direction": policy.direction,
+            "values": values,
+        })
+    return rows
+
+
+def _fmt(v: float) -> str:
+    return f"{v:.6g}"
+
+
+def render_markdown(
+    ledger: PerfLedger,
+    findings: Sequence[PerfFinding],
+    *,
+    policies: Optional[Policies] = None,
+    width: int = 24,
+    max_series: Optional[int] = None,
+) -> str:
+    """The human-facing report: findings first, then per-series trends."""
+    rows = series_rows(ledger, policies=policies)
+    info = ledger.info()
+    lines = [
+        "# perfwatch report",
+        "",
+        f"ledger: `{info['path']}` — {info['records']} record(s), "
+        f"{info['series']} series, {info['shas']} commit(s)"
+        + (f", {info['skipped_lines']} skipped line(s)"
+           if info["skipped_lines"] else ""),
+        "",
+        "## Findings",
+        "",
+    ]
+    if findings:
+        for f in findings:
+            mark = _SEVERITY_MARK.get(f.severity.label, "·")
+            lines.append(f"- {mark} **{f.severity.label}** `{f.rule}` "
+                         f"[{f.location}]: {f.message}")
+    else:
+        lines.append("- none — every tracked KPI is inside its baseline band")
+    lines += [
+        "",
+        "## Trends",
+        "",
+        "| series | n | median | last | Δ | trend |",
+        "|---|---|---|---|---|---|",
+    ]
+    shown = rows if max_series is None else rows[:max_series]
+    for row in shown:
+        med = float(row["median"])
+        last = float(row["last"])
+        if row["direction"] == COUNTER:
+            delta = "counter"
+        elif med:
+            delta = f"{(last - med) / abs(med):+.1%}"
+        else:
+            delta = "n/a"
+        spark = series_sparkline(row["values"], width=width)
+        lines.append(
+            f"| `{row['series']}` | {row['n']} | {_fmt(med)} "
+            f"| {_fmt(last)} | {delta} | `{spark}` |"
+        )
+    dropped = len(rows) - len(shown)
+    if dropped > 0:
+        lines.append(f"| … {dropped} more series not shown | | | | | |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_json(
+    ledger: PerfLedger,
+    findings: Sequence[PerfFinding],
+    *,
+    policies: Optional[Policies] = None,
+) -> Dict[str, object]:
+    """Machine-readable mirror of the markdown report."""
+    counts = {"error": 0, "warning": 0, "info": 0}
+    for f in findings:
+        counts[f.severity.label] += 1
+    return {
+        "schema_version": 1,
+        "ledger": ledger.info(),
+        "findings": [f.to_dict() for f in findings],
+        "counts": counts,
+        "ok": counts["error"] == 0,
+        "series": [
+            {k: v for k, v in row.items() if k != "values"}
+            for row in series_rows(ledger, policies=policies)
+        ],
+    }

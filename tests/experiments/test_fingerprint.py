@@ -1,0 +1,60 @@
+"""Tests for config/host fingerprints and the axis differ."""
+
+from repro.experiments.fingerprint import (
+    ABSENT,
+    config_fingerprint,
+    diff_config,
+    flatten_config,
+    spec_fingerprint,
+)
+from repro.experiments.runner import RunSpec
+
+
+class TestFlattenConfig:
+    def test_nested_dicts_and_lists(self):
+        flat = flatten_config({"a": {"b": 1}, "c": [2, {"d": 3}]})
+        assert flat == {"a.b": 1, "c[0]": 2, "c[1].d": 3}
+
+    def test_non_native_leaves_stringified(self):
+        flat = flatten_config({"x": {1, 2, 3}})
+        assert isinstance(flat["x"], str)
+
+    def test_scalars_and_none_pass_through(self):
+        flat = flatten_config({"a": None, "b": True, "c": 1.5})
+        assert flat == {"a": None, "b": True, "c": 1.5}
+
+
+class TestFingerprint:
+    def test_stable_across_key_order(self):
+        a = config_fingerprint({"x": 1, "y": {"z": 2}})
+        b = config_fingerprint({"y": {"z": 2}, "x": 1})
+        assert a == b
+        assert len(a) == 12
+
+    def test_sensitive_to_values(self):
+        assert config_fingerprint({"x": 1}) != config_fingerprint({"x": 2})
+
+    def test_spec_fingerprint_tracks_fields(self):
+        base = RunSpec("bfs", "ada-ari")
+        assert spec_fingerprint(base) == spec_fingerprint(
+            RunSpec("bfs", "ada-ari"))
+        assert spec_fingerprint(base) != spec_fingerprint(
+            RunSpec("bfs", "ada-ari", mesh=4))
+
+
+class TestDiffConfig:
+    def test_identical_is_empty(self):
+        assert diff_config({"a": 1}, {"a": 1}) == {}
+
+    def test_changed_axis_named(self):
+        assert diff_config(
+            {"config": {"mesh": 6}}, {"config": {"mesh": 8}}
+        ) == {"config.mesh": (6, 8)}
+
+    def test_one_sided_axes_report_absent(self):
+        diff = diff_config({"a": 1}, {"b": 2})
+        assert diff == {"a": (1, ABSENT), "b": (ABSENT, 2)}
+
+    def test_none_sides_tolerated(self):
+        assert diff_config(None, None) == {}
+        assert diff_config(None, {"a": 1}) == {"a": (ABSENT, 1)}

@@ -1,0 +1,86 @@
+"""Legacy cache entries (pre-schema-change records) must degrade to
+cache misses with a warning, never crash a run."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import api
+from repro.experiments.runner import RunSpec
+from repro.experiments.store import ResultStore, coerce_record
+
+SPEC = RunSpec(
+    "binomialOptions", "xy-baseline", cycles=80, warmup=20, mesh=4,
+    warps_per_core=4,
+)
+
+LEGACY_RECORD = {"ipc": 1.0, "cycles_simulated": 100, "retired": "yes"}
+
+
+def store_with_legacy_hit(tmp_path):
+    store = ResultStore(str(tmp_path / "s"))
+    store.put(SPEC.key(), LEGACY_RECORD)
+    return store
+
+
+class TestCoerceRecord:
+    def test_valid_record_roundtrips(self):
+        result = api.run(SPEC, use_cache=False)
+        restored = coerce_record(dataclasses.asdict(result))
+        assert dataclasses.asdict(restored) == dataclasses.asdict(result)
+
+    def test_unknown_field_is_none(self):
+        assert coerce_record(LEGACY_RECORD) is None
+
+    def test_empty_record_is_none(self):
+        assert coerce_record({}) is None
+
+
+class TestScanLegacy:
+    def test_lists_only_bad_keys(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s"))
+        good = api.run(SPEC, store=store)
+        store.put("bad0000001", LEGACY_RECORD)
+        assert store.scan_legacy() == ["bad0000001"]
+        restored = coerce_record(store.get(SPEC.key()))
+        assert dataclasses.asdict(restored) == dataclasses.asdict(good)
+
+    def test_empty_store_is_clean(self, tmp_path):
+        assert ResultStore(str(tmp_path / "s")).scan_legacy() == []
+
+
+class TestRunPath:
+    def test_run_warns_and_resimulates(self, tmp_path):
+        store = store_with_legacy_hit(tmp_path)
+        with pytest.warns(RuntimeWarning, match="legacy-format cache entry"):
+            result = api.run(SPEC, store=store)
+        assert result.instructions > 0
+        # The fresh result replaced the stale record.
+        restored = coerce_record(store.get(SPEC.key()))
+        assert dataclasses.asdict(restored) == dataclasses.asdict(result)
+        assert store.scan_legacy() == []
+
+    def test_run_many_warns_and_resimulates(self, tmp_path):
+        store = store_with_legacy_hit(tmp_path)
+        with pytest.warns(RuntimeWarning, match="legacy-format cache entry"):
+            results = api.run_many([SPEC], store=store)
+        assert results[0].instructions > 0
+        assert store.scan_legacy() == []
+
+
+class TestCacheCommand:
+    def test_cache_reports_legacy_entries(self, capsys):
+        from repro.cli import main
+        from repro.experiments.store import default_store
+
+        default_store().put("bad0000001", LEGACY_RECORD)
+        assert main(["cache"]) == 0
+        err = capsys.readouterr().err
+        assert "1 legacy-format entry" in err
+        assert "bad0000001" in err
+
+    def test_clean_cache_no_warning(self, capsys):
+        from repro.cli import main
+
+        assert main(["cache"]) == 0
+        assert "legacy-format" not in capsys.readouterr().err

@@ -13,7 +13,7 @@ class TestRecording:
         h = LatencyHistogram()
         assert h.count == 0
         assert h.mean == 0.0
-        assert h.percentile(50) == 0.0
+        assert h.percentile(50) is None
 
     def test_basic_stats(self):
         h = LatencyHistogram()
@@ -79,6 +79,32 @@ class TestPercentiles:
         assert h.p95 == h.percentile(95)
         assert h.p99 == h.percentile(99)
         assert h.p50 <= h.p95 <= h.p99
+
+    def test_empty_percentiles_are_none(self):
+        """No samples -> no percentiles; a fake 0.0 would poison the
+        perfwatch KPI series built from these summaries."""
+        h = LatencyHistogram()
+        assert h.p50 is None
+        assert h.p95 is None
+        assert h.p99 is None
+        assert h.percentile(0) is None
+        assert h.percentile(100) is None
+        s = h.summary()
+        assert s["count"] == 0
+        assert s["p50"] is None and s["p95"] is None and s["p99"] is None
+
+    def test_single_sample_is_every_percentile(self):
+        h = LatencyHistogram()
+        h.record(37)
+        for p in (0, 1, 50, 95, 99, 100):
+            assert h.percentile(p) == 37.0
+        assert h.p50 == h.p95 == h.p99 == 37.0
+        assert h.summary()["p99"] == 37.0
+
+    def test_single_zero_sample(self):
+        h = LatencyHistogram()
+        h.record(0)
+        assert h.p50 == 0.0 and h.p99 == 0.0
 
 
 class TestMerge:

@@ -1,0 +1,51 @@
+"""Shared fixtures for the perfwatch tests."""
+
+import pytest
+
+from repro.perfwatch import LedgerRecord, PerfLedger
+
+
+def record(
+    value,
+    *,
+    bench="simulator_speed",
+    metric="full_system.cycles_per_sec",
+    sha="sha0",
+    fingerprint="fp0",
+    config=None,
+    host=None,
+    seed=3,
+):
+    return LedgerRecord(
+        bench=bench,
+        metric=metric,
+        value=float(value),
+        sha=sha,
+        fingerprint=fingerprint,
+        ts="2026-08-07T00:00:00Z",
+        seed=seed,
+        config=dict(config or {"mesh": 6}),
+        host=dict(host or {"cpus": 8}),
+    )
+
+
+def series(values, **kwargs):
+    """One record per value, each at its own commit sha."""
+    return [
+        record(v, sha=f"sha{i}", **kwargs) for i, v in enumerate(values)
+    ]
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return PerfLedger(str(tmp_path / "ledger"))
+
+
+@pytest.fixture
+def make_record():
+    return record
+
+
+@pytest.fixture
+def make_series():
+    return series

@@ -1,0 +1,146 @@
+"""End-to-end tests for ``repro perfwatch`` through the real CLI."""
+
+import json
+import os
+
+from repro.cli import main
+from repro.perfwatch import PerfLedger, bench_envelope
+
+from tests.perfwatch.conftest import record, series
+
+HEALTHY = [98_400.0, 101_200.0, 99_700.0, 100_900.0, 99_100.0]
+
+
+def seeded_ledger(tmp_path, head_value=None):
+    """Healthy history, optionally topped with a fabricated head value."""
+    root = str(tmp_path / "ledger")
+    ledger = PerfLedger(root)
+    ledger.append(series(HEALTHY, bench="simulator_speed"))
+    if head_value is not None:
+        ledger.append([record(
+            head_value, sha="baadf00dcafe", fingerprint="fp-head",
+            config={"mesh": 8},
+        )])
+    return root
+
+
+class TestIngest:
+    def test_ingest_then_check_clean(self, tmp_path, capsys):
+        tables = tmp_path / "tables"
+        tables.mkdir()
+        env = bench_envelope("speed", {"cycles_per_sec": 1e5}, sha="abc")
+        with open(tables / "BENCH_speed.json", "w") as fh:
+            json.dump(env, fh)
+        root = str(tmp_path / "ledger")
+        assert main(["perfwatch", "ingest", "--ledger", root,
+                     "--tables", str(tables)]) == 0
+        out = capsys.readouterr().out
+        assert "appended 1 record(s)" in out
+        assert main(["perfwatch", "check", "--ledger", root,
+                     "--tables", str(tables)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_dry_run(self, tmp_path, capsys):
+        tables = tmp_path / "tables"
+        tables.mkdir()
+        with open(tables / "BENCH_b.json", "w") as fh:
+            json.dump({"x": 1.0}, fh)
+        root = str(tmp_path / "ledger")
+        assert main(["perfwatch", "ingest", "--ledger", root,
+                     "--tables", str(tables), "--dry-run"]) == 0
+        assert "dry run: parsed 1 record(s)" in capsys.readouterr().out
+        assert not os.path.exists(os.path.join(root, "ledger.jsonl"))
+
+
+class TestCheck:
+    def test_halved_throughput_gates_with_drivers(self, tmp_path, capsys):
+        """The ISSUE acceptance criterion: a fabricated halved
+        cycles_per_sec must exit 1 naming the metric, the baseline band,
+        and the changed config axes."""
+        root = seeded_ledger(tmp_path, head_value=HEALTHY[-1] / 2)
+        rc = main(["perfwatch", "check", "--ledger", root,
+                   "--tables", str(tmp_path)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "full_system.cycles_per_sec regressed" in out
+        assert "band [" in out
+        assert "changed axes: config.mesh: 6 -> 8" in out
+
+    def test_clean_history_passes(self, tmp_path, capsys):
+        root = seeded_ledger(tmp_path, head_value=100_500.0)
+        assert main(["perfwatch", "check", "--ledger", root,
+                     "--tables", str(tmp_path)]) == 0
+
+    def test_json_output(self, tmp_path, capsys):
+        root = seeded_ledger(tmp_path, head_value=HEALTHY[-1] / 2)
+        rc = main(["perfwatch", "check", "--ledger", root,
+                   "--tables", str(tmp_path), "--json", "-"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] is True
+        assert payload["counts"]["error"] == 1
+        assert payload["findings"][0]["metric"] == (
+            "full_system.cycles_per_sec")
+
+    def test_strict_escalates_warnings(self, tmp_path, capsys):
+        # A drift past the noise floor but under the error threshold.
+        root = seeded_ledger(tmp_path, head_value=85_000.0)
+        args = ["perfwatch", "check", "--ledger", root,
+                "--tables", str(tmp_path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--strict"]) == 1
+        assert "drifted" in capsys.readouterr().out
+
+    def test_missing_ledger_exits_2(self, tmp_path, capsys):
+        rc = main(["perfwatch", "check", "--ledger",
+                   str(tmp_path / "nope")])
+        assert rc == 2
+        assert "no ledger" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_markdown_to_file(self, tmp_path, capsys):
+        root = seeded_ledger(tmp_path)
+        out_file = tmp_path / "report.md"
+        rc = main(["perfwatch", "report", "--ledger", root,
+                   "--tables", str(tmp_path), "--out", str(out_file)])
+        assert rc == 0
+        text = out_file.read_text()
+        assert "# perfwatch report" in text
+        assert "simulator_speed::full_system.cycles_per_sec" in text
+
+    def test_json_report(self, tmp_path, capsys):
+        root = seeded_ledger(tmp_path)
+        rc = main(["perfwatch", "report", "--ledger", root,
+                   "--tables", str(tmp_path), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ledger"]["records"] == len(HEALTHY)
+
+    def test_missing_ledger_exits_2(self, tmp_path, capsys):
+        rc = main(["perfwatch", "report", "--ledger",
+                   str(tmp_path / "nope")])
+        assert rc == 2
+        assert "no ledger" in capsys.readouterr().err
+
+
+class TestBaseline:
+    def test_update_show_clear(self, tmp_path, capsys):
+        root = seeded_ledger(tmp_path)
+        assert main(["perfwatch", "baseline", "--ledger", root,
+                     "update"]) == 0
+        assert "pinned 1 series band(s)" in capsys.readouterr().out
+        assert main(["perfwatch", "baseline", "--ledger", root,
+                     "show"]) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert "simulator_speed::full_system.cycles_per_sec" in shown
+        assert main(["perfwatch", "baseline", "--ledger", root,
+                     "clear"]) == 0
+        assert "removed pinned baseline" in capsys.readouterr().out
+
+    def test_update_without_ledger_exits_2(self, tmp_path, capsys):
+        rc = main(["perfwatch", "baseline", "--ledger",
+                   str(tmp_path / "nope"), "update"])
+        assert rc == 2
+        assert "nothing to pin" in capsys.readouterr().err

@@ -1,0 +1,188 @@
+"""Detector tests on synthetic ledger histories.
+
+The satellite contract: flat noise produces no finding, a step
+regression gates, a step improvement informs, a high-variance series
+suppresses itself through its wide MAD band, and the min-samples guard
+keeps short histories from ever gating.
+"""
+
+from repro.perfwatch import (
+    COUNTER,
+    HIGHER_BETTER,
+    LOWER_BETTER,
+    MetricPolicy,
+    detect,
+    detect_series,
+    pin_baseline,
+    policy_for,
+    robust_band,
+)
+from repro.perfwatch.detect import DEFAULT_POLICY, EITHER
+from repro.staticcheck.diagnostics import Severity
+
+from tests.perfwatch.conftest import record, series
+
+KEY = ("simulator_speed", "full_system.cycles_per_sec")
+RATE_POLICY = policy_for("full_system.cycles_per_sec")
+
+
+def run_series(values, policy=RATE_POLICY, **kwargs):
+    return detect_series(KEY, series(values), policy, **kwargs)
+
+
+class TestPolicyTable:
+    def test_first_match_wins_and_directions(self):
+        assert policy_for("x.cycles_per_sec").direction == HIGHER_BETTER
+        assert policy_for("serial.wall_s").direction == LOWER_BETTER
+        assert policy_for("rows[scheme=a].ipc").direction == HIGHER_BETTER
+        assert policy_for("rows[scheme=a].reply_latency").direction == LOWER_BETTER
+        assert policy_for("full_system.cycles").direction == COUNTER
+        assert policy_for("host_cpus").direction == COUNTER
+        assert policy_for("something_unheard_of") is DEFAULT_POLICY
+
+    def test_custom_table(self):
+        table = (("special*", MetricPolicy(LOWER_BETTER)),)
+        assert policy_for("special_metric", table).direction == LOWER_BETTER
+        assert policy_for("other", table) is DEFAULT_POLICY
+
+
+class TestRobustBand:
+    def test_flat_series_band_is_noise_floor(self):
+        center, lo, hi = robust_band([100.0] * 5, MetricPolicy(noise_floor=0.1))
+        assert center == 100.0
+        assert (lo, hi) == (90.0, 110.0)
+
+    def test_one_outlier_does_not_blow_up_the_band(self):
+        tight = robust_band([100.0] * 9 + [500.0], RATE_POLICY)
+        assert tight[2] < 150.0  # MAD ignores the single outlier
+
+    def test_high_variance_widens_band(self):
+        noisy = [100.0, 140.0, 70.0, 130.0, 80.0, 120.0]
+        _, lo, hi = robust_band(noisy, RATE_POLICY)
+        assert hi - lo > 100.0
+
+
+class TestDetection:
+    def test_flat_noise_no_finding(self):
+        assert run_series([100.0, 101.5, 99.0, 100.5, 99.5, 100.2]) == []
+
+    def test_step_regression_is_error(self):
+        findings = run_series([100.0, 101.0, 99.5, 100.5, 50.0])
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.rule == "pw-regression"
+        assert f.severity == Severity.ERROR
+        assert f.metric == KEY[1]
+        assert f.baseline_median is not None
+        assert f.band is not None and f.band[0] > 50.0
+        assert "band [" in f.message
+
+    def test_small_drift_is_warning(self):
+        # Outside the 10% noise floor but under the 25% error threshold.
+        findings = run_series([100.0, 100.2, 99.8, 100.1, 85.0])
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.WARNING
+        assert "drifted" in findings[0].message
+
+    def test_step_improvement_is_info(self):
+        findings = run_series([100.0, 101.0, 99.5, 100.5, 200.0])
+        assert len(findings) == 1
+        assert findings[0].rule == "pw-improvement"
+        assert findings[0].severity == Severity.INFO
+
+    def test_improvements_suppressible(self):
+        assert run_series(
+            [100.0, 101.0, 99.5, 100.5, 200.0], include_improvements=False
+        ) == []
+
+    def test_high_variance_suppressed_by_mad_band(self):
+        # Same 50% drop at head, but the history itself swings that much:
+        # the band absorbs it.
+        noisy = [100.0, 160.0, 60.0, 150.0, 70.0, 140.0, 75.0]
+        assert run_series(noisy) == []
+
+    def test_min_samples_guard(self):
+        # A 2-point (and 3-point) history must never gate, however bad.
+        assert run_series([100.0, 1.0]) == []
+        assert run_series([100.0, 100.0, 1.0]) == []
+        # At min_samples the gate engages.
+        assert run_series([100.0, 100.0, 100.0, 1.0]) != []
+
+    def test_lower_better_direction(self):
+        wall = policy_for("serial.wall_s")
+        regress = detect_series(
+            ("b", "serial.wall_s"),
+            series([2.0, 2.1, 1.9, 2.0, 4.0], metric="serial.wall_s"),
+            wall,
+        )
+        assert regress[0].rule == "pw-regression"
+        improve = detect_series(
+            ("b", "serial.wall_s"),
+            series([2.0, 2.1, 1.9, 2.0, 1.0], metric="serial.wall_s"),
+            wall,
+        )
+        assert improve[0].rule == "pw-improvement"
+
+    def test_either_direction_caps_at_warning(self):
+        policy = MetricPolicy(EITHER, noise_floor=0.05)
+        findings = detect_series(KEY, series([1.0, 1.0, 1.0, 1.0, 9.0]), policy)
+        assert findings[0].severity == Severity.WARNING
+        assert "moved" in findings[0].message
+
+    def test_counter_never_gates(self):
+        policy = MetricPolicy(COUNTER)
+        assert detect_series(KEY, series([300.0, 300.0, 300.0, 600.0]),
+                             policy) == []
+
+    def test_changed_axes_in_message(self):
+        recs = series([100.0, 101.0, 99.5, 100.5])
+        recs.append(record(50.0, sha="head", fingerprint="fp-new",
+                           config={"mesh": 8}))
+        findings = detect_series(KEY, recs, RATE_POLICY)
+        assert findings[0].changed_axes == {"config.mesh": (6, 8)}
+        assert "config.mesh: 6 -> 8" in findings[0].message
+
+    def test_unchanged_axes_in_message(self):
+        findings = run_series([100.0, 101.0, 99.5, 100.5, 50.0])
+        assert findings[0].changed_axes == {}
+        assert "no config/host axes changed" in findings[0].message
+
+
+class TestPinnedBaseline:
+    def test_pinned_band_gates_short_history(self):
+        pinned = {"median": 100.0, "lo": 90.0, "hi": 110.0, "n": 8}
+        findings = detect_series(KEY, series([50.0]), RATE_POLICY,
+                                 pinned=pinned)
+        assert findings and findings[0].severity == Severity.ERROR
+        assert "pinned baseline" in findings[0].message
+
+    def test_pinned_band_accepts_in_band_value(self):
+        pinned = {"median": 100.0, "lo": 90.0, "hi": 110.0, "n": 8}
+        assert detect_series(KEY, series([105.0]), RATE_POLICY,
+                             pinned=pinned) == []
+
+    def test_malformed_pinned_entry_ignored(self):
+        assert detect_series(KEY, series([50.0]), RATE_POLICY,
+                             pinned={"median": "x"}) == []
+
+
+class TestLedgerLevel:
+    def test_detect_over_ledger(self, ledger):
+        ledger.append(series([100.0, 101.0, 99.5, 100.5, 50.0]))
+        findings = detect(ledger)
+        assert [f.rule for f in findings] == ["pw-regression"]
+
+    def test_pin_baseline_skips_counters(self, ledger):
+        ledger.append(series([100.0, 101.0]))
+        ledger.append(series([300.0, 300.0], metric="full_system.cycles"))
+        baseline = pin_baseline(ledger)
+        assert "simulator_speed::full_system.cycles_per_sec" in baseline
+        assert "simulator_speed::full_system.cycles" not in baseline
+
+    def test_pinned_baseline_used_from_ledger(self, ledger):
+        ledger.append(series([100.0, 101.0]))
+        ledger.save_baseline(pin_baseline(ledger))
+        ledger.append([record(30.0, sha="head")])
+        findings = detect(ledger)  # 3 records: below min_samples, but pinned
+        assert findings and findings[0].rule == "pw-regression"
+        assert detect(ledger, use_pinned=False) == []

@@ -1,0 +1,100 @@
+"""Tests for driver analysis (axis attribution) and data-quality checks."""
+
+import json
+import os
+
+from repro.perfwatch import attribute_axes, data_quality, format_axes
+from repro.staticcheck.diagnostics import Severity
+
+from tests.perfwatch.conftest import record, series
+
+
+def rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestAttributeAxes:
+    def test_empty_for_short_history(self):
+        assert attribute_axes([]) == {}
+        assert attribute_axes([record(1.0)]) == {}
+
+    def test_no_axes_when_fingerprint_stable(self):
+        assert attribute_axes(series([1.0, 2.0, 3.0])) == {}
+
+    def test_diffs_nearest_different_fingerprint(self):
+        recs = series([1.0, 2.0])
+        recs.append(record(3.0, sha="head", fingerprint="fp-new",
+                           config={"mesh": 8}, seed=9))
+        axes = attribute_axes(recs)
+        assert axes == {"config.mesh": (6, 8), "seed": (3, 9)}
+
+    def test_format_axes(self):
+        assert format_axes({}) == "no config/host axes changed"
+        text = format_axes({"config.mesh": (6, 8)})
+        assert text == "changed axes: config.mesh: 6 -> 8"
+        many = {f"a{i}": (0, 1) for i in range(9)}
+        assert "(+3 more)" in format_axes(many, limit=6)
+
+
+class TestDataQuality:
+    def test_clean_history_no_findings(self, ledger):
+        ledger.append(series([1.0, 2.0]))
+        assert data_quality(ledger) == []
+
+    def test_missing_bench_at_head(self, ledger):
+        ledger.append(series([1.0, 2.0]))
+        ledger.append([record(5.0, bench="other", metric="m", sha="sha0")])
+        findings = data_quality(ledger)
+        assert rules(findings) == ["pw-missing-bench"]
+        f = findings[0]
+        assert f.bench == "other"
+        assert f.severity == Severity.WARNING
+        assert "1 commit(s) behind" in f.message
+
+    def test_stale_table_past_threshold(self, ledger):
+        ledger.append(series([1.0, 2.0, 3.0, 4.0]))
+        ledger.append([record(5.0, bench="old", metric="m", sha="sha0")])
+        findings = data_quality(ledger, stale_after=3)
+        assert rules(findings) == ["pw-missing-bench", "pw-stale-table"]
+        stale = [f for f in findings if f.rule == "pw-stale-table"][0]
+        assert "3 distinct commit(s) behind" in stale.message
+
+    def test_counter_drift_same_fingerprint(self, ledger):
+        ledger.append(series(
+            [400.0, 400.0, 800.0], metric="full_system.cycles"))
+        findings = data_quality(ledger)
+        assert rules(findings) == ["pw-counter-drift"]
+        assert "400 -> 800" in findings[0].message
+
+    def test_counter_change_with_new_fingerprint_ok(self, ledger):
+        ledger.append([
+            record(400.0, metric="full_system.cycles", sha="a"),
+            record(800.0, metric="full_system.cycles", sha="b",
+                   fingerprint="fp-new", config={"mesh": 8}),
+        ])
+        assert data_quality(ledger) == []
+
+    def test_uningested_table(self, ledger, tmp_path):
+        ledger.append(series([1.0]))
+        tables = tmp_path / "tables"
+        tables.mkdir()
+        with open(tables / "BENCH_orphan.json", "w") as fh:
+            json.dump({"x": 1.0}, fh)
+        findings = data_quality(ledger, tables_dir=str(tables))
+        assert rules(findings) == ["pw-uningested-table"]
+        assert findings[0].severity == Severity.INFO
+        assert findings[0].bench == "orphan"
+
+    def test_ledger_skip_lines_reported(self, ledger):
+        ledger.append(series([1.0]))
+        with open(ledger.path, "a") as fh:
+            fh.write("garbage\n")
+        ledger.records()  # refresh skipped_lines
+        findings = data_quality(ledger)
+        assert rules(findings) == ["pw-ledger-skip"]
+        assert "1 unparseable" in findings[0].message
+
+    def test_missing_tables_dir_is_fine(self, ledger):
+        ledger.append(series([1.0]))
+        missing = os.path.join(str(ledger.root), "nope")
+        assert data_quality(ledger, tables_dir=missing) == []

@@ -1,0 +1,143 @@
+"""Tests for bench-artifact ingestion, including the one-shot backfill."""
+
+import json
+import os
+
+from repro.perfwatch import (
+    PerfLedger,
+    bench_envelope,
+    detect,
+    ingest_tables,
+    records_from_extras,
+    records_from_payload,
+    records_from_profiler,
+)
+from repro.perfwatch.ingest import bench_name_of, default_tables_dir
+
+
+def write_table(tables, name, payload):
+    os.makedirs(tables, exist_ok=True)
+    path = os.path.join(tables, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+    return path
+
+
+class TestRecordsFromPayload:
+    def test_envelope_stamp_wins(self):
+        env = bench_envelope(
+            "speed", {"full_system": {"cycles_per_sec": 120000.0}},
+            seed=7, config={"mesh": 6}, sha="abc123def456",
+            host={"cpus": 8}, ts="2026-08-07T00:00:00Z",
+        )
+        recs = records_from_payload("ignored-name", env, sha="other")
+        assert len(recs) == 1
+        rec = recs[0]
+        assert rec.bench == "speed"
+        assert rec.metric == "full_system.cycles_per_sec"
+        assert rec.value == 120000.0
+        assert rec.sha == "abc123def456"
+        assert rec.seed == 7
+        assert rec.config == {"mesh": 6}
+        assert rec.host == {"cpus": 8}
+        assert rec.fingerprint
+
+    def test_legacy_bare_dict_is_split_and_stamped(self):
+        recs = records_from_payload(
+            "sweep",
+            {"benchmark": "bfs", "ipc": 1.05, "config": {"mesh": 4}},
+            sha="deadbeef", ts="t0",
+        )
+        assert [r.metric for r in recs] == ["ipc"]
+        rec = recs[0]
+        assert rec.sha == "deadbeef"
+        assert rec.config == {"benchmark": "bfs", "mesh": 4}
+        assert rec.host  # stamped with the current host
+
+    def test_same_config_same_fingerprint(self):
+        a = records_from_payload("b", {"mesh": "4x4", "v": 1.0}, sha="s1")
+        b = records_from_payload("b", {"mesh": "4x4", "v": 2.0}, sha="s2")
+        c = records_from_payload("b", {"mesh": "8x8", "v": 1.0}, sha="s3")
+        assert a[0].fingerprint == b[0].fingerprint
+        assert a[0].fingerprint != c[0].fingerprint
+
+    def test_records_from_extras_and_profiler(self):
+        recs = records_from_extras(
+            "run", {"sim_wall_s": 1.5}, config={"mesh": 4}, sha="s", seed=3
+        )
+        assert recs[0].metric == "sim_wall_s"
+        assert recs[0].seed == 3
+
+        class FakeProfiler:
+            def summary(self):
+                return {"sim_cycles_per_sec": 9000.0}
+
+        recs = records_from_profiler("run", FakeProfiler(), sha="s")
+        assert recs[0].metric == "sim_cycles_per_sec"
+        assert recs[0].value == 9000.0
+
+
+class TestIngestTables:
+    def test_ingest_envelopes_and_legacy(self, tmp_path, ledger):
+        tables = str(tmp_path / "tables")
+        write_table(tables, "modern", bench_envelope(
+            "modern", {"rate": 2.0}, sha="abc", ts="t"))
+        write_table(tables, "legacy", {"rate": 1.0})
+        appended, records, problems = ingest_tables(
+            ledger, tables, sha="fallback")
+        assert appended == 2
+        assert problems == {}
+        by_bench = {r.bench: r for r in records}
+        assert by_bench["modern"].sha == "abc"
+        assert by_bench["legacy"].sha == "fallback"
+        assert ledger.exists
+
+    def test_reingest_is_noop(self, tmp_path, ledger):
+        tables = str(tmp_path / "tables")
+        write_table(tables, "b", bench_envelope("b", {"x": 1.0}, sha="s"))
+        assert ingest_tables(ledger, tables)[0] == 1
+        assert ingest_tables(ledger, tables)[0] == 0
+
+    def test_dry_run_appends_nothing(self, tmp_path, ledger):
+        tables = str(tmp_path / "tables")
+        write_table(tables, "b", {"x": 1.0})
+        appended, records, _ = ingest_tables(
+            ledger, tables, sha="s", dry_run=True)
+        assert appended == 0
+        assert len(records) == 1
+        assert not ledger.exists
+
+    def test_problem_files_reported_not_fatal(self, tmp_path, ledger):
+        tables = str(tmp_path / "tables")
+        write_table(tables, "good", {"x": 1.0})
+        write_table(tables, "empty", {"name": "no numbers here"})
+        with open(os.path.join(tables, "BENCH_broken.json"), "w") as fh:
+            fh.write("{nope")
+        appended, _, problems = ingest_tables(ledger, tables, sha="s")
+        assert appended == 1
+        assert "unreadable" in problems["BENCH_broken.json"]
+        assert problems["BENCH_empty.json"] == "no numeric metrics found"
+
+    def test_bench_name_of(self):
+        assert bench_name_of("/x/BENCH_simulator_speed.json") == (
+            "simulator_speed")
+        assert bench_name_of("plain.json") == "plain"
+
+
+class TestCommittedBackfill:
+    """The acceptance criterion: backfilling the real committed tables
+    yields a clean ledger — zero findings on unmodified history."""
+
+    def test_backfill_of_committed_tables_is_clean(self, tmp_path):
+        tables = default_tables_dir()
+        if not os.path.isdir(tables):
+            import pytest
+
+            pytest.skip("no committed bench tables in this checkout")
+        ledger = PerfLedger(str(tmp_path / "ledger"))
+        appended, records, problems = ingest_tables(
+            ledger, tables, sha="backfill")
+        assert problems == {}
+        assert appended == len(records) > 0
+        # One record per series: below min_samples, nothing can gate.
+        assert detect(ledger) == []

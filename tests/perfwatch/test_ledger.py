@@ -1,0 +1,113 @@
+"""Tests for the append-only JSONL KPI ledger."""
+
+import json
+
+import pytest
+
+from repro.perfwatch import LedgerRecord, PerfLedger, series_id
+
+from tests.perfwatch.conftest import record, series
+
+
+class TestAppend:
+    def test_append_and_read_back(self, ledger):
+        assert ledger.append(series([1.0, 2.0])) == 2
+        recs = ledger.records()
+        assert [r.value for r in recs] == [1.0, 2.0]
+        assert ledger.exists
+
+    def test_reingest_is_noop(self, ledger):
+        recs = series([1.0, 2.0])
+        assert ledger.append(recs) == 2
+        assert ledger.append(recs) == 0
+        assert len(ledger.records()) == 2
+
+    def test_dedupe_key_is_sha_bench_metric_fingerprint(self, ledger):
+        a = record(1.0, sha="s", fingerprint="f")
+        same_key_other_value = record(9.0, sha="s", fingerprint="f")
+        other_fp = record(1.0, sha="s", fingerprint="g")
+        assert ledger.append([a]) == 1
+        assert ledger.append([same_key_other_value]) == 0
+        assert ledger.append([other_fp]) == 1
+
+    def test_append_empty(self, ledger):
+        assert ledger.append([]) == 0
+        assert not ledger.exists
+
+
+class TestTolerantParsing:
+    def test_bad_lines_skipped_and_counted(self, ledger):
+        ledger.append(series([1.0]))
+        with open(ledger.path, "a") as fh:
+            fh.write("not json at all\n")
+            fh.write('{"bench": "x"}\n')  # missing metric/value
+            fh.write("\n")  # blank lines are fine, not counted
+        recs = ledger.records()
+        assert len(recs) == 1
+        assert ledger.skipped_lines == 2
+
+    def test_future_schema_rejected(self, ledger):
+        ledger.append(series([1.0]))
+        bad = record(2.0).to_dict()
+        bad["schema"] = 999
+        with open(ledger.path, "a") as fh:
+            fh.write(json.dumps(bad) + "\n")
+        assert len(ledger.records()) == 1
+        assert ledger.skipped_lines == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        ledger = PerfLedger(str(tmp_path / "nope"))
+        assert ledger.records() == []
+        assert not ledger.exists
+
+    def test_from_dict_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            LedgerRecord.from_dict({"bench": "x"})
+        with pytest.raises(ValueError):
+            LedgerRecord.from_dict({"bench": "x", "metric": "m",
+                                    "value": "not-a-number"})
+
+
+class TestQueries:
+    def test_series_grouping_preserves_order(self, ledger):
+        ledger.append(series([1.0, 2.0]) + series([5.0], metric="other"))
+        grouped = ledger.series()
+        key = ("simulator_speed", "full_system.cycles_per_sec")
+        assert [r.value for r in grouped[key]] == [1.0, 2.0]
+        assert len(grouped) == 2
+
+    def test_shas_first_appearance_order(self, ledger):
+        ledger.append([
+            record(1.0, sha="b"), record(2.0, sha="a", metric="m2"),
+            record(3.0, sha="b", metric="m3"),
+        ])
+        assert ledger.shas() == ["b", "a"]
+
+    def test_info(self, ledger):
+        ledger.append(series([1.0, 2.0]))
+        info = ledger.info()
+        assert info["records"] == 2
+        assert info["series"] == 1
+        assert info["shas"] == 2
+        assert info["skipped_lines"] == 0
+
+    def test_series_id(self):
+        assert series_id(("b", "m.x")) == "b::m.x"
+
+
+class TestBaseline:
+    def test_roundtrip(self, ledger):
+        pinned = {"b::m": {"median": 1.0, "lo": 0.9, "hi": 1.1, "n": 5}}
+        ledger.save_baseline(pinned)
+        assert ledger.load_baseline() == pinned
+        assert ledger.clear_baseline() is True
+        assert ledger.load_baseline() == {}
+        assert ledger.clear_baseline() is False
+
+    def test_corrupt_baseline_is_empty(self, ledger):
+        import os
+
+        os.makedirs(ledger.root, exist_ok=True)
+        with open(ledger.baseline_path, "w") as fh:
+            fh.write("[broken")
+        assert ledger.load_baseline() == {}

@@ -1,0 +1,90 @@
+"""Tests for the markdown/JSON perfwatch reports."""
+
+from repro.perfwatch import (
+    data_quality,
+    detect,
+    render_json,
+    render_markdown,
+    series_rows,
+    sort_findings,
+)
+
+from tests.perfwatch.conftest import record, series
+
+REGRESSION = [100.0, 101.0, 99.5, 100.5, 50.0]
+
+
+def regressed_ledger(ledger):
+    ledger.append(series(REGRESSION))
+    ledger.append(series([1.0, 2.0], metric="other.count"))
+    return ledger
+
+
+class TestSeriesRows:
+    def test_one_row_per_series(self, ledger):
+        regressed_ledger(ledger)
+        rows = series_rows(ledger)
+        assert [r["series"] for r in rows] == [
+            "simulator_speed::full_system.cycles_per_sec",
+            "simulator_speed::other.count",
+        ]
+        row = rows[0]
+        assert row["n"] == 5
+        assert row["last"] == 50.0
+        assert row["last_sha"] == "sha4"
+        assert row["direction"] == "higher_better"
+        assert row["band"][0] < row["median"] < row["band"][1]
+
+    def test_single_sample_degenerate_band(self, ledger):
+        ledger.append([record(7.0)])
+        row = series_rows(ledger)[0]
+        assert row["median"] == row["last"] == 7.0
+        assert row["band"] == [7.0, 7.0]
+
+
+class TestMarkdown:
+    def test_findings_and_trend_table(self, ledger):
+        regressed_ledger(ledger)
+        findings = sort_findings(detect(ledger) + data_quality(ledger))
+        text = render_markdown(ledger, findings)
+        assert "# perfwatch report" in text
+        assert "**error** `pw-regression`" in text
+        assert "full_system.cycles_per_sec regressed" in text
+        assert "| series | n | median | last |" in text
+        # The sparkline shows the cliff; counters are labelled, not judged.
+        assert "`simulator_speed::full_system.cycles_per_sec` | 5" in text
+        assert "| counter |" in text
+
+    def test_no_findings_message(self, ledger):
+        ledger.append(series([1.0, 1.0, 1.0, 1.0]))
+        text = render_markdown(ledger, [])
+        assert "every tracked KPI is inside its baseline band" in text
+
+    def test_max_series_truncates(self, ledger):
+        regressed_ledger(ledger)
+        text = render_markdown(ledger, [], max_series=1)
+        assert "1 more series not shown" in text
+        assert "other.count" not in text
+
+
+class TestJson:
+    def test_shape_and_ok_flag(self, ledger):
+        regressed_ledger(ledger)
+        findings = detect(ledger)
+        payload = render_json(ledger, findings)
+        assert payload["schema_version"] == 1
+        assert payload["ok"] is False
+        assert payload["counts"]["error"] == 1
+        assert payload["ledger"]["records"] == 7
+        f = payload["findings"][0]
+        assert f["rule"] == "pw-regression"
+        assert f["severity"] == "error"
+        assert f["band"][0] > 50.0
+        # series rows are embedded without the raw value arrays
+        assert all("values" not in row for row in payload["series"])
+
+    def test_ok_true_when_clean(self, ledger):
+        ledger.append(series([1.0, 1.0, 1.0, 1.0]))
+        payload = render_json(ledger, detect(ledger))
+        assert payload["ok"] is True
+        assert payload["findings"] == []
