@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test check flowcheck bench figures figures-paper telemetry-demo sweep-demo faults-demo perfwatch perfwatch-demo clean-cache loc help
+.PHONY: install test check flowcheck bench figures figures-paper telemetry-demo sweep-demo faults-demo kernel-demo kernel-equiv perfwatch perfwatch-demo clean-cache loc help
 
 help:
 	@echo "make install        editable install"
@@ -15,6 +15,8 @@ help:
 	@echo "make telemetry-demo time-series telemetry, baseline vs ARI"
 	@echo "make sweep-demo     parallel design-space sweep across 2 workers"
 	@echo "make faults-demo    degradation campaign: dead links, detour routing"
+	@echo "make kernel-demo    reference vs activity kernel: same results, speedup"
+	@echo "make kernel-equiv   CI's kernel-equiv job: byte-identity grid"
 	@echo "make perfwatch      CI's perfwatch job: smoke benches -> ingest -> gate"
 	@echo "make perfwatch-demo inject a synthetic regression and watch it flagged"
 	@echo "make clean-cache    drop the simulation result cache"
@@ -69,6 +71,15 @@ faults-demo:
 	$(PY) -m repro faults --benchmark bfs \
 		--schemes xy-baseline,ada-ari --dead-links 0,1,2 \
 		--cycles 600 --mesh 4 --workers 2
+
+# Same spec through both simulation kernels: prints per-kernel wall
+# time, the speedup, and a digest proving the results are identical.
+kernel-demo:
+	PYTHONPATH=src $(PY) examples/kernel_demo.py
+
+# Mirrors CI's `kernel-equiv` job: the quick byte-identity grid.
+kernel-equiv:
+	PYTHONPATH=src $(PY) -m repro check --kernel-equiv
 
 # Mirrors CI's `perfwatch` job: regenerate the three KPI bench tables
 # (timers off), ingest them into the append-only perf ledger, then gate

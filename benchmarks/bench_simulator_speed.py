@@ -48,26 +48,56 @@ def _record_speed(scenario: str, profiler: HostProfiler) -> None:
     _emit.write_bench_json(path, data)
 
 
-def test_full_system_cycles_per_second(benchmark):
-    def build_and_run():
-        system = GPGPUSystem(
-            GPUConfig(), scheme("ada-ari"), get_benchmark("bfs"), seed=1
-        )
-        system.prewarm_caches()
-        prof = HostProfiler()
-        with prof.phase("measure"):
-            system.run(300)
-        prof.count("cycles", 300)
-        prof.count(
-            "packets",
-            system.request_net.stats.packets_delivered
-            + system.reply_net.stats.packets_delivered,
-        )
-        _record_speed("full_system", prof)
-        return system.now
+def _annotate_kernel_speedup(activity_scenario: str, ref_scenario: str) -> None:
+    """Record activity/reference rate ratio inside the activity row.
 
-    cycles = benchmark.pedantic(build_and_run, rounds=3, iterations=1)
+    Both rows are measured back-to-back in one process, so the ratio is
+    far less host-noisy than either raw rate — it is the metric the
+    perfwatch ledger gates (``*kernel_speedup``).
+    """
+    path = os.path.abspath(SPEED_JSON)
+    data = _emit.load_bench_data(path)
+    act, ref = data.get(activity_scenario), data.get(ref_scenario)
+    if act and ref and ref.get("cycles_per_sec"):
+        act["kernel_speedup"] = (
+            act["cycles_per_sec"] / ref["cycles_per_sec"]
+        )
+        _emit.write_bench_json(path, data)
+
+
+def _run_full_system(scenario: str, kernel=None) -> int:
+    system = GPGPUSystem(
+        GPUConfig(), scheme("ada-ari"), get_benchmark("bfs"), seed=1,
+        kernel=kernel,
+    )
+    system.prewarm_caches()
+    prof = HostProfiler()
+    with prof.phase("measure"):
+        system.run(300)
+    prof.count("cycles", 300)
+    prof.count(
+        "packets",
+        system.request_net.stats.packets_delivered
+        + system.reply_net.stats.packets_delivered,
+    )
+    _record_speed(scenario, prof)
+    return system.now
+
+
+def test_full_system_cycles_per_second(benchmark):
+    cycles = benchmark.pedantic(
+        lambda: _run_full_system("full_system"), rounds=3, iterations=1
+    )
     assert cycles == 300
+
+
+def test_full_system_activity_kernel(benchmark):
+    cycles = benchmark.pedantic(
+        lambda: _run_full_system("full_system_activity", kernel="activity"),
+        rounds=3, iterations=1,
+    )
+    assert cycles == 300
+    _annotate_kernel_speedup("full_system_activity", "full_system")
 
 
 def test_noc_only_cycles_per_second(benchmark):
@@ -92,21 +122,32 @@ def test_noc_only_cycles_per_second(benchmark):
     assert cycles == 1000
 
 
+def _run_idle(scenario: str, kernel=None) -> int:
+    net = Network(NetworkConfig(width=6, height=6), kernel=kernel)
+    prof = HostProfiler()
+    with prof.phase("measure"):
+        net.run(5000)
+    prof.count("cycles", 5000)
+    _record_speed(scenario, prof)
+    return net.now
+
+
 def test_idle_network_is_cheap(benchmark):
     """Idle routers must be skipped: stepping an empty 6x6 mesh for 5000
     cycles should be orders of magnitude faster than a loaded one."""
-
-    def run_idle():
-        net = Network(NetworkConfig(width=6, height=6))
-        prof = HostProfiler()
-        with prof.phase("measure"):
-            net.run(5000)
-        prof.count("cycles", 5000)
-        _record_speed("idle_mesh", prof)
-        return net.now
-
-    cycles = benchmark.pedantic(run_idle, rounds=3, iterations=1)
+    cycles = benchmark.pedantic(
+        lambda: _run_idle("idle_mesh"), rounds=3, iterations=1
+    )
     assert cycles == 5000
+
+
+def test_idle_mesh_activity_kernel(benchmark):
+    cycles = benchmark.pedantic(
+        lambda: _run_idle("idle_mesh_activity", kernel="activity"),
+        rounds=3, iterations=1,
+    )
+    assert cycles == 5000
+    _annotate_kernel_speedup("idle_mesh_activity", "idle_mesh")
 
 
 def test_speed_json_written():

@@ -3,7 +3,8 @@
 Usage::
 
     python -m repro list                         # benchmarks + schemes
-    python -m repro run bfs ada-ari [--cycles N] [--mesh 6] [--seed S]
+    python -m repro run bfs ada-ari [--cycles N] [--mesh 6] [--seed S] \\
+        [--kernel activity]                      # fast-path kernel backend
     python -m repro compare bfs [--cycles N]     # all 5 main schemes
     python -m repro figure fig11 [--scale quick] [--workers N]
     python -m repro sweep bfs ada-ari --axis num_vcs=2,4 \\
@@ -16,6 +17,8 @@ Usage::
     python -m repro faults --benchmark bfs --dead-links 0,1,2 \\
         --workers 2 [--json report.json]         # degradation campaign
     python -m repro check --all-schemes          # pre-run static checks
+    python -m repro check --kernel-equiv         # reference vs activity
+                                                 # kernel, byte-for-byte
     python -m repro check --scheme ada-ari --faults link:r7.E@100 \\
         --json - [--strict] [--rule cdg-cycle]   # one config, JSON out
     python -m repro check --code src/repro       # determinism lint
@@ -73,6 +76,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         warmup=args.cycles // 4,
         seed=args.seed,
         mesh=args.mesh,
+        kernel=args.kernel,
     )
     res = run(spec, use_cache=not args.no_cache)
     _print_result(res)
@@ -88,6 +92,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             warmup=args.cycles // 4,
             seed=args.seed,
             mesh=args.mesh,
+            kernel=args.kernel,
         )
         for sch in MAIN_SCHEMES
     ]
@@ -122,31 +127,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_axis(text: str):
-    """``name=v1,v2,...`` with values coerced to int/float where possible."""
-    name, _, values = text.partition("=")
-    if not values:
-        raise SystemExit(
-            f"bad --axis {text!r}; expected name=value[,value...]"
-        )
-
-    def coerce(tok: str):
-        if tok.lower() == "none":
-            return None
-        for conv in (int, float):
-            try:
-                return conv(tok)
-            except ValueError:
-                continue
-        return tok
-
-    return name, [coerce(tok) for tok in values.split(",")]
-
-
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.specgrid import SpecGridError, parse_axes
     from repro.experiments.sweeps import best_by, records_to_csv
 
-    axes = dict(_parse_axis(a) for a in args.axis)
+    try:
+        axes = parse_axes(args.axis)
+    except SpecGridError as exc:
+        raise SystemExit(str(exc))
     base = RunSpec(
         benchmark=args.benchmark,
         scheme=args.scheme,
@@ -154,6 +142,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         warmup=args.cycles // 4,
         seed=args.seed,
         mesh=args.mesh,
+        kernel=args.kernel,
     )
     total = 1
     for values in axes.values():
@@ -275,6 +264,7 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         warmup=args.cycles // 4,
         seed=args.seed,
         mesh=args.mesh,
+        kernel=args.kernel,
     )
     live = run_live(
         spec,
@@ -317,16 +307,14 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_ints(text: str) -> tuple:
-    try:
-        return tuple(int(tok) for tok in text.split(",") if tok)
-    except ValueError:
-        raise SystemExit(f"expected comma-separated integers, got {text!r}")
-
-
 def _cmd_faults(args: argparse.Namespace) -> int:
     import json
 
+    from repro.experiments.specgrid import (
+        SpecGridError,
+        parse_axes,
+        parse_ints,
+    )
     from repro.faults import (
         CampaignConfig,
         FaultPlan,
@@ -337,22 +325,31 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     schemes = tuple(
         _resolve_scheme(s) for s in args.schemes.split(",") if s
     )
-    cfg = CampaignConfig(
-        benchmark=args.benchmark,
-        schemes=schemes,
-        dead_links=_parse_ints(args.dead_links),
-        seeds=_parse_ints(args.seeds),
-        cycles=args.cycles,
-        warmup=args.cycles // 3,
-        mesh=args.mesh,
-        fault_seed=args.fault_seed,
-        fault_cycle=args.fault_cycle,
-        duration=args.duration,
-        detour=not args.no_detour,
-        check_invariants=(
-            None if args.invariants == "off" else args.invariants
-        ),
-    )
+    try:
+        axes = tuple(
+            (name, tuple(values))
+            for name, values in parse_axes(args.axis).items()
+        )
+        cfg = CampaignConfig(
+            benchmark=args.benchmark,
+            schemes=schemes,
+            dead_links=parse_ints(args.dead_links),
+            seeds=parse_ints(args.seeds),
+            cycles=args.cycles,
+            warmup=args.cycles // 3,
+            mesh=args.mesh,
+            fault_seed=args.fault_seed,
+            fault_cycle=args.fault_cycle,
+            duration=args.duration,
+            detour=not args.no_detour,
+            check_invariants=(
+                None if args.invariants == "off" else args.invariants
+            ),
+            kernel=args.kernel,
+            axes=axes,
+        )
+    except SpecGridError as exc:
+        raise SystemExit(str(exc))
     if args.describe is not None:
         for line in describe(FaultPlan.parse(args.describe)):
             print(line)
@@ -384,6 +381,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    import dataclasses
     import json
 
     from repro.staticcheck import CheckRunner, ModelInputs, Severity
@@ -394,6 +392,34 @@ def _cmd_check(args: argparse.Namespace) -> int:
         for rid, (family, desc) in sorted(RULES.items()):
             print(f"{rid:{width}s}  [{family:5s}] {desc}")
         return 0
+
+    if args.kernel_equiv is not None:
+        from repro.experiments.equivalence import run_equivalence
+
+        def progress(case):
+            mark = "ok  " if case.ok else "FAIL"
+            print(f"  {mark} {case.name}", flush=True)
+
+        print(f"kernel-equivalence grid ({args.kernel_equiv}):")
+        report = run_equivalence(
+            quick=args.kernel_equiv == "quick",
+            progress=None if args.quiet else progress,
+        )
+        print()
+        print(report.render())
+        if args.json is not None:
+            payload = {
+                "cases": [dataclasses.asdict(c) for c in report.cases],
+                "failed": not report.ok,
+            }
+            text = json.dumps(payload, indent=2)
+            if args.json == "-":
+                print(text)
+            else:
+                with open(args.json, "w") as fh:
+                    fh.write(text + "\n")
+                print(f"wrote {args.json}")
+        return 0 if report.ok else 1
 
     try:
         runner = CheckRunner(rules=args.rule or None, strict=args.strict)
@@ -550,6 +576,11 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--mesh", type=int, default=6, choices=(4, 6, 8))
         sp.add_argument("--seed", type=int, default=3)
         sp.add_argument("--no-cache", action="store_true")
+        sp.add_argument(
+            "--kernel", default=None, choices=("reference", "activity"),
+            help="simulation kernel backend (default: REPRO_KERNEL env "
+                 "var, then 'reference'); results are byte-identical",
+        )
 
     cache = sub.add_parser("cache", help="result-store info")
     cache.add_argument("--clear", action="store_true",
@@ -562,7 +593,11 @@ def build_parser() -> argparse.ArgumentParser:
     viz.add_argument("--mesh", type=int, default=6, choices=(4, 6, 8))
     viz.add_argument("--seed", type=int, default=3)
 
-    fig = sub.add_parser("figure", help="regenerate one paper figure")
+    fig = sub.add_parser(
+        "figure",
+        help="regenerate one paper figure (set REPRO_KERNEL=activity to "
+             "run its grid on the fast kernel)",
+    )
     fig.add_argument("name")
     fig.add_argument("--scale", default="quick", choices=sorted(figures.SCALES))
     fig.add_argument("--workers", type=int, default=None,
@@ -592,6 +627,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the sample stream as JSONL")
     tel.add_argument("--csv", default=None,
                      help="write the sample stream as CSV")
+    tel.add_argument(
+        "--kernel", default=None, choices=("reference", "activity"),
+        help="simulation kernel backend (telemetry sampling runs on "
+             "schedule in both)",
+    )
 
     flt = sub.add_parser(
         "faults",
@@ -633,6 +673,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="suppress per-run progress lines")
     flt.add_argument("--describe", default=None, metavar="PLAN",
                      help="explain a fault-plan DSL string and exit")
+    flt.add_argument(
+        "--kernel", default=None, choices=("reference", "activity"),
+        help="simulation kernel backend for every campaign cell "
+             "(faulted cells fall back to reference-order visiting)",
+    )
+    flt.add_argument(
+        "--axis", action="append", default=[], metavar="name=v1,v2",
+        help="extra RunSpec axis applied to every cell (cartesian, "
+             "aggregated per row like extra seeds); repeatable — same "
+             "syntax as `repro sweep --axis`",
+    )
 
     chk = sub.add_parser(
         "check",
@@ -689,6 +740,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="hide info-severity findings in text output")
     chk.add_argument("--list-rules", action="store_true",
                      help="print the rule catalog and exit")
+    chk.add_argument(
+        "--kernel-equiv", nargs="?", const="quick",
+        choices=("quick", "full"), default=None, metavar="DEPTH",
+        help="run the kernel-equivalence grid (reference vs activity, "
+             "byte-for-byte) and exit; DEPTH is 'quick' (default) or "
+             "'full'",
+    )
 
     from repro.perfwatch.cli import add_perfwatch_parser
 

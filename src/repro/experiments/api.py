@@ -118,6 +118,11 @@ def run(
     ``REPRO_STATICCHECK`` env var ("off"/"warn"/"strict") sets the
     default.
     """
+    if telemetry is None and spec.telemetry is not None:
+        # RunSpec.telemetry carries the sampling interval; a spec that
+        # asks for telemetry is a live run like an explicit telemetry=.
+        telemetry = True
+        interval = spec.telemetry
     if telemetry:
         collector = None if telemetry is True else telemetry
         return run_live(

@@ -53,14 +53,23 @@ class RunSpec:
     # loaded at all); fault_detour toggles detour routing for faulted runs.
     faults: Optional[str] = None
     fault_detour: Optional[bool] = None
+    # Simulation kernel backend ("reference"/"activity", see
+    # repro.noc.kernel); None defers to the REPRO_KERNEL env var.
+    kernel: Optional[str] = None
+    # Telemetry sampling interval in cycles.  A set value routes
+    # api.run() through run_live() — the run is live and never cached.
+    telemetry: Optional[int] = None
 
     def key(self) -> str:
         payload = dataclasses.asdict(self)
         # Fields introduced after the store went content-addressed are
         # dropped while unset, so every pre-existing cache key survives.
-        for name in ("faults", "fault_detour"):
+        for name in ("faults", "fault_detour", "telemetry"):
             if payload[name] is None:
                 del payload[name]
+        # Kernels are byte-identical by contract (the kernel-equivalence
+        # suite enforces it), so the backend never partitions the cache.
+        del payload["kernel"]
         blob = json.dumps(payload, sort_keys=True)
         return hashlib.sha1(blob.encode()).hexdigest()[:20]
 
@@ -97,6 +106,7 @@ def build_system(spec: RunSpec) -> GPGPUSystem:
         seed=spec.seed,
         ni_queue_flits=spec.ni_queue_flits,
         num_vcs=spec.num_vcs,
+        kernel=spec.kernel,
     )
 
 

@@ -1,0 +1,80 @@
+"""Shared parsing for spec-grid command lines.
+
+``repro sweep`` and ``repro faults campaign`` both accept repeated
+``--axis name=v1,v2,...`` options naming :class:`~repro.experiments.
+runner.RunSpec` fields; this module is the one place that syntax is
+parsed and validated, so the two commands cannot drift apart.
+
+Values are coerced: ``none`` -> ``None``, ``true``/``false`` -> bool,
+then int, then float, falling back to the raw string.  Axis names are
+checked against the RunSpec schema up front so a typo fails before any
+simulation starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.runner import RunSpec
+
+SPEC_FIELDS = tuple(f.name for f in fields(RunSpec))
+
+
+class SpecGridError(ValueError):
+    """Malformed ``--axis`` text or an unknown RunSpec field."""
+
+
+def coerce_value(token: str):
+    """One axis token -> None/bool/int/float/str (first parse wins)."""
+    low = token.lower()
+    if low == "none":
+        return None
+    if low == "true":
+        return True
+    if low == "false":
+        return False
+    for conv in (int, float):
+        try:
+            return conv(token)
+        except ValueError:
+            continue
+    return token
+
+
+def parse_axis(text: str) -> Tuple[str, List[object]]:
+    """Parse one ``name=v1,v2,...`` option into ``(name, values)``."""
+    name, _, values = text.partition("=")
+    name = name.strip()
+    if not name or not values:
+        raise SpecGridError(
+            f"bad --axis {text!r}; expected name=value[,value...]"
+        )
+    if name not in SPEC_FIELDS:
+        raise SpecGridError(
+            f"unknown RunSpec field {name!r} in --axis; "
+            f"valid: {', '.join(SPEC_FIELDS)}"
+        )
+    toks = [t for t in values.split(",") if t != ""]
+    if not toks:
+        raise SpecGridError(f"--axis {text!r} has no values")
+    return name, [coerce_value(t) for t in toks]
+
+
+def parse_axes(texts: Sequence[str]) -> Dict[str, List[object]]:
+    """Parse repeated ``--axis`` options; later repeats of a name win."""
+    axes: Dict[str, List[object]] = {}
+    for text in texts:
+        name, values = parse_axis(text)
+        axes[name] = values
+    return axes
+
+
+def parse_ints(text: str) -> Tuple[int, ...]:
+    """``"1,2,3"`` -> ``(1, 2, 3)`` (used by --dead-links / --seeds)."""
+    try:
+        return tuple(int(tok) for tok in text.split(",") if tok)
+    except ValueError:
+        raise SpecGridError(
+            f"expected comma-separated integers, got {text!r}"
+        )

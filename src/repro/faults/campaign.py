@@ -40,6 +40,15 @@ class CampaignConfig:
     duration: Optional[int] = None  # None = permanent faults
     detour: bool = True
     check_invariants: Optional[str] = "collect"
+    # Simulation kernel backend for every cell (see repro.noc.kernel).
+    # Faulted cells fall back to reference-order visiting internally, so
+    # this mainly speeds up the zero-fault baseline cells.
+    kernel: Optional[str] = None
+    # Extra RunSpec axes (name, values) applied as a cartesian product to
+    # every cell; axis points aggregate into their (scheme, dead_links)
+    # row exactly like extra seeds.  Parsed from repeated ``--axis``
+    # options by repro.experiments.specgrid.
+    axes: Sequence[Tuple[str, Sequence[object]]] = ()
 
     def plan_for(self, n_dead: int) -> FaultPlan:
         if n_dead == 0:
@@ -108,23 +117,33 @@ class CampaignRunner:
         records — and cache keys — are exactly those of an ordinary run.
         """
         cfg = self.config
+        overrides: List[Dict[str, object]] = [{}]
+        for name, values in cfg.axes:
+            overrides = [
+                {**combo, name: v} for combo in overrides for v in values
+            ]
         out: List[Tuple[str, int, int, RunSpec]] = []
         for scheme in cfg.schemes:
             for n_dead in cfg.dead_links:
                 plan = cfg.plan_for(n_dead)
                 faults = plan.format() if not plan.empty else None
                 for seed in cfg.seeds:
-                    spec = RunSpec(
-                        benchmark=cfg.benchmark,
-                        scheme=scheme,
-                        cycles=cfg.cycles,
-                        warmup=cfg.warmup,
-                        seed=seed,
-                        mesh=cfg.mesh,
-                        faults=faults,
-                        fault_detour=(cfg.detour if faults is not None else None),
-                    )
-                    out.append((scheme, n_dead, seed, spec))
+                    for combo in overrides:
+                        kwargs: Dict[str, object] = dict(
+                            benchmark=cfg.benchmark,
+                            scheme=scheme,
+                            cycles=cfg.cycles,
+                            warmup=cfg.warmup,
+                            seed=seed,
+                            mesh=cfg.mesh,
+                            faults=faults,
+                            fault_detour=(
+                                cfg.detour if faults is not None else None
+                            ),
+                            kernel=cfg.kernel,
+                        )
+                        kwargs.update(combo)  # axis values win
+                        out.append((scheme, n_dead, seed, RunSpec(**kwargs)))
         return out
 
     # -- execution -----------------------------------------------------------

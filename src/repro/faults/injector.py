@@ -9,6 +9,11 @@ flow-control invariant (credits, writer locks, WPF non-interleaving)
 intact across fault and repair events, which the
 :class:`~repro.noc.validation.InvariantChecker` verifies during campaigns.
 
+An installed injector also pins the simulation kernel: while any fault
+epoch is active the activity kernel (:mod:`repro.noc.kernel`) falls back
+to reference-order visiting for the cycle, so fault campaigns are always
+cycle-exact regardless of ``kernel=``.
+
 Mechanisms:
 
 * **Dead links** enter :class:`FaultState`; route lookups made through

@@ -18,7 +18,7 @@ from typing import Deque, List, Optional, Tuple
 from repro.gpu.cache import Cache
 from repro.gpu.config import GPUConfig
 from repro.gpu.mshr import MSHRTable
-from repro.gpu.warp import Warp, make_scheduler
+from repro.gpu.warp import GTOScheduler, Warp, WarpState, make_scheduler
 from repro.workloads.profile import WorkloadProfile
 
 
@@ -78,6 +78,15 @@ class Core:
         self._pending_instr: List[Optional[tuple]] = [None] * config.warps_per_core
         self.outbound: Deque[MemRequest] = deque()
         self.stats = CoreStats()
+        # Activity-kernel stall/idle memo (see step_core_cycle_fast):
+        # (wake_at, epoch, stalled) — valid while now < wake_at and no
+        # issue-relevant event has bumped the epoch.
+        self._issue_epoch = 0
+        self._issue_memo: Optional[Tuple[int, int, bool]] = None
+        # The greedy-then-oldest scheduler re-picks the same first-ready
+        # warp on consecutive stalled cycles; LRR rotates, so only GTO
+        # proper admits the stall memo (idle memo is scheduler-agnostic).
+        self._memo_stalls = type(self.scheduler) is GTOScheduler
 
     # ------------------------------------------------------------------
     def step_core_cycle(self, now: int) -> None:
@@ -96,6 +105,84 @@ class Core:
         else:
             self.stats.struct_stall_cycles += 1
             self.scheduler.on_stall()
+
+    # -- activity-kernel fast path --------------------------------------
+    def _pipeline_wake(self) -> int:
+        """First cycle a PIPELINE warp matures; a huge sentinel if none."""
+        wake = 1 << 60
+        pipeline = WarpState.PIPELINE
+        for w in self.warps:
+            if w.state is pipeline and w.ready_at < wake:
+                wake = w.ready_at
+        return wake
+
+    def step_core_cycle_fast(self, now: int) -> None:
+        """Byte-identical :meth:`step_core_cycle`, memoizing dead cycles.
+
+        A cycle that ends idle (no ready warp) or structurally stalled
+        (ready warp, infeasible instruction) changes nothing but two stat
+        counters, and its outcome repeats every cycle until (a) a reply
+        arrives, (b) the outbound queue drains, or (c) a PIPELINE warp
+        matures — the only events that change warp readiness or issue
+        feasibility.  (a)/(b) bump ``_issue_epoch``; (c) is a known cycle
+        recorded at memo time.  While the memo holds, the reference path
+        would have re-derived the identical idle/stall verdict with no
+        other side effects (the scheduler scan converts no warp states on
+        such cycles), so counting the cycle is all that's left to do.
+        Stall memoization additionally requires the GTO scheduler, whose
+        post-stall re-pick is deterministic; LRR rotates between ready
+        warps and may reach an issuable one, so only idle cycles are
+        memoized there.
+        """
+        memo = self._issue_memo
+        if memo is not None:
+            if now < memo[0] and memo[1] == self._issue_epoch:
+                st = self.stats
+                st.core_cycles += 1
+                if memo[2]:
+                    st.struct_stall_cycles += 1
+                else:
+                    st.idle_cycles += 1
+                return
+            self._issue_memo = None
+        self.stats.core_cycles += 1
+        warp = self.scheduler.pick(now)
+        if warp is None:
+            self.stats.idle_cycles += 1
+            self._issue_memo = (
+                self._pipeline_wake(), self._issue_epoch, False
+            )
+            return
+        instr = self._pending_instr[warp.wid]
+        if instr is None:
+            instr = self.streams[warp.wid].next()
+            self._pending_instr[warp.wid] = instr
+        if self._try_issue(warp, instr, now):
+            self._pending_instr[warp.wid] = None
+        else:
+            self.stats.struct_stall_cycles += 1
+            self.scheduler.on_stall()
+            if self._memo_stalls:
+                # on_stall() released greed, so next cycle GTO re-picks
+                # the *oldest* ready warp.  The stall verdict only
+                # repeats while that is the warp that just stalled; if
+                # an older warp is ready (it was greedily bypassed this
+                # cycle), its instruction gets its own issue attempt and
+                # the cycle cannot be memoized.  The age-order scan
+                # below touches exactly the prefix the reference pick()
+                # would scan next cycle.
+                finished = WarpState.FINISHED
+                for w in self.scheduler.warps:
+                    if w.state is finished:
+                        continue
+                    if w.is_ready(now):
+                        if w is warp:
+                            self._issue_memo = (
+                                self._pipeline_wake(),
+                                self._issue_epoch,
+                                True,
+                            )
+                        break
 
     def _try_issue(self, warp: Warp, instr: tuple, now: int) -> bool:
         kind, lines = instr
@@ -156,12 +243,14 @@ class Core:
     # ------------------------------------------------------------------
     def on_read_reply(self, line_addr: int, now: int) -> None:
         """A read reply for ``line_addr`` arrived from the reply network."""
+        self._issue_epoch += 1
         self.stats.read_replies += 1
         self.l1.fill(line_addr)
         for warp in self.mshr.fill(line_addr):
             warp.unblock_one(now)
 
     def on_write_reply(self, now: int) -> None:
+        self._issue_epoch += 1
         self.stats.write_replies += 1
 
     # ------------------------------------------------------------------

@@ -69,13 +69,17 @@ class CreditChannel:
 class CreditCounter:
     """Per-output-port credit state for every downstream VC."""
 
-    __slots__ = ("counts", "capacity")
+    __slots__ = ("counts", "capacity", "total")
 
     def __init__(self, num_vcs: int, vc_capacity: int) -> None:
         if num_vcs < 1 or vc_capacity < 1:
             raise ValueError("num_vcs and vc_capacity must be >= 1")
         self.capacity = vc_capacity
         self.counts: List[int] = [vc_capacity] * num_vcs
+        # Running sum of ``counts`` — the adaptive-routing congestion
+        # score reads it every retry, so it is maintained incrementally.
+        # Callers that bypass consume()/restore() must keep it in step.
+        self.total = num_vcs * vc_capacity
 
     def available(self, vc: int) -> int:
         return self.counts[vc]
@@ -87,11 +91,13 @@ class CreditCounter:
         if self.counts[vc] <= 0:
             raise RuntimeError(f"credit underflow on vc {vc}")
         self.counts[vc] -= 1
+        self.total -= 1
 
     def restore(self, vc: int) -> None:
         if self.counts[vc] >= self.capacity:
             raise RuntimeError(f"credit overflow on vc {vc}")
         self.counts[vc] += 1
+        self.total += 1
 
     def free_space(self, vc: int) -> int:
         """Alias of :meth:`available` used by WPF admission checks."""

@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.noc.credit import CreditChannel
 from repro.noc.flit import Packet
+from repro.noc.kernel import SimKernel, make_kernel, resolve_kernel
 from repro.noc.link import Link
 from repro.noc.ni import (
     EjectionInterface,
@@ -98,7 +99,9 @@ class NetworkConfig:
 class Network:
     """A single physical NoC instance (the paper uses two: request + reply)."""
 
-    def __init__(self, config: NetworkConfig) -> None:
+    def __init__(
+        self, config: NetworkConfig, kernel: Optional[str] = None
+    ) -> None:
         config.validate()
         self.config = config
         self.topology = MeshTopology(config.width, config.height)
@@ -151,6 +154,14 @@ class Network:
         self.faults = None
         self.auditor = None
         self._last_progress = 0
+
+        # Per-cycle advance loop backend (see repro.noc.kernel).  The
+        # kernel may install `_on_offer` during bind() to learn about NI
+        # re-arms; None (the reference kernel) keeps offer() hook-free.
+        self.kernel_name = resolve_kernel(kernel)
+        self._on_offer: Optional[Callable[[int], None]] = None
+        self.kernel: SimKernel = make_kernel(self.kernel_name)
+        self.kernel.bind(self)
 
     # ------------------------------------------------------------------
     def _wire_mesh(self) -> None:
@@ -273,55 +284,29 @@ class Network:
         if ok:
             packet.created_at = self.now
             self.stats.on_offer()
+            h = self._on_offer
+            if h is not None:
+                h(node)
         return ok
 
     def can_accept(self, node: int, packet: Packet) -> bool:
         return self.nis[node].can_accept(packet)
 
     def step(self) -> None:
-        now = self.now
-        f = self.faults
-        if f is not None:
-            # Apply scheduled fault/repair events *before* anything moves
-            # this cycle, so routers never allocate into a freshly dead
-            # resource within the same cycle.
-            f.on_cycle(now)
-        for ni in self.nis:
-            ni.step(now)
-        moved = 0
-        for router in self.routers:
-            moved += router.step(now)
-        for r, link in enumerate(self.ejection_links):
-            ejector = self.ejectors[r]
-            for flit in link.arrivals(now):
-                ejector.receive_flit(flit, now)
-        if moved:
-            self._last_progress = now
-        if (
-            self.stats.in_flight > 0
-            and now - self._last_progress > self.config.deadlock_cycles
-        ):
-            raise DeadlockError(
-                f"no progress for {now - self._last_progress} cycles with "
-                f"{self.stats.in_flight} packets in flight"
-            )
-        if now % self.config.sample_interval == 0:
-            for ni in self.nis:
-                ni.sample()
-        a = self.auditor
-        if a is not None:
-            # End-of-cycle audit: every router/NI has settled, so the
-            # flow-control invariants must hold exactly here.
-            a.on_cycle(now)
-        t = self.telemetry
-        if t is not None:
-            t.on_cycle(now)
-        self.now = now + 1
-        self.stats.cycles = self.now
+        """Advance one cycle; the visiting order lives in the kernel."""
+        self.kernel.cycle(self)
+
+    def _no_progress(self, now: int) -> None:
+        """Watchdog trip (called by kernels): in-flight traffic stalled."""
+        raise DeadlockError(
+            f"no progress for {now - self._last_progress} cycles with "
+            f"{self.stats.in_flight} packets in flight"
+        )
 
     def run(self, cycles: int) -> None:
+        cyc = self.kernel.cycle
         for _ in range(cycles):
-            self.step()
+            cyc(self)
 
     def set_hop_hook(
         self, fn: Optional[Callable[[int, Packet, int], None]]
@@ -400,9 +385,14 @@ class PerfectNetwork:
     perfect consumption side, how fast do MCs hand packets to the network?
     """
 
-    def __init__(self, config: NetworkConfig) -> None:
+    def __init__(
+        self, config: NetworkConfig, kernel: Optional[str] = None
+    ) -> None:
+        # `kernel` is accepted for constructor uniformity with Network but
+        # ignored: the perfect network has no per-component advance loop.
         config.validate()
         self.config = config
+        self.kernel_name = resolve_kernel(kernel)
         self.topology = MeshTopology(config.width, config.height)
         self.now = 0
         self.stats = NetworkStats()

@@ -138,9 +138,23 @@ class InjectionInterface:
         """Node hands a packet to the NI; False means "try again later"."""
         raise NotImplementedError
 
-    def step(self, now: int) -> None:
-        """Move flits from NI queues onto the injection link(s)."""
+    def step(self, now: int) -> int:
+        """Move flits from NI queues onto the injection link(s).
+
+        Returns the number of flits sent this cycle; the network's
+        deadlock watchdog counts NI injection progress too, so a long
+        warm-up draining only NI queues is not mistaken for a deadlock.
+        """
         raise NotImplementedError
+
+    def has_work(self) -> bool:
+        """True while the NI could still make progress on a future cycle.
+
+        The activity-gated kernel drops an NI from its live set as soon
+        as this goes False; anything that re-arms the NI (a new offer)
+        must flow through :meth:`Network.offer` so the kernel sees it.
+        """
+        return self.queued_flits() > 0
 
     # -- stats -------------------------------------------------------------
     def queued_flits(self) -> int:
@@ -225,23 +239,23 @@ class _SingleQueueNI(InjectionInterface):
         self._front_binding = None
         return pkt
 
-    def step(self, now: int) -> None:
+    def step(self, now: int) -> int:
         # One narrow link: at most one flit per cycle leaves the NI.
         if not self.queue:
-            return
+            return 0
         front = self.queue[0]
         if front.is_head and self.dead_queues is not None and 0 in self.dead_queues:
-            return  # dead queue: finish in-flight packets, start none
+            return 0  # dead queue: finish in-flight packets, start none
         if front.is_head and self._front_binding is None:
             self._front_binding = self._bind_front()
             if self._front_binding is None:
-                return  # no injection VC can hold the whole packet yet
+                return 0  # no injection VC can hold the whole packet yet
         binding = self._front_binding
         if binding is None:
             raise RuntimeError("body flit at NI front without a binding")
         port, vc = binding
         if self.credits[(port, vc)] <= 0:
-            return  # downstream VC full; wait for credits
+            return 0  # downstream VC full; wait for credits
         flit = self.queue.popleft()
         flit.out_vc = vc
         flit.out_port = port
@@ -251,6 +265,7 @@ class _SingleQueueNI(InjectionInterface):
         if flit.is_tail:
             self._queued_packets -= 1
             self._front_binding = None
+        return 1
 
 
 class BaselineNI(_SingleQueueNI):
@@ -279,16 +294,19 @@ class BaselineNI(_SingleQueueNI):
         self._pending = (packet, now + packet.size)  # unit: cycles
         return True
 
-    def step(self, now: int) -> None:
+    def step(self, now: int) -> int:
         if self._pending is not None:
             packet, done_at = self._pending
             if now >= done_at:
                 self._enqueue_packet(packet, now)
                 self._pending = None
-        super().step(now)
+        return super().step(now)
 
     def queued_packets(self) -> int:
         return self._queued_packets + (1 if self._pending else 0)
+
+    def has_work(self) -> bool:
+        return self._pending is not None or bool(self.queue)
 
 
 class EnhancedNI(_SingleQueueNI):
@@ -331,22 +349,22 @@ class MultiPortNI(_SingleQueueNI):
         self._enqueue_packet(packet, now)
         return True
 
-    def step(self, now: int) -> None:
+    def step(self, now: int) -> int:
         if not self.queue:
-            return
+            return 0
         front = self.queue[0]
         if front.is_head and self.dead_queues is not None and 0 in self.dead_queues:
-            return  # dead queue: finish in-flight packets, start none
+            return 0  # dead queue: finish in-flight packets, start none
         if front.is_head and self._front_binding is None:
             self._front_binding = self._bind_front()
             if self._front_binding is None:
-                return
+                return 0
         binding = self._front_binding
         if binding is None:
             raise RuntimeError("body flit at NI front without a binding")
         port, vc = binding
         if self.credits[(port, vc)] <= 0:
-            return
+            return 0
         flit = self.queue.popleft()
         flit.out_vc = vc
         flit.out_port = port
@@ -356,6 +374,7 @@ class MultiPortNI(_SingleQueueNI):
         if flit.is_tail:
             self._queued_packets -= 1
             self._front_binding = None
+        return 1
 
 
 class SplitNI(InjectionInterface):
@@ -421,10 +440,11 @@ class SplitNI(InjectionInterface):
         return True
 
     # -- drain -------------------------------------------------------------
-    def step(self, now: int) -> None:
+    def step(self, now: int) -> int:
         # Each split queue is hard-wired to link i -> (port, vc) =
         # link_targets[i]; no multiplexer (Fig. 7b).
         dead = self.dead_queues
+        sent = 0
         for qi in range(self.num_queues):
             q = self.queues[qi]
             if not q:
@@ -446,6 +466,8 @@ class SplitNI(InjectionInterface):
             self.stats.flits_sent += 1
             if flit.is_tail:
                 self._queue_pkts[qi] -= 1
+            sent += 1
+        return sent
 
     def queued_flits(self) -> int:
         return sum(len(q) for q in self.queues)

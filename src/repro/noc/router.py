@@ -26,7 +26,12 @@ from repro.noc.allocator import Bid, SwitchAllocator
 from repro.noc.buffer import InputPort, VCState, VirtualChannel
 from repro.noc.credit import CreditChannel, CreditCounter
 from repro.noc.link import Link
-from repro.noc.routing import LOCAL, RoutingAlgorithm
+from repro.noc.routing import (
+    LOCAL,
+    MinimalAdaptiveRouting,
+    RoutingAlgorithm,
+    XYRouting,
+)
 
 # Sentinel "packet id" used by repro.faults to pin a dead output VC's writer
 # lock: with ``writer[vc] = FAULT_PID`` and ``writer_left[vc] = 1`` the VC
@@ -81,7 +86,7 @@ class OutputPort:
         """Congestion score used by adaptive routing (bigger = freer)."""
         if self.credits is None:
             return 1 << 20
-        return sum(self.credits.counts)
+        return self.credits.total
 
 
 class Router:
@@ -140,6 +145,18 @@ class Router:
 
         # VA fairness rotation.
         self._va_rr = 0
+
+        # Prefer adaptive VCs, escape VC 0 last (shared by both pipelines).
+        self._vc_order = tuple(range(1, num_vcs)) + (0,)
+        # Wiring tables for step_fast(); built lazily once links exist.
+        self._fast_wiring = None
+        # Set by step_fast() on a zero-move cycle: True when every blocked
+        # resource unblocks only through events the activity kernel already
+        # schedules wakeups for (flit arrivals, credit returns), so the
+        # kernel may skip this router until the next wakeup.  A closed
+        # ejection gate reopens on external ejector drain — no wakeup
+        # exists for that, so it forces False.
+        self._stall_ok = True
 
         # Optional backpressure gate on the ejection (LOCAL) output; wired
         # by the network to the attached ejection interface's buffer state.
@@ -274,8 +291,7 @@ class Router:
                         return True
                 continue
             # Prefer adaptive VCs (leave the escape VC as a fallback).
-            vc_order = list(range(1, self.num_vcs)) + [0]
-            for dvc in vc_order:
+            for dvc in self._vc_order:
                 if not self.routing.vc_allowed(dvc, out_port, escape):
                     continue
                 if not out.vc_claimable(dvc, pkt.size):
@@ -426,6 +442,574 @@ class Router:
             return 0
         winners = self.allocator.allocate(bids)
         return self._traverse(winners, now)
+
+    # -- fast pipeline (ActivityKernel) -----------------------------------------
+    def _build_fast_wiring(self):
+        """Precompute the wiring tables :meth:`step_fast` iterates.
+
+        ``credited``: (in-flight deque, credit counter) pairs for output
+        ports with a credit-return channel.
+        ``inputs``: (input port, link, pipe) triples for wired links; the
+        pipe deque is captured for plain links so empty links cost one
+        bounds check instead of an ``arrivals()`` call (composite SplitNI
+        bundles keep ``pipe=None`` and go through ``arrivals``).
+        ``vc_rule``: 0 = every VC legal (XY), 1 = escape-VC-0 rule
+        (minimal adaptive), 2 = ask ``routing.vc_allowed`` (anything
+        else, e.g. fault-detour wrappers).
+        """
+        credited = tuple(
+            (out.credit_in._in_flight, out.credits)
+            for out in self.output_ports
+            if out is not None
+            and out.credit_in is not None
+            and out.credits is not None
+        )
+        inputs = []
+        for idx, link in enumerate(self.input_links):
+            if link is None:
+                continue
+            inputs.append(
+                (self.input_ports[idx], link, getattr(link, "_pipe", None))
+            )
+        rt = type(self.routing)
+        if rt is XYRouting:
+            vc_rule = 0
+        elif rt is MinimalAdaptiveRouting:
+            vc_rule = 1
+        else:
+            vc_rule = 2
+        alloc = self.allocator
+        wiring = (
+            credited,
+            tuple(inputs),
+            vc_rule,
+            alloc._input_arbiters,
+            alloc._output_arbiters,
+        )
+        self._fast_wiring = wiring
+        return wiring
+
+    def step_fast(self, now: int, ingest: bool = True) -> int:
+        """Byte-identical fast equivalent of :meth:`step`.
+
+        Same state evolution, arbitration outcomes and statistics as the
+        reference pipeline, with the Python-level overhead stripped:
+        precomputed wiring tables, inlined credit delivery and flit
+        ingestion, and conflict-free switch allocation resolved without
+        arbiter scans (the round-robin pointers are updated exactly as
+        the arbiters would have).  Only the activity kernel calls this;
+        the reference kernel keeps the readable pipeline above and the
+        kernel-equivalence suite pins the two together.
+        """
+        wiring = self._fast_wiring
+        if wiring is None:
+            wiring = self._build_fast_wiring()
+        credited, inputs, vc_rule, in_arbs, out_arbs = wiring
+        routing_state = VCState.ROUTING
+        active_state = VCState.ACTIVE
+
+        if ingest:
+            # -- credit delivery (matches _deliver_credits) ---------------
+            for q, credits in credited:
+                if q and q[0][0] <= now:
+                    counts = credits.counts
+                    cap = credits.capacity
+                    while q and q[0][0] <= now:
+                        v = q.popleft()[1]
+                        if counts[v] >= cap:
+                            raise RuntimeError(f"credit overflow on vc {v}")
+                        counts[v] += 1
+                        credits.total += 1
+
+            # -- ingest (matches _ingest) ---------------------------------
+            occ_add = 0
+            on_hop = self.on_hop
+            for port, link, pipe in inputs:
+                if pipe is not None:
+                    if not pipe or pipe[0][0] > now:
+                        continue
+                    arr = []
+                    while pipe and pipe[0][0] <= now:
+                        arr.append(pipe.popleft()[1])
+                else:
+                    arr = link.arrivals(now)
+                    if not arr:
+                        continue
+                vcs = port.vcs
+                is_inj = port.is_injection
+                cnt = 0
+                for flit in arr:
+                    vc = flit.out_vc
+                    if vc is None:
+                        raise RuntimeError(
+                            "arriving flit has no VC assignment"
+                        )
+                    if flit.is_head:
+                        pkt = flit.packet
+                        if not is_inj and pkt.priority > 0:
+                            pkt.priority -= 1
+                            self.priority_decays += 1
+                        if pkt.injected_at is None:
+                            pkt.injected_at = now
+                        if on_hop is not None:
+                            on_hop(self.router_id, pkt, now)
+                    flit.out_port = None
+                    flit.out_vc = None
+                    # Inlined VirtualChannel.push (same transitions/raises).
+                    vcq = vcs[vc]
+                    fifo = vcq.fifo
+                    if vcq.capacity - len(fifo) <= 0:
+                        raise RuntimeError(f"VC {vc} overflow")
+                    flit.vc = vc
+                    # Space was reserved upstream by the credit the sender
+                    # consumed; the overflow raise above is an assertion,
+                    # not flow control.
+                    fifo.append(flit)  # proto: allow(proto-push-guard)
+                    if len(fifo) == 1:
+                        vcq.wait_since = now
+                        if flit.is_head:
+                            if (
+                                vcq.state is not active_state
+                                or vcq.out_port is None
+                            ):
+                                vcq.state = routing_state
+                        else:
+                            if vcq.out_port is None:
+                                raise RuntimeError(
+                                    "body flit at VC front without a route"
+                                )
+                            vcq.state = active_state
+                    cnt += 1
+                port.occ += cnt
+                occ_add += cnt
+            if occ_add:
+                self._occ += occ_add
+        if self._occ == 0:
+            return 0
+
+        # -- route + VC allocation + bid collection, one rotated pass ------
+        # The reference pipeline makes two sweeps (rotation-ordered routing,
+        # then index-ordered bid collection).  One rotated sweep produces
+        # the same outcome: allocation order is preserved exactly, a VC
+        # allocated this cycle is ACTIVE by the time its bid is taken (the
+        # single-cycle router bids newly-routed VCs immediately in both
+        # pipelines), and the separable allocator resolves each input and
+        # each output independently, so the order bids are *listed* in
+        # cannot change any grant.
+        ports = self.input_ports
+        n_in = self.num_inputs
+        start = self._va_rr
+        nxt = start + 1
+        self._va_rr = nxt if nxt < n_in else 0
+        dest_coords = self._dest_coords
+        routing = self.routing
+        coords = self.coords
+        prio_on = self.priority_enabled
+        gate = self.ejection_gate
+        ejection_open = True if gate is None else None  # None = not asked yet
+        bid_ports: List[int] = []      # ports with bids, first-bid order
+        port_bids: List[Optional[list]] = [None] * n_in
+        injection_bids = False
+        stall_ok = True
+        i = start - n_in
+        while i < start:
+            port = ports[i]
+            i += 1
+            if port.occ == 0:
+                continue
+            blist = None
+            for vcobj in port.vcs:
+                st = vcobj.state
+                if st is routing_state:
+                    pkt = vcobj.fifo[0].packet
+                    if vcobj.candidates is None:
+                        dc = dest_coords(pkt.dest)
+                        vcobj.candidates = routing.candidates(coords, dc)
+                        vcobj.escape = routing.escape_port(coords, dc)
+                    if not self._try_allocate_fast(vcobj, pkt, vc_rule):
+                        continue
+                    # Allocated this cycle => ACTIVE with a head flit: bid.
+                elif st is not active_state or not vcobj.fifo:
+                    continue
+                out_port = vcobj.out_port
+                if out_port is None:
+                    continue
+                if out_port == LOCAL:
+                    if ejection_open is None:
+                        ejection_open = gate()
+                    if not ejection_open:
+                        stall_ok = False
+                        continue
+                prio = vcobj.fifo[0].packet.priority if prio_on else 0
+                if blist is None:
+                    blist = []
+                    port_bids[port.port_id] = blist
+                    bid_ports.append(port.port_id)
+                    if port.is_injection:
+                        injection_bids = True
+                blist.append((vcobj.index, out_port, prio))
+        if not bid_ports:
+            self._stall_ok = stall_ok
+            return 0
+
+        # Starvation demotion (matches _collect_bids): only observable when
+        # an injection port actually bids, so the waiting-time scan is
+        # skipped on pure through-routers.
+        if injection_bids and prio_on and self.starvation_threshold > 0:
+            thr = self.starvation_threshold
+            demote = False
+            for port in ports:
+                if port.is_injection:
+                    continue
+                for vcobj in port.vcs:
+                    ws = vcobj.wait_since
+                    if ws is not None and vcobj.fifo and now - ws > thr:
+                        demote = True
+                        break
+                if demote:
+                    break
+            if demote:
+                for p in bid_ports:
+                    if ports[p].is_injection:
+                        blist = port_bids[p]
+                        self.starvation_demotions += len(blist)
+                        port_bids[p] = [(v, o, 0) for v, o, _pr in blist]
+
+        # Single-bid fast paths: when every bidding input has exactly one
+        # bid, stage 1 is trivial (single requester wins, pointer advances
+        # past it).  If the outputs are also distinct, stage 2 collapses
+        # the same way; otherwise only the conflicted outputs need a real
+        # output-arbiter round.
+        fast_grants = []
+        omask = 0
+        conflict = 0
+        for p in bid_ports:
+            blist = port_bids[p]
+            if len(blist) != 1:
+                fast_grants = None
+                break
+            v, o, _pr = blist[0]
+            ob = 1 << o
+            if omask & ob:
+                conflict |= ob
+            omask |= ob
+            fast_grants.append((p, v, o))
+        if fast_grants is not None:
+            nvc = self.num_vcs
+            grants = []
+            if conflict == 0:
+                for p, v, o in fast_grants:
+                    nx = v + 1
+                    in_arbs[p]._next = nx if nx < nvc else 0
+                    nx = p + 1
+                    out_arbs[o]._next = nx if nx < n_in else 0
+                    grants.append((p, v))
+            else:
+                # Stage 1 single-requester wins; group stage 2 by output
+                # exactly as _allocate_fast would (first-bid order).
+                by_out = [None] * 5
+                out_order = []
+                for p, v, o in fast_grants:
+                    nx = v + 1
+                    in_arbs[p]._next = nx if nx < nvc else 0
+                    pr = port_bids[p][0][2]
+                    group = by_out[o]
+                    if group is None:
+                        by_out[o] = [(p, v, pr)]
+                        out_order.append(o)
+                    else:
+                        group.append((p, v, pr))
+                for o in out_order:
+                    group = by_out[o]
+                    arb = out_arbs[o]
+                    if len(group) == 1:
+                        p, v, _pr = group[0]
+                        nx = p + 1
+                        arb._next = nx if nx < n_in else 0
+                        grants.append((p, v))
+                        continue
+                    vec = [None] * n_in
+                    in_v = [0] * n_in
+                    for p, v, pr in group:
+                        cur = vec[p]
+                        if cur is None or pr > cur:
+                            vec[p] = pr
+                            in_v[p] = v
+                    nxt = arb._next
+                    best_p = -1
+                    best_prio = -1
+                    for off in range(n_in):
+                        idx = nxt + off
+                        if idx >= n_in:
+                            idx -= n_in
+                        prv = vec[idx]
+                        if prv is not None and prv > best_prio:
+                            best_prio = prv
+                            best_p = idx
+                    nx = best_p + 1
+                    arb._next = nx if nx < n_in else 0
+                    grants.append((best_p, in_v[best_p]))
+        else:
+            grants = self._allocate_fast(bid_ports, port_bids)
+
+        # -- switch traversal (matches _traverse) --------------------------
+        moved = 0
+        injected = 0
+        idle_state = VCState.IDLE
+        ni = self.ni
+        credit_out = self.credit_out
+        outs = self.output_ports
+        for in_p, v in grants:
+            port = ports[in_p]
+            vcobj = port.vcs[v]
+            out_port = vcobj.out_port
+            out_vc = vcobj.out_vc
+            out = outs[out_port]
+            fifo = vcobj.fifo
+            flit = fifo[0] if fifo else None
+            if flit is None or out is None or out_vc is None:
+                raise RuntimeError("switch grant for an empty VC")
+            flit.out_port = out_port
+            flit.out_vc = out_vc
+            # Inlined VirtualChannel.pop (same transitions, raises).
+            fifo.popleft()
+            if flit.is_tail:
+                vcobj.out_port = None
+                vcobj.out_vc = None
+                vcobj.candidates = None
+                vcobj.escape = None
+                vcobj.state = idle_state
+            if fifo:
+                front = fifo[0]
+                vcobj.wait_since = now
+                if front.is_head:
+                    if (
+                        vcobj.state is not active_state
+                        or vcobj.out_port is None
+                    ):
+                        vcobj.state = routing_state
+                else:
+                    if vcobj.out_port is None:
+                        raise RuntimeError(
+                            "body flit at VC front without a route"
+                        )
+                    vcobj.state = active_state
+            else:
+                vcobj.wait_since = None
+            port.occ -= 1
+            self._occ -= 1
+            credits = out.credits
+            if credits is not None:
+                counts = credits.counts
+                if counts[out_vc] <= 0:
+                    raise RuntimeError(f"credit underflow on vc {out_vc}")
+                counts[out_vc] -= 1
+                credits.total -= 1
+            # Inlined OutputPort.record_send + Link.send.
+            writer = out.writer
+            if writer[out_vc] != flit.packet.pid:
+                raise RuntimeError(
+                    "flit sent into a VC claimed by another packet"
+                )
+            wl = out.writer_left
+            wl[out_vc] -= 1
+            if wl[out_vc] == 0:
+                writer[out_vc] = None
+            lk = out.link
+            lk._pipe.append((now + lk.latency, flit))
+            lk.flits_carried += 1
+            lk.busy_cycles += 1
+            if port.is_injection:
+                if ni is not None:
+                    ni.on_credit(port.port_id, v)
+                self.flits_injected += 1
+                injected += 1
+            else:
+                ch = credit_out[in_p]
+                if ch is not None:
+                    ch._in_flight.append((now + ch.latency, v))
+            moved += 1
+        if injected > 1:
+            self.speedup_extra_flits += injected - 1
+        self.flits_switched += moved
+        return moved
+
+    def _allocate_fast(self, bid_ports, port_bids):
+        """Exact flat-tuple transliteration of :meth:`SwitchAllocator.allocate`.
+
+        ``port_bids[p]`` holds that input's bids as ``(vc, out_port, prio)``
+        tuples in VC-scan order — the same per-input order the reference
+        pipeline feeds the allocator (inputs are resolved independently, so
+        cross-input order is free).  Arbiter pointers are read and written
+        through the same :class:`RoundRobinArbiter` instances, so switching
+        pipelines mid-run keeps arbitration history.  Returns winning
+        ``(in_port, vc)`` pairs.
+        """
+        alloc = self.allocator
+        in_arbs = alloc._input_arbiters
+        out_arbs = alloc._output_arbiters
+        speedups = alloc.speedups
+        nvc = self.num_vcs
+        n_in = self.num_inputs
+
+        # -- stage 1: input selection (per input, independent) -------------
+        stage1 = []
+        for p in bid_ports:
+            blist = port_bids[p]
+            arb = in_arbs[p]
+            if len(blist) == 1:
+                # Single requester always wins its first round; any later
+                # budget rounds see an empty request vector and leave the
+                # pointer alone.
+                v, o, pr = blist[0]
+                nx = v + 1
+                arb._next = nx if nx < nvc else 0
+                stage1.append((p, v, o, pr))
+                continue
+            budget = speedups.get(p, 1)
+            chosen_mask = 0
+            remaining = blist
+            for _ in range(budget):
+                vec = [None] * nvc
+                vc_bid = [None] * nvc
+                any_req = False
+                for t in remaining:
+                    if (chosen_mask >> t[1]) & 1:
+                        continue
+                    v = t[0]
+                    cur = vec[v]
+                    if cur is None or t[2] > cur:
+                        vec[v] = t[2]
+                        vc_bid[v] = t
+                        any_req = True
+                if not any_req:
+                    break
+                nxt = arb._next
+                best_v = -1
+                best_prio = -1
+                for off in range(nvc):
+                    idx = nxt + off
+                    if idx >= nvc:
+                        idx -= nvc
+                    prv = vec[idx]
+                    if prv is not None and prv > best_prio:
+                        best_prio = prv
+                        best_v = idx
+                nx = best_v + 1
+                arb._next = nx if nx < nvc else 0
+                t = vc_bid[best_v]
+                stage1.append((p, t[0], t[1], t[2]))
+                chosen_mask |= 1 << t[1]
+                remaining = [t2 for t2 in remaining if t2[0] != best_v]
+
+        # -- stage 2: output arbitration (per output, independent) ---------
+        by_out = [None] * 5
+        out_order = []
+        for t in stage1:
+            o = t[2]
+            group = by_out[o]
+            if group is None:
+                by_out[o] = [t]
+                out_order.append(o)
+            else:
+                group.append(t)
+        grants = []
+        for o in out_order:
+            group = by_out[o]
+            arb = out_arbs[o]
+            if len(group) == 1:
+                t = group[0]
+                p = t[0]
+                nx = p + 1
+                arb._next = nx if nx < n_in else 0
+                grants.append((p, t[1]))
+                continue
+            vec = [None] * n_in
+            in_bid = [None] * n_in
+            for t in group:
+                p = t[0]
+                cur = vec[p]
+                if cur is None or t[3] > cur:
+                    vec[p] = t[3]
+                    in_bid[p] = t
+            nxt = arb._next
+            best_p = -1
+            best_prio = -1
+            for off in range(n_in):
+                idx = nxt + off
+                if idx >= n_in:
+                    idx -= n_in
+                prv = vec[idx]
+                if prv is not None and prv > best_prio:
+                    best_prio = prv
+                    best_p = idx
+            nx = best_p + 1
+            arb._next = nx if nx < n_in else 0
+            t = in_bid[best_p]
+            grants.append((best_p, t[1]))
+        return grants
+
+    def _try_allocate_fast(self, vc: VirtualChannel, pkt, vc_rule: int) -> bool:
+        """Fast twin of :meth:`_try_allocate` (same outcomes, fewer calls)."""
+        candidates = vc.candidates or []
+        outs = self.output_ports
+        routing = self.routing
+        if routing.adaptive and len(candidates) > 1:
+            if len(candidates) == 2:
+                a, b = candidates
+                oa = outs[a]
+                ob = outs[b]
+                ca = oa.credits if oa is not None else None
+                cb = ob.credits if ob is not None else None
+                fa = -1 if oa is None else (1 << 20) if ca is None else ca.total
+                fb = -1 if ob is None else (1 << 20) if cb is None else cb.total
+                # sorted() is stable: reorder only on a strict win.
+                if fb > fa:
+                    candidates = (b, a)
+            else:
+                candidates = sorted(
+                    candidates,
+                    key=lambda p: -(outs[p].free_credit_total()
+                                    if outs[p] is not None else -1),
+                )
+        escape = vc.escape if vc.escape is not None else LOCAL
+        size = pkt.size
+        for out_port in candidates:
+            out = outs[out_port]
+            if out is None:
+                continue
+            writer = out.writer
+            if out_port == LOCAL:
+                # Ejection: claim any free writer slot (infinite credits).
+                for dvc in range(self.num_vcs):
+                    if writer[dvc] is None:
+                        self._commit_allocation(vc, out, out_port, dvc, pkt)
+                        return True
+                continue
+            credits = out.credits
+            if credits is None:
+                counts = None
+            else:
+                if credits.total < size:
+                    # counts[dvc] <= total for every dvc, so the whole
+                    # packet cannot fit anywhere on this output.
+                    continue
+                counts = credits.counts
+            for dvc in self._vc_order:
+                if vc_rule == 1:
+                    if dvc == 0 and out_port != escape:
+                        continue
+                elif vc_rule == 2 and not routing.vc_allowed(
+                    dvc, out_port, escape
+                ):
+                    continue
+                if writer[dvc] is not None:
+                    continue
+                if counts is not None and counts[dvc] < size:
+                    continue
+                self._commit_allocation(vc, out, out_port, dvc, pkt)
+                return True
+        return False
 
     # The network installs this: maps a destination node id to mesh coords.
     _dest_coords = None  # type: ignore[assignment]

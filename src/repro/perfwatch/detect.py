@@ -64,6 +64,11 @@ DEFAULT_POLICIES: Tuple[Tuple[str, MetricPolicy], ...] = (
     ("*packets_per_sec", MetricPolicy(HIGHER_BETTER, **_TIMING)),
     ("*runs_per_sec", MetricPolicy(HIGHER_BETTER, **_TIMING)),
     ("*wall_s", MetricPolicy(LOWER_BETTER, **_TIMING)),
+    # Activity-kernel speedup over the reference kernel, measured in one
+    # process back-to-back — a ratio of two same-host rates, so much less
+    # host-noisy than either raw rate.
+    ("*kernel_speedup", MetricPolicy(HIGHER_BETTER, rel_threshold=0.20,
+                                     noise_floor=0.08)),
     ("*speedup", MetricPolicy(HIGHER_BETTER, **_TIMING)),
     ("*ipc", MetricPolicy(HIGHER_BETTER, rel_threshold=0.10)),
     ("*latency*", MetricPolicy(LOWER_BETTER, rel_threshold=0.10)),

@@ -223,3 +223,57 @@ class TestCheckInvariants:
         assert all(
             r.extras["invariant_violations"] == 0.0 for r in results
         )
+
+
+class TestKernelField:
+    def test_kernel_never_enters_cache_key(self):
+        # Byte-identity contract: the kernel choice may not change any
+        # result, so it must not fragment the result cache.
+        assert BASE.key() == dataclasses.replace(BASE, kernel="activity").key()
+        assert BASE.key() == dataclasses.replace(BASE, kernel="reference").key()
+
+    def test_telemetry_none_keeps_legacy_key(self):
+        # New optional fields default to None and are dropped from the
+        # payload so pre-existing cached results stay addressable.
+        assert BASE.telemetry is None
+        assert BASE.key() != dataclasses.replace(BASE, telemetry=20).key()
+
+    def test_kernel_reaches_system(self):
+        from repro.experiments.runner import build_system
+
+        spec = dataclasses.replace(BASE, kernel="activity")
+        system = build_system(spec)
+        assert system.kernel_name == "activity"
+        assert system.request_net.kernel_name == "activity"
+        assert system.reply_net.kernel_name == "activity"
+        assert build_system(BASE).kernel_name == "reference"
+
+    def test_env_var_reaches_system(self, monkeypatch):
+        from repro.experiments.runner import build_system
+
+        monkeypatch.setenv("REPRO_KERNEL", "activity")
+        assert build_system(BASE).kernel_name == "activity"
+
+    def test_spec_telemetry_routes_through_run(self, tmp_path):
+        # RunSpec.telemetry is the declarative spelling of
+        # run(..., telemetry=True, interval=N): live sampling, no cache.
+        store = ResultStore(str(tmp_path / "s"))
+        spec = dataclasses.replace(BASE, telemetry=20)
+        r = api.run(spec, store=store)
+        assert r.instructions > 0
+        assert len(store) == 0
+
+    def test_kernels_agree_through_run(self, tmp_path):
+        ref = api.run(
+            dataclasses.replace(BASE, kernel="reference"),
+            store=ResultStore(str(tmp_path / "a")), use_cache=False,
+        )
+        act = api.run(
+            dataclasses.replace(BASE, kernel="activity"),
+            store=ResultStore(str(tmp_path / "b")), use_cache=False,
+        )
+        a, b = dataclasses.asdict(ref), dataclasses.asdict(act)
+        for payload in (a, b):  # wall-clock extras legitimately differ
+            for k in ("build_wall_s", "sim_wall_s", "sim_cycles_per_sec"):
+                payload["extras"].pop(k, None)
+        assert a == b
