@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test check flowcheck bench figures figures-paper telemetry-demo sweep-demo faults-demo kernel-demo kernel-equiv perfwatch perfwatch-demo clean-cache loc help
+.PHONY: install test check flowcheck bench figures figures-paper telemetry-demo sweep-demo faults-demo search-demo kernel-demo kernel-equiv perfwatch perfwatch-demo clean-cache loc help
 
 help:
 	@echo "make install        editable install"
@@ -15,6 +15,7 @@ help:
 	@echo "make telemetry-demo time-series telemetry, baseline vs ARI"
 	@echo "make sweep-demo     parallel design-space sweep across 2 workers"
 	@echo "make faults-demo    degradation campaign: dead links, detour routing"
+	@echo "make search-demo    design-space exploration: strategies vs the ARI default"
 	@echo "make kernel-demo    reference vs activity kernel: same results, speedup"
 	@echo "make kernel-equiv   CI's kernel-equiv job: byte-identity grid"
 	@echo "make perfwatch      CI's perfwatch job: smoke benches -> ingest -> gate"
@@ -72,6 +73,12 @@ faults-demo:
 		--schemes xy-baseline,ada-ari --dead-links 0,1,2 \
 		--cycles 600 --mesh 4 --workers 2
 
+# Budgeted search over the ARI knob triple: a hillclimb hunts a config
+# beating the paper defaults, then the same search replays for free from
+# the result store and the trial ledger.
+search-demo:
+	PYTHONPATH=src $(PY) examples/search_demo.py
+
 # Same spec through both simulation kernels: prints per-kernel wall
 # time, the speedup, and a digest proving the results are identical.
 kernel-demo:
@@ -88,7 +95,8 @@ perfwatch:
 	$(PY) -m pytest -q --benchmark-disable \
 		benchmarks/bench_simulator_speed.py \
 		benchmarks/bench_parallel_sweep.py \
-		benchmarks/bench_fault_degradation.py
+		benchmarks/bench_fault_degradation.py \
+		benchmarks/bench_search.py
 	PYTHONPATH=src $(PY) -m repro perfwatch ingest
 	PYTHONPATH=src $(PY) -m repro perfwatch check --strict --json -
 	PYTHONPATH=src $(PY) -m repro perfwatch report

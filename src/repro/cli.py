@@ -9,6 +9,8 @@ Usage::
     python -m repro figure fig11 [--scale quick] [--workers N]
     python -m repro sweep bfs ada-ari --axis num_vcs=2,4 \\
         --axis injection_speedup=1,2 --workers 4 # parallel design-space sweep
+    python -m repro search bfs ada-ari --strategy hillclimb --budget 32 \\
+        --objective min:reply_latency            # design-space exploration
     python -m repro cache [--clear]              # result-store info
     python -m repro area                         # Sec. 6.1 overheads
     python -m repro viz bfs ada-ari [--cycles N] # congestion heatmaps
@@ -159,16 +161,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               + " ".join(f"{k}={getattr(spec, k)}" for k in axes),
               flush=True)
 
+    reports = []
     records = sweep(
         base,
         axes,
         workers=args.workers,
         use_cache=not args.no_cache,
         progress=progress if not args.quiet else None,
+        on_report=reports.append,
     )
     csv = records_to_csv(records)
     print()
     print(csv)
+    for rep in reports:
+        print(
+            f"\ncache   : {rep.cache_hits} hit(s), {rep.cache_misses} "
+            f"miss(es) ({rep.cache_hit_fraction():.0%} of unique runs "
+            "served from the result store)"
+        )
     best = best_by(records, args.best_metric)
     if best is not None:
         print(f"\nbest by {args.best_metric}: "
@@ -534,6 +544,12 @@ def _cmd_perfwatch(args: argparse.Namespace) -> int:
     return cmd_perfwatch(args)
 
 
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.search.cli import cmd_search
+
+    return cmd_search(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -749,8 +765,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     from repro.perfwatch.cli import add_perfwatch_parser
+    from repro.search.cli import add_search_parser
 
     add_perfwatch_parser(sub)
+    add_search_parser(sub)
     return p
 
 
@@ -769,6 +787,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "faults": _cmd_faults,
         "check": _cmd_check,
         "perfwatch": _cmd_perfwatch,
+        "search": _cmd_search,
     }
     return handlers[args.command](args)
 

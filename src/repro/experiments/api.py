@@ -230,6 +230,7 @@ def run_many(
     sink=None,
     check_invariants=None,
     strict: Optional[bool] = None,
+    on_report=None,
 ) -> List[SimulationResult]:
     """Run a batch of specs (sharded across processes when ``workers>1``).
 
@@ -237,6 +238,9 @@ def run_many(
     See :class:`~repro.experiments.executor.SweepExecutor` for the knobs,
     per-run crash retry semantics, and ``check_invariants``.  Every spec
     is static-checked before the first worker spawns (see :func:`run`).
+    ``on_report`` (if given) receives the batch's
+    :class:`~repro.experiments.executor.ExecutionReport` — cache
+    hit/miss counts, retry counts, wall time — once all runs resolve.
     """
     _validate_specs(specs, strict)
     executor = SweepExecutor(
@@ -250,7 +254,10 @@ def run_many(
         sink=sink,
         check_invariants=check_invariants,
     )
-    return executor.run_many(specs)
+    results = executor.run_many(specs)
+    if on_report is not None:
+        on_report(executor.report)
+    return results
 
 
 def sweep(
@@ -265,12 +272,15 @@ def sweep(
     chunk_size: Optional[int] = None,
     progress=None,
     strict: Optional[bool] = None,
+    on_report=None,
 ) -> List[Dict[str, object]]:
     """Run every combination of ``axes`` over ``base``; one record per run.
 
     Each record contains the axis values plus the requested result
     metrics, in cartesian-product order regardless of worker count.
-    ``progress(done, total, spec, source)`` is called per completed run.
+    ``progress(done, total, spec, source)`` is called per completed run;
+    ``on_report`` receives the batch's ExecutionReport (cache hits and
+    misses, retries, wall time) once all runs resolve.
     """
     for name in axes:
         if name not in _SPEC_FIELDS:
@@ -289,6 +299,7 @@ def sweep(
         chunk_size=chunk_size,
         progress=progress,
         strict=strict,
+        on_report=on_report,
     )
     records: List[Dict[str, object]] = []
     for combo, spec, result in zip(combos, specs, results):

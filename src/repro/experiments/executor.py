@@ -237,6 +237,7 @@ class ExecutionReport:
 
     total: int = 0
     cache_hits: int = 0
+    cache_misses: int = 0
     executed: int = 0
     retried: int = 0
     deduplicated: int = 0
@@ -251,11 +252,21 @@ class ExecutionReport:
     def cycles_per_sec(self) -> float:
         return self.sim_cycles / self.wall_s if self.wall_s > 0 else 0.0
 
+    def cache_hit_fraction(self) -> float:
+        """Fraction of unique specs resolved from the result store.
+
+        Duplicate specs (deduplicated in-batch) are not counted either
+        way; a batch with no unique specs reports 0.0.
+        """
+        resolved = self.cache_hits + self.cache_misses
+        return self.cache_hits / resolved if resolved else 0.0
+
     def summary(self) -> Dict[str, object]:
         return {
             **dataclasses.asdict(self),
             "runs_per_sec": self.runs_per_sec(),
             "cycles_per_sec": self.cycles_per_sec(),
+            "cache_hit_fraction": self.cache_hit_fraction(),
         }
 
 
@@ -358,6 +369,7 @@ class SweepExecutor:
                                 RuntimeWarning,
                                 stacklevel=2,
                             )
+                        report.cache_misses += 1
                         misses.append(i)
 
             def complete(i: int, result: SimulationResult) -> None:

@@ -1,14 +1,17 @@
 """Shared parsing for spec-grid command lines.
 
-``repro sweep`` and ``repro faults campaign`` both accept repeated
-``--axis name=v1,v2,...`` options naming :class:`~repro.experiments.
-runner.RunSpec` fields; this module is the one place that syntax is
-parsed and validated, so the two commands cannot drift apart.
+``repro sweep``, ``repro faults campaign`` and ``repro search`` all
+accept repeated ``--axis``/``--space`` options of the form
+``name=v1,v2,...`` naming :class:`~repro.experiments.runner.RunSpec`
+fields; this module is the one place that syntax is parsed and
+validated, so the commands cannot drift apart.
 
 Values are coerced: ``none`` -> ``None``, ``true``/``false`` -> bool,
-then int, then float, falling back to the raw string.  Axis names are
-checked against the RunSpec schema up front so a typo fails before any
-simulation starts.
+then int, then float, falling back to the raw string.  An integer range
+shorthand ``lo..hi[:step]`` expands inclusively (``1..4`` -> 1,2,3,4;
+``2..8:2`` -> 2,4,6,8; ``4..1`` counts down) and mixes freely with
+plain tokens (``s=1..3,8``).  Axis names are checked against the
+RunSpec schema up front so a typo fails before any simulation starts.
 """
 
 from __future__ import annotations
@@ -42,6 +45,31 @@ def coerce_value(token: str):
     return token
 
 
+def expand_token(token: str) -> List[object]:
+    """One axis token -> its value list; ``lo..hi[:step]`` ranges expand.
+
+    A plain token coerces to a single value.  Ranges are integer-only
+    and inclusive of ``hi`` when the step lands on it; a bare ``4..1``
+    counts down (implicit step ``-1``).
+    """
+    if ".." not in token:
+        return [coerce_value(token)]
+    body, _, steptext = token.partition(":")
+    lotext, _, hitext = body.partition("..")
+    try:
+        lo, hi = int(lotext), int(hitext)
+        step = int(steptext) if steptext else (1 if hi >= lo else -1)
+    except ValueError:
+        raise SpecGridError(
+            f"bad range {token!r}; expected integers lo..hi[:step]"
+        )
+    if step == 0 or (step > 0) != (hi >= lo):
+        raise SpecGridError(
+            f"range {token!r} never reaches {hi} with step {step}"
+        )
+    return list(range(lo, hi + (1 if step > 0 else -1), step))
+
+
 def parse_axis(text: str) -> Tuple[str, List[object]]:
     """Parse one ``name=v1,v2,...`` option into ``(name, values)``."""
     name, _, values = text.partition("=")
@@ -58,7 +86,10 @@ def parse_axis(text: str) -> Tuple[str, List[object]]:
     toks = [t for t in values.split(",") if t != ""]
     if not toks:
         raise SpecGridError(f"--axis {text!r} has no values")
-    return name, [coerce_value(t) for t in toks]
+    out: List[object] = []
+    for tok in toks:
+        out.extend(expand_token(tok))
+    return name, out
 
 
 def parse_axes(texts: Sequence[str]) -> Dict[str, List[object]]:

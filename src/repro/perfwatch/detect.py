@@ -62,6 +62,22 @@ _TIMING = dict(rel_threshold=0.25, noise_floor=0.10)
 DEFAULT_POLICIES: Tuple[Tuple[str, MetricPolicy], ...] = (
     ("*cycles_per_sec", MetricPolicy(HIGHER_BETTER, **_TIMING)),
     ("*packets_per_sec", MetricPolicy(HIGHER_BETTER, **_TIMING)),
+    ("*trials_per_sec", MetricPolicy(HIGHER_BETTER, **_TIMING)),
+    # Search-service KPIs (BENCH_search.json): the cache-hit fraction of
+    # the warm pass and the objective scores are deterministic on a fixed
+    # seed, so even small moves are signal, not host noise.
+    ("*cache_hit_fraction", MetricPolicy(HIGHER_BETTER, rel_threshold=0.02,
+                                         noise_floor=0.01)),
+    ("*best_objective", MetricPolicy(HIGHER_BETTER, rel_threshold=0.02,
+                                     noise_floor=0.01)),
+    ("*best_at_*", MetricPolicy(HIGHER_BETTER, rel_threshold=0.02,
+                                noise_floor=0.01)),
+    ("*baseline_objective", MetricPolicy(EITHER)),
+    ("*space_points", MetricPolicy(COUNTER)),
+    ("*.budget", MetricPolicy(COUNTER)),
+    ("*.evaluated", MetricPolicy(COUNTER)),
+    ("*.pruned", MetricPolicy(COUNTER)),
+    ("*.executed", MetricPolicy(COUNTER)),
     ("*runs_per_sec", MetricPolicy(HIGHER_BETTER, **_TIMING)),
     ("*wall_s", MetricPolicy(LOWER_BETTER, **_TIMING)),
     # Activity-kernel speedup over the reference kernel, measured in one

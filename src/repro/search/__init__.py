@@ -1,0 +1,88 @@
+"""Design-space exploration over the ARI knob space.
+
+The search service turns the repo's experiment stack — content-addressed
+:class:`~repro.experiments.store.ResultStore`, process-pool
+:class:`~repro.experiments.executor.SweepExecutor`, and the
+:mod:`repro.staticcheck` feasibility gate — into an optimizer: describe
+*what may vary* (:class:`SearchSpace`), *what better means*
+(:class:`~repro.search.objectives.Objective`), pick a seeded
+:class:`~repro.search.strategy.Strategy`, and the
+:class:`~repro.search.optimizer.Optimizer` spends a trial budget finding
+the best configuration — pruning statically-infeasible candidates for
+free and replaying byte-identically from its JSONL trial ledger.
+
+    from repro.search import (
+        Optimizer, SearchConfig, SearchSpace, parse_objective,
+    )
+
+    space = SearchSpace.default(RunSpec("bfs", "ada-ari", cycles=600))
+    config = SearchConfig(space, parse_objective("max:ipc"),
+                          strategy="hillclimb", budget=32)
+    report = Optimizer(config).run()
+    print(report.render())
+
+CLI: ``repro search`` (see :mod:`repro.search.cli`); docs:
+``docs/search.md``.
+"""
+
+from repro.search.objectives import (
+    MetricObjective,
+    Objective,
+    ObjectiveError,
+    ResilienceObjective,
+    WeightedObjective,
+    metric_value,
+    parse_objective,
+)
+from repro.search.optimizer import (
+    Optimizer,
+    SearchConfig,
+    SearchError,
+    SearchReport,
+    Trial,
+    TrialLedger,
+)
+from repro.search.space import (
+    DEFAULT_AXES,
+    EXCLUDED_FIELDS,
+    SearchSpace,
+    SearchSpaceError,
+)
+from repro.search.strategy import (
+    STRATEGIES,
+    GridStrategy,
+    HillclimbStrategy,
+    RandomStrategy,
+    Strategy,
+    StrategyError,
+    SurrogateStrategy,
+    make_strategy,
+)
+
+__all__ = [
+    "DEFAULT_AXES",
+    "EXCLUDED_FIELDS",
+    "GridStrategy",
+    "HillclimbStrategy",
+    "MetricObjective",
+    "Objective",
+    "ObjectiveError",
+    "Optimizer",
+    "RandomStrategy",
+    "ResilienceObjective",
+    "STRATEGIES",
+    "SearchConfig",
+    "SearchError",
+    "SearchReport",
+    "SearchSpace",
+    "SearchSpaceError",
+    "Strategy",
+    "StrategyError",
+    "SurrogateStrategy",
+    "Trial",
+    "TrialLedger",
+    "WeightedObjective",
+    "make_strategy",
+    "metric_value",
+    "parse_objective",
+]

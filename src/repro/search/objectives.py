@@ -1,0 +1,245 @@
+"""Objectives — what a search maximizes, as first-class values.
+
+Every objective maps one *candidate* (a RunSpec produced by the search
+space) to the list of simulation specs needed to judge it
+(:meth:`Objective.specs_for`) and reduces those specs' results to one
+scalar score (:meth:`Objective.score`).  Scores are always
+**higher-is-better** internally — minimization objectives negate — so
+the optimizer, strategies, trajectory and reports never branch on
+direction.
+
+Three families, all parseable from the ``--objective`` CLI string:
+
+``[max:|min:]METRIC``
+    Single metric of the plain run (``ipc``, ``min:reply_latency``...).
+    Metrics resolve against :class:`~repro.gpu.system.SimulationResult`
+    fields first, then its ``extras`` dict.
+
+``weighted:M=W[,M=W...]``
+    Signed weighted sum, e.g. ``weighted:ipc=1,reply_latency=-0.01``
+    (negative weights penalize).
+
+``resilience[:[min:]METRIC][@K[,K...]]``
+    Scores the candidate under seeded fault campaigns: one extra run per
+    dead-link count ``K`` (same links die for every candidate), metric
+    averaged over the faulted runs.  Default
+    ``resilience:delivered_fraction@1,2`` — "best config under k dead
+    links" as an optimization target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.runner import RunSpec
+
+
+class ObjectiveError(ValueError):
+    """Malformed ``--objective`` text or a metric a result doesn't carry."""
+
+
+def metric_value(result, metric: str) -> float:
+    """Resolve a metric name against a result's fields, then extras."""
+    if hasattr(result, metric):
+        return float(getattr(result, metric))
+    extras = getattr(result, "extras", None) or {}
+    if metric in extras:
+        return float(extras[metric])
+    raise ObjectiveError(
+        f"result carries no metric {metric!r} "
+        "(not a SimulationResult field and not in extras)"
+    )
+
+
+class Objective:
+    """Base contract: candidate spec -> evaluation specs -> scalar score."""
+
+    #: Canonical text form; part of the search fingerprint, so a resumed
+    #: ledger can refuse a run whose objective changed.
+    name = "?"
+
+    def specs_for(self, spec: RunSpec) -> List[RunSpec]:
+        """The simulation specs needed to judge one candidate."""
+        return [spec]
+
+    def score(self, results: Sequence) -> float:
+        """Reduce the candidate's results (same order) to one scalar.
+
+        Higher is always better; minimization objectives negate here.
+        """
+        raise NotImplementedError
+
+    def metrics(self, results: Sequence) -> Dict[str, float]:
+        """Raw metric values recorded on the trial (for reports/ledger)."""
+        return {}
+
+
+@dataclass(frozen=True)
+class MetricObjective(Objective):
+    """Maximize (or minimize) one metric of the plain run."""
+
+    metric: str = "ipc"
+    maximize: bool = True
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"{'max' if self.maximize else 'min'}:{self.metric}"
+
+    def score(self, results: Sequence) -> float:
+        value = metric_value(results[0], self.metric)
+        return value if self.maximize else -value
+
+    def metrics(self, results: Sequence) -> Dict[str, float]:
+        return {self.metric: metric_value(results[0], self.metric)}
+
+
+@dataclass(frozen=True)
+class WeightedObjective(Objective):
+    """Signed weighted sum of several metrics of the plain run."""
+
+    terms: Tuple[Tuple[str, float], ...] = (("ipc", 1.0),)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        body = ",".join(f"{m}={w:g}" for m, w in self.terms)
+        return f"weighted:{body}"
+
+    def score(self, results: Sequence) -> float:
+        return sum(
+            weight * metric_value(results[0], metric)
+            for metric, weight in self.terms
+        )
+
+    def metrics(self, results: Sequence) -> Dict[str, float]:
+        return {
+            metric: metric_value(results[0], metric)
+            for metric, _ in self.terms
+        }
+
+
+@dataclass(frozen=True)
+class ResilienceObjective(Objective):
+    """Score a candidate under seeded link-fault campaigns.
+
+    One evaluation spec per dead-link count; every candidate loses the
+    *same* links (the fault seed is fixed), so scores are comparable.
+    The metric is averaged over the faulted runs.
+    """
+
+    metric: str = "delivered_fraction"
+    maximize: bool = True
+    dead_links: Tuple[int, ...] = (1, 2)
+    fault_seed: int = 7
+    detour: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.dead_links or any(k < 1 for k in self.dead_links):
+            raise ObjectiveError(
+                "resilience objective needs dead-link counts >= 1, "
+                f"got {self.dead_links!r}"
+            )
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        prefix = "" if self.maximize else "min:"
+        ks = ",".join(str(k) for k in self.dead_links)
+        return f"resilience:{prefix}{self.metric}@{ks}"
+
+    def specs_for(self, spec: RunSpec) -> List[RunSpec]:
+        from repro.faults import FaultPlan
+
+        specs = []
+        for k in self.dead_links:
+            plan = FaultPlan.random_links(
+                k, spec.mesh, spec.mesh, seed=self.fault_seed
+            )
+            specs.append(
+                replace(
+                    spec, faults=plan.format(), fault_detour=self.detour
+                )
+            )
+        return specs
+
+    def score(self, results: Sequence) -> float:
+        values = [metric_value(r, self.metric) for r in results]
+        mean = sum(values) / len(values)
+        return mean if self.maximize else -mean
+
+    def metrics(self, results: Sequence) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for k, result in zip(self.dead_links, results):
+            out[f"{self.metric}@{k}"] = metric_value(result, self.metric)
+        return out
+
+
+# -- parsing -----------------------------------------------------------------
+
+#: Shown in CLI help and docs.
+OBJECTIVE_EXAMPLES = (
+    "ipc", "max:ipc", "min:reply_latency",
+    "weighted:ipc=1,reply_latency=-0.01",
+    "resilience:delivered_fraction@1,2", "resilience:min:reply_latency@2",
+)
+
+
+def _parse_direction(text: str) -> Tuple[str, bool]:
+    """Strip an optional ``max:``/``min:`` prefix -> (rest, maximize)."""
+    if text.startswith("max:"):
+        return text[len("max:"):], True
+    if text.startswith("min:"):
+        return text[len("min:"):], False
+    return text, True
+
+
+def parse_objective(text: str) -> Objective:
+    """Parse an ``--objective`` string into an :class:`Objective`."""
+    text = text.strip()
+    if not text:
+        raise ObjectiveError("empty objective")
+
+    if text.startswith("weighted:"):
+        body = text[len("weighted:"):]
+        terms: List[Tuple[str, float]] = []
+        for item in body.split(","):
+            metric, sep, weight = item.partition("=")
+            metric = metric.strip()
+            if not sep or not metric:
+                raise ObjectiveError(
+                    f"bad weighted term {item!r}; expected metric=weight"
+                )
+            try:
+                terms.append((metric, float(weight)))
+            except ValueError:
+                raise ObjectiveError(
+                    f"bad weight {weight!r} in term {item!r}"
+                )
+        if not terms:
+            raise ObjectiveError(f"no terms in {text!r}")
+        return WeightedObjective(terms=tuple(terms))
+
+    if text == "resilience" or text.startswith("resilience:"):
+        body = text[len("resilience"):].lstrip(":")
+        body, _, ks = body.partition("@")
+        if ks:
+            try:
+                dead = tuple(int(k) for k in ks.split(",") if k)
+            except ValueError:
+                raise ObjectiveError(
+                    f"bad dead-link counts {ks!r} in {text!r}"
+                )
+        else:
+            dead = (1, 2)
+        metric, maximize = _parse_direction(body) if body else (
+            "delivered_fraction", True
+        )
+        return ResilienceObjective(
+            metric=metric or "delivered_fraction",
+            maximize=maximize,
+            dead_links=dead,
+        )
+
+    metric, maximize = _parse_direction(text)
+    if not metric:
+        raise ObjectiveError(f"no metric named in {text!r}")
+    return MetricObjective(metric=metric, maximize=maximize)

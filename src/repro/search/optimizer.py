@@ -1,0 +1,514 @@
+"""The search loop: propose, prune, evaluate, score, remember.
+
+:class:`Optimizer` drives a seeded :class:`~repro.search.strategy.
+Strategy` over a :class:`~repro.search.space.SearchSpace` against an
+:class:`~repro.search.objectives.Objective`:
+
+1. **Propose** one point at a time (``strategy.ask(1)``) until a batch of
+   evaluable candidates is assembled or the budget is filled.
+2. **Prune** each candidate through the static checker
+   (:func:`repro.staticcheck.validate_spec`) *before* any simulation:
+   a config that violates the paper's own feasibility rules (Eq. 2
+   speedup bound, split-queue/VC mismatch, ...) becomes a ``pruned``
+   trial that costs zero budget.
+3. **Evaluate** the surviving batch through one
+   :class:`~repro.experiments.executor.SweepExecutor` — results come
+   back in input order, cache hits are free, parallel equals serial.
+4. **Score** in proposal order, extend the best-so-far trajectory, feed
+   outcomes back to the strategy, and append every trial to the JSONL
+   :class:`TrialLedger`.
+
+Determinism contract: the full trial sequence (points, statuses, scores,
+trajectory) is a pure function of ``(space, objective, strategy, seed,
+batch, budget)``.  Worker count never changes it, and a persisted ledger
+replays byte-identically under ``--resume``: the strategy re-proposes,
+each proposal is matched against the recorded trial, and recorded
+outcomes are reused without touching the simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.executor import SweepExecutor
+from repro.experiments.runner import RunSpec
+from repro.experiments.store import ResultStore
+from repro.search.objectives import Objective
+from repro.search.space import Point, SearchSpace
+from repro.search.strategy import make_strategy
+from repro.telemetry.profiler import HostProfiler
+from repro.telemetry.render import series_sparkline
+
+#: Ledger schema version; bumped on incompatible trial-line changes.
+LEDGER_VERSION = 1
+
+
+class SearchError(RuntimeError):
+    """Ledger/config mismatch or an unusable search setup."""
+
+
+@dataclass
+class Trial:
+    """One candidate's full provenance, as written to the ledger."""
+
+    index: int
+    point: Point
+    status: str  # "ok" | "pruned"
+    score: Optional[float] = None
+    metrics: Dict[str, float] = field(default_factory=dict)
+    spec_keys: List[str] = field(default_factory=list)
+    cache_hits: int = 0
+    pruned_rules: List[str] = field(default_factory=list)
+    replayed: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        out = dataclasses.asdict(self)
+        out["kind"] = "trial"
+        del out["replayed"]  # a ledger line is never "replayed"
+        return out
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "Trial":
+        return Trial(
+            index=int(data["index"]),
+            point=dict(data["point"]),
+            status=str(data["status"]),
+            score=data.get("score"),
+            metrics=dict(data.get("metrics") or {}),
+            spec_keys=list(data.get("spec_keys") or []),
+            cache_hits=int(data.get("cache_hits") or 0),
+            pruned_rules=list(data.get("pruned_rules") or []),
+        )
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Everything that determines a search's trial sequence (plus limits).
+
+    The :meth:`fingerprint` covers only the sequence-determining fields —
+    space, objective, strategy, seed, batch — so a resumed run may raise
+    the budget or change worker count/patience and still replay the
+    recorded prefix exactly.
+    """
+
+    space: SearchSpace
+    objective: Objective
+    strategy: str = "random"
+    seed: int = 0
+    budget: int = 32
+    batch: int = 8
+    patience: Optional[int] = None
+    workers: Optional[int] = None
+    use_cache: bool = True
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise SearchError("budget must be >= 1")
+        if self.batch < 1:
+            raise SearchError("batch must be >= 1")
+        if self.patience is not None and self.patience < 1:
+            raise SearchError("patience must be >= 1 (or None)")
+
+    def fingerprint(self) -> str:
+        import hashlib
+
+        blob = json.dumps(
+            {
+                "space": self.space.to_dict(),
+                "objective": self.objective.name,
+                "strategy": self.strategy,
+                "seed": self.seed,
+                "batch": self.batch,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha1(blob.encode()).hexdigest()[:20]
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "space": self.space.to_dict(),
+            "objective": self.objective.name,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "budget": self.budget,
+            "batch": self.batch,
+            "patience": self.patience,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+class TrialLedger:
+    """Append-only JSONL trial log: one header line, one line per trial.
+
+    The header pins the config fingerprint; :meth:`load` refuses a
+    ledger whose fingerprint disagrees with the resuming config, so a
+    search can never silently continue against a different space,
+    objective, strategy, seed or batch size.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def write_header(self, config: SearchConfig) -> None:
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        header = {
+            "kind": "header",
+            "version": LEDGER_VERSION,
+            "fingerprint": config.fingerprint(),
+            "config": config.summary(),
+        }
+        with open(self.path, "w") as fh:
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
+
+    def append(self, trial: Trial) -> None:
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(trial.to_dict(), sort_keys=True) + "\n")
+
+    def load(self, config: Optional[SearchConfig] = None) -> List[Trial]:
+        """Recorded trials, index order; verifies the header fingerprint."""
+        trials: List[Trial] = []
+        with open(self.path) as fh:
+            lines = [ln for ln in fh.read().splitlines() if ln.strip()]
+        if not lines:
+            raise SearchError(f"empty ledger {self.path!r}")
+        header = json.loads(lines[0])
+        if header.get("kind") != "header":
+            raise SearchError(
+                f"{self.path!r} does not start with a ledger header"
+            )
+        if header.get("version") != LEDGER_VERSION:
+            raise SearchError(
+                f"ledger {self.path!r} has version "
+                f"{header.get('version')!r}, expected {LEDGER_VERSION}"
+            )
+        if config is not None:
+            want = config.fingerprint()
+            got = header.get("fingerprint")
+            if got != want:
+                raise SearchError(
+                    f"ledger {self.path!r} was written by a different "
+                    f"search (fingerprint {got} != {want}); space, "
+                    "objective, strategy, seed and batch must match to "
+                    "resume"
+                )
+        for line in lines[1:]:
+            data = json.loads(line)
+            if data.get("kind") == "trial":
+                trials.append(Trial.from_dict(data))
+        trials.sort(key=lambda t: t.index)
+        return trials
+
+
+@dataclass
+class SearchReport:
+    """Everything one :meth:`Optimizer.run` produced."""
+
+    config: Dict[str, object]
+    trials: List[Trial]
+    trajectory: List[Tuple[int, float]]  # (trial index, best score so far)
+    best_index: Optional[int] = None
+    best_point: Optional[Point] = None
+    best_score: Optional[float] = None
+    best_metrics: Dict[str, float] = field(default_factory=dict)
+    baseline_score: Optional[float] = None
+    baseline_metrics: Dict[str, float] = field(default_factory=dict)
+    evaluated: int = 0
+    pruned: int = 0
+    replayed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executed: int = 0
+    stop_reason: str = "budget"
+    wall_s: float = 0.0
+
+    def improved_on_baseline(self) -> Optional[bool]:
+        """Did the best candidate beat the base spec?  None when unknown."""
+        if self.best_score is None or self.baseline_score is None:
+            return None
+        return self.best_score > self.baseline_score
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "config": self.config,
+            "trials": [t.to_dict() for t in self.trials],
+            "trajectory": [list(p) for p in self.trajectory],
+            "best_index": self.best_index,
+            "best_point": self.best_point,
+            "best_score": self.best_score,
+            "best_metrics": self.best_metrics,
+            "baseline_score": self.baseline_score,
+            "baseline_metrics": self.baseline_metrics,
+            "evaluated": self.evaluated,
+            "pruned": self.pruned,
+            "replayed": self.replayed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "executed": self.executed,
+            "stop_reason": self.stop_reason,
+            "wall_s": self.wall_s,
+            "improved_on_baseline": self.improved_on_baseline(),
+        }
+
+    def render(self, width: int = 40) -> str:
+        """Human-readable summary with a best-so-far sparkline."""
+        cfg = self.config
+        lines = [
+            f"search  : {cfg.get('strategy')} over "
+            f"{cfg.get('objective')} (seed {cfg.get('seed')})",
+            f"trials  : {self.evaluated} evaluated, {self.pruned} pruned "
+            f"(free), {self.replayed} replayed, stop: {self.stop_reason}",
+            f"cache   : {self.cache_hits} hit(s), {self.cache_misses} "
+            f"miss(es), {self.executed} simulated",
+        ]
+        if self.trajectory:
+            curve = series_sparkline(
+                [score for _, score in self.trajectory], width
+            )
+            lines.append(f"best    : {curve}  {self.best_score:.6g}")
+        if self.best_point is not None:
+            knobs = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.best_point.items())
+            )
+            lines.append(f"config  : {knobs}")
+        if self.baseline_score is not None:
+            verdict = {True: "beats", False: "does not beat", None: "?"}[
+                self.improved_on_baseline()
+            ]
+            lines.append(
+                f"baseline: {self.baseline_score:.6g} — best {verdict} "
+                "the base spec"
+            )
+        return "\n".join(lines)
+
+
+#: ``on_trial(trial, best_score)`` — called once per completed trial.
+TrialFn = Callable[[Trial, Optional[float]], None]
+
+
+class Optimizer:
+    """Budgeted search over a space, one strategy, one objective."""
+
+    def __init__(
+        self,
+        config: SearchConfig,
+        *,
+        ledger: Optional[TrialLedger] = None,
+        resume: bool = False,
+        store: Optional[ResultStore] = None,
+        on_trial: Optional[TrialFn] = None,
+    ):
+        self.config = config
+        self.ledger = ledger
+        self.store = store
+        self.on_trial = on_trial
+        self._replay: List[Trial] = []
+        if resume:
+            if ledger is None:
+                raise SearchError("resume needs a ledger path")
+            if not os.path.exists(ledger.path):
+                raise SearchError(
+                    f"cannot resume: no ledger at {ledger.path!r}"
+                )
+            self._replay = ledger.load(config)
+
+    # -- pruning -------------------------------------------------------------
+    def _prune_rules(self, specs: Sequence[RunSpec]) -> List[str]:
+        """Static-check a candidate's specs; rule ids when it must die."""
+        import warnings
+
+        from repro.staticcheck import StaticCheckError, StaticCheckWarning
+        from repro.staticcheck.runner import validate_spec
+
+        mode = "strict" if self.config.strict else "warn"
+        rules: List[str] = []
+        with warnings.catch_warnings():
+            # Candidate specs are probes, not user input: a warning-level
+            # finding on one of 64 candidates is noise, not advice.
+            warnings.simplefilter("ignore", StaticCheckWarning)
+            for spec in specs:
+                try:
+                    validate_spec(spec, mode=mode)
+                except StaticCheckError as exc:
+                    for diag in exc.diagnostics:
+                        if diag.rule not in rules:
+                            rules.append(diag.rule)
+        return sorted(rules)
+
+    # -- evaluation ----------------------------------------------------------
+    def _evaluate(
+        self, trials: List[Trial], report: SearchReport
+    ) -> None:
+        """Simulate a batch of ok-trials and score them in proposal order."""
+        objective = self.config.objective
+        space = self.config.space
+        specs: List[RunSpec] = []
+        slices: List[Tuple[Trial, int, int]] = []
+        for trial in trials:
+            trial_specs = objective.specs_for(space.spec_for(trial.point))
+            trial.spec_keys = [s.key() for s in trial_specs]
+            slices.append((trial, len(specs), len(specs) + len(trial_specs)))
+            specs.extend(trial_specs)
+        if not specs:
+            return
+
+        sources: Dict[str, str] = {}
+
+        def progress(done, total, spec, source):
+            if source != "retry":
+                sources[spec.key()] = source
+
+        executor = SweepExecutor(
+            workers=self.config.workers,
+            store=self.store,
+            use_cache=self.config.use_cache,
+            progress=progress,
+            check_invariants=False,
+        )
+        results = executor.run_many(specs)
+        report.cache_hits += executor.report.cache_hits
+        report.cache_misses += executor.report.cache_misses
+        report.executed += executor.report.executed
+
+        for trial, lo, hi in slices:
+            trial.score = objective.score(results[lo:hi])
+            trial.metrics = objective.metrics(results[lo:hi])
+            trial.cache_hits = sum(
+                1 for key in trial.spec_keys if sources.get(key) == "cache"
+            )
+
+    def _evaluate_baseline(self, report: SearchReport) -> None:
+        """Score the base spec itself (unbudgeted reference point)."""
+        objective = self.config.objective
+        base = self.config.space.base
+        specs = objective.specs_for(base)
+        if self._prune_rules(specs):
+            return  # an infeasible base spec simply has no baseline score
+        executor = SweepExecutor(
+            workers=self.config.workers,
+            store=self.store,
+            use_cache=self.config.use_cache,
+            check_invariants=False,
+        )
+        results = executor.run_many(specs)
+        report.cache_hits += executor.report.cache_hits
+        report.cache_misses += executor.report.cache_misses
+        report.executed += executor.report.executed
+        report.baseline_score = objective.score(results)
+        report.baseline_metrics = objective.metrics(results)
+
+    # -- the loop ------------------------------------------------------------
+    def run(self, *, baseline: bool = True) -> SearchReport:
+        """Execute the search; returns the full :class:`SearchReport`."""
+        config = self.config
+        strategy = make_strategy(
+            config.strategy, config.space, seed=config.seed
+        )
+        report = SearchReport(config=config.summary(), trials=[], trajectory=[])
+        profiler = HostProfiler()
+        if self.ledger is not None and not self._replay:
+            self.ledger.write_header(config)
+
+        replay_queue = list(self._replay)
+        evaluated = 0
+        index = 0
+        since_improved = 0
+        stop_reason = "budget"
+
+        with profiler.phase("search"):
+            if baseline:
+                self._evaluate_baseline(report)
+            while evaluated < config.budget:
+                # -- propose one round -------------------------------------
+                round_trials: List[Trial] = []
+                pending: List[Trial] = []
+                want = min(config.batch, config.budget - evaluated)
+                exhausted = False
+                while len(pending) < want:
+                    points = strategy.ask(1)
+                    if not points:
+                        exhausted = True
+                        break
+                    point = points[0]
+                    if replay_queue:
+                        recorded = replay_queue.pop(0)
+                        if config.space.point_key(
+                            recorded.point
+                        ) != config.space.point_key(point):
+                            raise SearchError(
+                                f"resume replay diverged at trial {index}: "
+                                f"ledger has {recorded.point!r}, strategy "
+                                f"proposed {point!r} — was the ledger "
+                                "written with a different budget/batch "
+                                "split?"
+                            )
+                        trial = dataclasses.replace(
+                            recorded, index=index, replayed=True
+                        )
+                        report.replayed += 1
+                    else:
+                        trial = Trial(index=index, point=point, status="ok")
+                        rules = self._prune_rules(
+                            config.objective.specs_for(
+                                config.space.spec_for(point)
+                            )
+                        )
+                        if rules:
+                            trial.status = "pruned"
+                            trial.pruned_rules = rules
+                    index += 1
+                    round_trials.append(trial)
+                    if trial.status == "ok":
+                        pending.append(trial)
+                        evaluated += 1
+
+                # -- evaluate the fresh survivors --------------------------
+                fresh = [t for t in pending if not t.replayed]
+                self._evaluate(fresh, report)
+
+                # -- record, score the trajectory, feed the strategy -------
+                for trial in round_trials:
+                    report.trials.append(trial)
+                    if trial.status == "pruned":
+                        report.pruned += 1
+                    else:
+                        score = trial.score
+                        if score is not None and (
+                            report.best_score is None
+                            or score > report.best_score
+                        ):
+                            report.best_score = score
+                            report.best_index = trial.index
+                            report.best_point = dict(trial.point)
+                            report.best_metrics = dict(trial.metrics)
+                            since_improved = 0
+                        else:
+                            since_improved += 1
+                        if report.best_score is not None:
+                            report.trajectory.append(
+                                (trial.index, report.best_score)
+                            )
+                    if self.ledger is not None and not trial.replayed:
+                        self.ledger.append(trial)
+                    if self.on_trial is not None:
+                        self.on_trial(trial, report.best_score)
+                strategy.tell(round_trials)
+
+                if exhausted and len(pending) < want:
+                    stop_reason = "exhausted"
+                    break
+                if (
+                    config.patience is not None
+                    and since_improved >= config.patience
+                ):
+                    stop_reason = "patience"
+                    break
+
+        report.evaluated = evaluated
+        report.stop_reason = stop_reason
+        report.wall_s = profiler.phase_seconds("search")
+        return report

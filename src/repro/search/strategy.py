@@ -1,0 +1,309 @@
+"""Seeded search strategies: how the next candidate batch is proposed.
+
+Every strategy implements the same two-call protocol the optimizer
+drives::
+
+    points = strategy.ask(n)   # up to n *fresh* points (never a repeat)
+    ...evaluate...
+    strategy.tell(trials)      # outcomes, in proposal order
+
+The determinism contract is strict: a strategy's proposal stream is a
+pure function of ``(space, seed, the sequence of told trials)``.  All
+randomness flows through one ``random.Random(seed)``; nothing reads
+wall clocks, global RNGs, or hash-order of strings.  The optimizer
+calls ``tell`` at deterministic batch boundaries and feeds results in
+proposal order, so the stream is identical serial or parallel — and
+identical again when a persisted ledger is replayed on ``--resume``.
+
+``ask`` returning fewer points than requested (or none) means the
+strategy has exhausted the finite space; the optimizer stops cleanly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.search.space import Point, SearchSpace
+
+
+class StrategyError(ValueError):
+    """Unknown strategy name or bad strategy option."""
+
+
+class Strategy:
+    """Base: fresh-point bookkeeping plus the ask/tell protocol."""
+
+    name = "?"
+
+    def __init__(self, space: SearchSpace, seed: int = 0):
+        self.space = space
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._proposed: set = set()  # point keys already handed out
+
+    # -- protocol ------------------------------------------------------------
+    def ask(self, n: int) -> List[Point]:
+        """Up to ``n`` fresh points; fewer/empty when space is exhausted."""
+        raise NotImplementedError
+
+    def tell(self, trials: Sequence) -> None:
+        """Outcomes of previously asked points, in proposal order.
+
+        ``trials`` carry ``.point`` and ``.score`` (``None`` for pruned
+        candidates that never simulated).  The base class ignores them.
+        """
+
+    # -- helpers for subclasses ----------------------------------------------
+    def _is_fresh(self, point: Point) -> bool:
+        return self.space.point_key(point) not in self._proposed
+
+    def _claim(self, point: Point) -> Point:
+        self._proposed.add(self.space.point_key(point))
+        return point
+
+    def _sample_fresh(self, tries: int = 64) -> Optional[Point]:
+        """One fresh uniform sample, draining the grid when sampling stalls.
+
+        After ``tries`` consecutive duplicate draws the remaining fresh
+        points are scanned in deterministic grid order — so a strategy
+        never gives up while the finite space still has unvisited
+        points, and the fallback is reproducible.
+        """
+        for _ in range(tries):
+            point = self.space.sample(self.rng)
+            if self._is_fresh(point):
+                return self._claim(point)
+        for point in self.space.grid_points():
+            if self._is_fresh(point):
+                return self._claim(point)
+        return None
+
+
+class RandomStrategy(Strategy):
+    """Uniform random search — the honest baseline, surprisingly strong."""
+
+    name = "random"
+
+    def ask(self, n: int) -> List[Point]:
+        out: List[Point] = []
+        for _ in range(n):
+            point = self._sample_fresh()
+            if point is None:
+                break
+            out.append(point)
+        return out
+
+
+class GridStrategy(Strategy):
+    """Exhaustive cartesian scan in axis declaration order."""
+
+    name = "grid"
+
+    def __init__(self, space: SearchSpace, seed: int = 0):
+        super().__init__(space, seed)
+        self._iter = space.grid_points()
+
+    def ask(self, n: int) -> List[Point]:
+        out: List[Point] = []
+        for point in self._iter:
+            if not self._is_fresh(point):
+                continue
+            out.append(self._claim(point))
+            if len(out) >= n:
+                break
+        return out
+
+
+class HillclimbStrategy(Strategy):
+    """(mu + lambda) evolutionary hill-climb over the knob space.
+
+    Keeps the ``population`` best told trials as elites; each proposal
+    mutates a uniformly chosen elite by one axis step
+    (:meth:`SearchSpace.mutate`), with probability ``restart`` replaced
+    by a fresh uniform sample so the climb cannot wedge in a local
+    optimum.  Until the first scores arrive it behaves like random
+    search.
+    """
+
+    name = "hillclimb"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int = 0,
+        *,
+        population: int = 4,
+        restart: float = 0.15,
+    ):
+        super().__init__(space, seed)
+        if population < 1:
+            raise StrategyError("population must be >= 1")
+        self.population = population
+        self.restart = restart
+        # (score, told-order) -> point; kept sorted best-first.  The
+        # told-order tiebreak keeps elite order deterministic when two
+        # trials score identically.
+        self._elites: List[Tuple[float, int, Point]] = []
+        self._told = 0
+
+    def tell(self, trials: Sequence) -> None:
+        for trial in trials:
+            self._told += 1
+            score = getattr(trial, "score", None)
+            if score is None:
+                continue  # pruned candidates carry no signal
+            self._elites.append((score, -self._told, dict(trial.point)))
+        self._elites.sort(key=lambda e: (-e[0], -e[1]))
+        del self._elites[self.population:]
+
+    def ask(self, n: int) -> List[Point]:
+        out: List[Point] = []
+        for _ in range(n):
+            point: Optional[Point] = None
+            if self._elites and self.rng.random() >= self.restart:
+                parent = self._elites[
+                    self.rng.randrange(len(self._elites))
+                ][2]
+                for _attempt in range(32):
+                    child = self.space.mutate(parent, self.rng)
+                    if self._is_fresh(child):
+                        point = self._claim(child)
+                        break
+                    # drift: keep walking from the stale child so the
+                    # neighborhood widens instead of re-rolling in place
+                    parent = child
+            if point is None:
+                point = self._sample_fresh()
+            if point is None:
+                break
+            out.append(point)
+        return out
+
+
+class SurrogateStrategy(Strategy):
+    """Lightweight surrogate-guided (Bayesian-style) search, no deps.
+
+    Fits an additive per-axis-value model over told scores — predicted
+    score of a point is the global mean plus each axis value's observed
+    deviation — and ranks a pool of fresh uniform candidates by
+    predicted score plus an exploration bonus that decays with how
+    often each axis value has been tried (UCB-flavored).  Cheap, pure
+    Python, and deterministic; with no data yet it degenerates to
+    random search.
+    """
+
+    name = "surrogate"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int = 0,
+        *,
+        pool: int = 24,
+        explore: float = 0.6,
+    ):
+        super().__init__(space, seed)
+        if pool < 1:
+            raise StrategyError("pool must be >= 1")
+        self.pool = pool
+        self.explore = explore
+        # (axis, value-key) -> [count, sum of scores]
+        self._stats: Dict[Tuple[str, str], List[float]] = {}
+        self._scores: List[float] = []
+
+    def tell(self, trials: Sequence) -> None:
+        for trial in trials:
+            score = getattr(trial, "score", None)
+            if score is None:
+                continue
+            self._scores.append(score)
+            for axis, value in trial.point.items():
+                cell = self._stats.setdefault((axis, repr(value)), [0, 0.0])
+                cell[0] += 1
+                cell[1] += score
+
+    def _predict(self, point: Point) -> Tuple[float, float]:
+        """(predicted score, exploration bonus) for one candidate."""
+        mean = sum(self._scores) / len(self._scores)
+        spread = _std(self._scores) or 1.0
+        predicted = mean
+        novelty = 0.0
+        for axis, value in point.items():
+            cell = self._stats.get((axis, repr(value)))
+            count = cell[0] if cell else 0
+            if count:
+                predicted += cell[1] / count - mean
+            novelty += 1.0 / math.sqrt(1.0 + count)
+        bonus = self.explore * spread * novelty / max(1, len(point))
+        return predicted, bonus
+
+    def ask(self, n: int) -> List[Point]:
+        if not self._scores:
+            out: List[Point] = []
+            for _ in range(n):
+                point = self._sample_fresh()
+                if point is None:
+                    break
+                out.append(point)
+            return out
+        # Draw a candidate pool *without* claiming, rank, claim winners.
+        pool: List[Point] = []
+        seen_pool: set = set()
+        misses = 0
+        while len(pool) < max(self.pool, n) and misses < 200:
+            cand = self.space.sample(self.rng)
+            key = self.space.point_key(cand)
+            if key in self._proposed or key in seen_pool:
+                misses += 1
+                continue
+            seen_pool.add(key)
+            pool.append(cand)
+        if len(pool) < n:
+            for cand in self.space.grid_points():
+                key = self.space.point_key(cand)
+                if key in self._proposed or key in seen_pool:
+                    continue
+                seen_pool.add(key)
+                pool.append(cand)
+                if len(pool) >= max(self.pool, n):
+                    break
+        ranked = sorted(
+            pool,
+            key=lambda p: (
+                -(self._predict(p)[0] + self._predict(p)[1]),
+                self.space.point_key(p),
+            ),
+        )
+        return [self._claim(p) for p in ranked[:n]]
+
+
+def _std(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mean = sum(values) / len(values)
+    return math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))
+
+
+#: Public registry; ``evolutionary`` is an alias clients may prefer.
+STRATEGIES: Dict[str, type] = {
+    "random": RandomStrategy,
+    "grid": GridStrategy,
+    "hillclimb": HillclimbStrategy,
+    "evolutionary": HillclimbStrategy,
+    "surrogate": SurrogateStrategy,
+}
+
+
+def make_strategy(
+    name: str, space: SearchSpace, seed: int = 0, **options
+) -> Strategy:
+    """Instantiate a registered strategy by name."""
+    cls = STRATEGIES.get(name)
+    if cls is None:
+        raise StrategyError(
+            f"unknown strategy {name!r}; "
+            f"available: {', '.join(sorted(STRATEGIES))}"
+        )
+    return cls(space, seed, **options)

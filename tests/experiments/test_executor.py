@@ -95,6 +95,22 @@ class TestCacheAndDedup:
         assert second.report.cache_hits == 3
         assert second.report.executed == 0
 
+    def test_cache_misses_and_hit_fraction(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s"))
+        specs = _specs(4)
+        first = SweepExecutor(workers=1, store=store)
+        first.run_many(specs)
+        assert first.report.cache_misses == 4
+        assert first.report.cache_hit_fraction() == 0.0
+        second = SweepExecutor(workers=1, store=store)
+        second.run_many(specs + _specs(6)[4:])
+        assert second.report.cache_hits == 4
+        assert second.report.cache_misses == 2
+        assert second.report.cache_hit_fraction() == pytest.approx(4 / 6)
+        summary = second.report.summary()
+        assert summary["cache_misses"] == 2
+        assert summary["cache_hit_fraction"] == pytest.approx(4 / 6)
+
     def test_duplicate_specs_run_once(self, tmp_path):
         store = ResultStore(str(tmp_path / "s"))
         spec = _specs(1)[0]

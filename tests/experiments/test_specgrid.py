@@ -6,6 +6,7 @@ from repro.experiments.specgrid import (
     SPEC_FIELDS,
     SpecGridError,
     coerce_value,
+    expand_token,
     parse_axes,
     parse_axis,
     parse_ints,
@@ -55,6 +56,46 @@ class TestParseAxes:
 
     def test_empty_sequence_is_empty_dict(self):
         assert parse_axes([]) == {}
+
+
+class TestRangeShorthand:
+    def test_expand_token_scalar_passthrough(self):
+        assert expand_token("4") == [4]
+        assert expand_token("ada-ari") == ["ada-ari"]
+
+    def test_ascending_range_is_inclusive(self):
+        assert expand_token("1..4") == [1, 2, 3, 4]
+
+    def test_descending_range_defaults_to_step_minus_one(self):
+        assert expand_token("4..1") == [4, 3, 2, 1]
+        assert expand_token("4..1:-1") == [4, 3, 2, 1]
+
+    def test_explicit_step(self):
+        assert expand_token("16..64:16") == [16, 32, 48, 64]
+
+    def test_step_overshoot_stops_inside_bound(self):
+        assert expand_token("1..10:4") == [1, 5, 9]
+
+    def test_parse_axis_mixes_ranges_and_scalars(self):
+        assert parse_axis("injection_speedup=1..3,6") == (
+            "injection_speedup", [1, 2, 3, 6]
+        )
+        assert parse_axis("starvation_threshold=16,64..66") == (
+            "starvation_threshold", [16, 64, 65, 66]
+        )
+
+    def test_negative_bounds(self):
+        assert expand_token("-2..1") == [-2, -1, 0, 1]
+
+    def test_non_integer_bounds_rejected(self):
+        for text in ("1.5..3", "a..b", "1..2:x"):
+            with pytest.raises(SpecGridError, match="integers"):
+                expand_token(text)
+
+    def test_unreachable_ranges_rejected(self):
+        for text in ("1..4:-1", "4..1:2", "1..4:0"):
+            with pytest.raises(SpecGridError, match="never reaches"):
+                expand_token(text)
 
 
 class TestParseInts:

@@ -1,0 +1,129 @@
+"""Objective families: parsing, scoring direction, resilience specs."""
+
+import pytest
+
+from repro.experiments.runner import RunSpec
+from repro.gpu.system import SimulationResult
+from repro.search.objectives import (
+    MetricObjective,
+    ObjectiveError,
+    ResilienceObjective,
+    WeightedObjective,
+    metric_value,
+    parse_objective,
+)
+
+
+def result(ipc=0.5, reply_latency=40.0, **extras):
+    return SimulationResult(
+        benchmark="bfs", scheme="ada-ari", cycles=80, core_cycles=80,
+        instructions=40, ipc=ipc, mc_stall_cycles=0, request_latency=20.0,
+        reply_latency=reply_latency, reply_traffic_share=0.6,
+        extras=dict(extras),
+    )
+
+
+class TestMetricValue:
+    def test_field_then_extras(self):
+        res = result(delivered_fraction=0.9)
+        assert metric_value(res, "ipc") == 0.5
+        assert metric_value(res, "delivered_fraction") == 0.9
+
+    def test_missing_metric_raises(self):
+        with pytest.raises(ObjectiveError, match="no metric"):
+            metric_value(result(), "bogus")
+
+
+class TestParsing:
+    def test_bare_metric_maximizes(self):
+        obj = parse_objective("ipc")
+        assert isinstance(obj, MetricObjective)
+        assert obj.maximize and obj.metric == "ipc"
+        assert obj.name == "max:ipc"
+
+    def test_min_prefix(self):
+        obj = parse_objective("min:reply_latency")
+        assert not obj.maximize
+        assert obj.name == "min:reply_latency"
+
+    def test_weighted(self):
+        obj = parse_objective("weighted:ipc=1,reply_latency=-0.01")
+        assert isinstance(obj, WeightedObjective)
+        assert obj.terms == (("ipc", 1.0), ("reply_latency", -0.01))
+
+    def test_resilience_defaults(self):
+        obj = parse_objective("resilience")
+        assert isinstance(obj, ResilienceObjective)
+        assert obj.metric == "delivered_fraction"
+        assert obj.dead_links == (1, 2)
+
+    def test_resilience_custom(self):
+        obj = parse_objective("resilience:min:reply_latency@3")
+        assert obj.metric == "reply_latency"
+        assert not obj.maximize
+        assert obj.dead_links == (3,)
+
+    def test_bad_texts_raise(self):
+        for text in ("", "max:", "weighted:", "weighted:ipc",
+                     "weighted:ipc=x", "resilience:ipc@x"):
+            with pytest.raises(ObjectiveError):
+                parse_objective(text)
+
+    def test_name_round_trips(self):
+        for text in ("max:ipc", "min:reply_latency",
+                     "weighted:ipc=1,reply_latency=-0.01",
+                     "resilience:delivered_fraction@1,2"):
+            obj = parse_objective(text)
+            assert parse_objective(obj.name).name == obj.name
+
+
+class TestScoring:
+    def test_max_is_identity_min_negates(self):
+        res = [result()]
+        assert parse_objective("max:ipc").score(res) == 0.5
+        assert parse_objective("min:reply_latency").score(res) == -40.0
+
+    def test_higher_score_is_always_better(self):
+        fast, slow = [result(reply_latency=10.0)], [result(reply_latency=90.0)]
+        obj = parse_objective("min:reply_latency")
+        assert obj.score(fast) > obj.score(slow)
+
+    def test_weighted_sum(self):
+        obj = parse_objective("weighted:ipc=2,reply_latency=-0.5")
+        assert obj.score([result()]) == pytest.approx(2 * 0.5 - 0.5 * 40.0)
+
+    def test_metrics_report_raw_values(self):
+        obj = parse_objective("min:reply_latency")
+        assert obj.metrics([result()]) == {"reply_latency": 40.0}
+
+
+class TestResilienceSpecs:
+    def test_specs_carry_fault_plans(self):
+        obj = ResilienceObjective(dead_links=(1, 2), fault_seed=7)
+        spec = RunSpec("bfs", "ada-ari", cycles=80, mesh=4)
+        specs = obj.specs_for(spec)
+        assert len(specs) == 2
+        for s in specs:
+            assert s.faults and "link:" in s.faults
+            assert s.fault_detour is True
+
+    def test_same_links_die_for_every_candidate(self):
+        obj = ResilienceObjective(dead_links=(2,))
+        a = RunSpec("bfs", "ada-ari", cycles=80, mesh=4, injection_speedup=1)
+        b = RunSpec("bfs", "ada-ari", cycles=80, mesh=4, injection_speedup=2)
+        assert obj.specs_for(a)[0].faults == obj.specs_for(b)[0].faults
+
+    def test_scores_average_and_report_per_k(self):
+        obj = ResilienceObjective(dead_links=(1, 2))
+        results = [result(delivered_fraction=1.0),
+                   result(delivered_fraction=0.5)]
+        assert obj.score(results) == pytest.approx(0.75)
+        assert obj.metrics(results) == {
+            "delivered_fraction@1": 1.0, "delivered_fraction@2": 0.5,
+        }
+
+    def test_bad_dead_links_raise(self):
+        with pytest.raises(ObjectiveError):
+            ResilienceObjective(dead_links=())
+        with pytest.raises(ObjectiveError):
+            ResilienceObjective(dead_links=(0,))

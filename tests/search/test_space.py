@@ -1,0 +1,127 @@
+"""SearchSpace DSL: construction, geometry, sampling, identity."""
+
+import random
+
+import pytest
+
+from repro.experiments.runner import RunSpec
+from repro.search.space import (
+    DEFAULT_AXES,
+    EXCLUDED_FIELDS,
+    SearchSpace,
+    SearchSpaceError,
+)
+
+BASE = RunSpec("bfs", "ada-ari", cycles=80, warmup=20, mesh=4)
+
+
+class TestConstruction:
+    def test_from_axes_keeps_declaration_order(self):
+        space = SearchSpace.from_axes(
+            BASE, {"num_vcs": [2, 4], "injection_speedup": [1, 2]}
+        )
+        assert space.names == ("num_vcs", "injection_speedup")
+        assert space.values("injection_speedup") == (1, 2)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SearchSpaceError, match="unknown RunSpec field"):
+            SearchSpace.from_axes(BASE, {"warp_speed": [1]})
+
+    def test_excluded_fields_rejected(self):
+        for name in EXCLUDED_FIELDS:
+            with pytest.raises(SearchSpaceError, match="cannot be a search axis"):
+                SearchSpace.from_axes(BASE, {name: ["x"]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SearchSpaceError, match="no values"):
+            SearchSpace.from_axes(BASE, {"num_vcs": []})
+
+    def test_no_axes_rejected(self):
+        with pytest.raises(SearchSpaceError, match="at least one axis"):
+            SearchSpace.from_axes(BASE, {})
+
+    def test_duplicate_values_deduped_in_order(self):
+        space = SearchSpace.from_axes(BASE, {"num_vcs": [4, 2, 4, 2]})
+        assert space.values("num_vcs") == (4, 2)
+
+    def test_parse_uses_axis_grammar_with_ranges(self):
+        space = SearchSpace.parse(
+            BASE, ["injection_speedup=1..4", "num_vcs=2,4"]
+        )
+        assert space.values("injection_speedup") == (1, 2, 3, 4)
+        assert space.values("num_vcs") == (2, 4)
+
+    def test_default_space_is_the_ari_triple(self):
+        space = SearchSpace.default(BASE)
+        assert space.axes == DEFAULT_AXES
+        assert space.size == 5 * 4 * 4
+
+
+class TestPoints:
+    def test_spec_for_overlays_base(self):
+        space = SearchSpace.default(BASE)
+        spec = space.spec_for({"injection_speedup": 2, "num_split_queues": 1,
+                               "starvation_threshold": 64})
+        assert spec.injection_speedup == 2
+        assert spec.benchmark == BASE.benchmark
+        assert spec.cycles == BASE.cycles
+
+    def test_contains(self):
+        space = SearchSpace.default(BASE)
+        point = {"injection_speedup": 2, "num_split_queues": 1,
+                 "starvation_threshold": 64}
+        assert space.contains(point)
+        assert not space.contains({**point, "injection_speedup": 99})
+        assert not space.contains({"injection_speedup": 2})
+
+    def test_grid_points_cover_the_space_once(self):
+        space = SearchSpace.default(BASE)
+        keys = [space.point_key(p) for p in space.grid_points()]
+        assert len(keys) == space.size
+        assert len(set(keys)) == space.size
+
+    def test_sample_is_seed_deterministic(self):
+        space = SearchSpace.default(BASE)
+        a = [space.sample(random.Random(5)) for _ in range(3)]
+        b = [space.sample(random.Random(5)) for _ in range(3)]
+        assert a == b
+
+    def test_mutate_moves_exactly_one_axis(self):
+        space = SearchSpace.default(BASE)
+        rng = random.Random(1)
+        point = {"injection_speedup": 2, "num_split_queues": 2,
+                 "starvation_threshold": 64}
+        for _ in range(20):
+            child = space.mutate(point, rng)
+            changed = [k for k in point if child[k] != point[k]]
+            assert len(changed) == 1
+            assert space.contains(child)
+
+    def test_numeric_mutation_is_adjacent(self):
+        space = SearchSpace.from_axes(BASE, {"injection_speedup": [1, 2, 3, 4]})
+        rng = random.Random(2)
+        point = {"injection_speedup": 2}
+        for _ in range(20):
+            child = space.mutate(point, rng)
+            assert child["injection_speedup"] in (1, 3)
+
+    def test_rigid_space_mutates_to_itself(self):
+        space = SearchSpace.from_axes(BASE, {"num_vcs": [4]})
+        assert space.mutate({"num_vcs": 4}, random.Random(0)) == {"num_vcs": 4}
+
+
+class TestIdentity:
+    def test_fingerprint_stable_and_sensitive(self):
+        a = SearchSpace.default(BASE)
+        b = SearchSpace.default(BASE)
+        assert a.fingerprint() == b.fingerprint()
+        c = SearchSpace.default(RunSpec("bfs", "ada-ari", cycles=81))
+        assert a.fingerprint() != c.fingerprint()
+        d = SearchSpace.from_axes(BASE, {"num_vcs": [2, 4]})
+        assert a.fingerprint() != d.fingerprint()
+
+    def test_point_key_is_order_insensitive(self):
+        space = SearchSpace.default(BASE)
+        assert space.point_key({"a": 1, "b": 2}) == space.point_key(
+            {"b": 2, "a": 1}
+        )

@@ -130,6 +130,83 @@ class TestSweepCommand:
             main(["sweep", "binomialOptions", "xy-baseline",
                   "--axis", "seedonly"])
 
+    def test_sweep_reports_cache_hits_and_misses(self, capsys):
+        argv = ["sweep", "binomialOptions", "xy-baseline",
+                "--axis", "seed=1,2", "--cycles", "150", "--mesh", "4",
+                "--quiet"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 hit(s), 2 miss(es)" in out
+        assert main(argv) == 0  # identical sweep: served from the store
+        out = capsys.readouterr().out
+        assert "2 hit(s), 0 miss(es)" in out
+        assert "100% of unique runs" in out
+
+    def test_axis_range_shorthand(self, capsys):
+        rc = main(["sweep", "binomialOptions", "xy-baseline",
+                   "--axis", "seed=1..3", "--cycles", "150", "--mesh", "4",
+                   "--quiet"])
+        assert rc == 0
+        assert "3 runs" in capsys.readouterr().out
+
+
+class TestSearchCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["search", "bfs", "ada-ari"])
+        assert args.command == "search"
+        assert args.strategy == "random"
+        assert args.budget == 32
+        assert args.objective == "max:ipc"
+        assert args.search_seed == 0
+        assert not args.resume
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["search", "bfs", "ada-ari", "--strategy", "quantum"]
+            )
+
+    def test_search_smoke(self, capsys, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        rc = main(
+            ["search", "bfs", "ada-ari", "--budget", "3", "--batch", "3",
+             "--cycles", "80", "--mesh", "4", "--kernel", "activity",
+             "--ledger", str(ledger), "--no-baseline"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 evaluated" in out
+        assert "best    :" in out
+        assert ledger.exists()
+
+    def test_search_resume_and_json(self, capsys, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        base_argv = [
+            "search", "bfs", "ada-ari", "--budget", "3", "--batch", "3",
+            "--cycles", "80", "--mesh", "4", "--kernel", "activity",
+            "--ledger", str(ledger), "--no-baseline", "--quiet",
+        ]
+        assert main(base_argv) == 0
+        capsys.readouterr()
+        json_path = tmp_path / "report.json"
+        assert main(base_argv + ["--resume", "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out
+        import json as json_mod
+
+        payload = json_mod.loads(json_path.read_text())
+        assert payload["evaluated"] == 3
+        assert payload["replayed"] >= 3
+        assert payload["trajectory"]
+
+    def test_bad_space_exits(self):
+        with pytest.raises(SystemExit):
+            main(["search", "bfs", "ada-ari", "--space", "warp_speed=1,2"])
+
+    def test_bad_objective_exits(self):
+        with pytest.raises(SystemExit):
+            main(["search", "bfs", "ada-ari", "--objective", "weighted:"])
+
 
 class TestCacheCommand:
     def test_info_and_clear(self, capsys):
