@@ -731,8 +731,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="analyze faulted epochs without detour routing")
     chk.add_argument(
         "--code", action="append", default=[], metavar="PATH",
-        help="run the code lints (det/unit/proto/pool) over these "
-             "files/dirs; repeatable",
+        help="run the code lints (det/unit/proto/pool plus the "
+             "kernel-soundness prover) over these files/dirs; repeatable",
     )
     chk.add_argument(
         "--baseline", default=None, metavar="FILE",

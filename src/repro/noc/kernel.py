@@ -92,8 +92,10 @@ class ReferenceKernel(SimKernel):
         if f is not None:
             # Apply scheduled fault/repair events *before* anything moves
             # this cycle, so routers never allocate into a freshly dead
-            # resource within the same cycle.
-            f.on_cycle(now)
+            # resource within the same cycle.  The activity kernel falls
+            # back to full reference cycles whenever faults are
+            # installed, so this hook is outside the gated fast path.
+            f.on_cycle(now)  # kernel: unreached
         sent = 0
         for ni in net.nis:
             sent += ni.step(now)
@@ -118,8 +120,10 @@ class ReferenceKernel(SimKernel):
         a = net.auditor
         if a is not None:
             # End-of-cycle audit: every router/NI has settled, so the
-            # flow-control invariants must hold exactly here.
-            a.on_cycle(now)
+            # flow-control invariants must hold exactly here.  Like the
+            # fault hook above, an installed auditor forces the activity
+            # kernel into reference fallback.
+            a.on_cycle(now)  # kernel: unreached
         t = net.telemetry
         if t is not None:
             t.on_cycle(now)
@@ -249,7 +253,7 @@ class ActivityKernel(SimKernel):
             # auditors inspect every router each cycle: both need the full
             # reference visiting order.  Correctness beats speed here.
             self.sync(net)
-            self._reference.cycle(net)
+            self._reference.cycle(net)  # kernel: fallback
             self._dirty = True
             return
         if self._dirty:

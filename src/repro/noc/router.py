@@ -149,6 +149,8 @@ class Router:
         # Prefer adaptive VCs, escape VC 0 last (shared by both pipelines).
         self._vc_order = tuple(range(1, num_vcs)) + (0,)
         # Wiring tables for step_fast(); built lazily once links exist.
+        # Activity-kernel bookkeeping, invisible to the reference
+        # pipeline by design.  # kernel: private(Router._fast_wiring, Router._stall_ok)
         self._fast_wiring = None
         # Set by step_fast() on a zero-move cycle: True when every blocked
         # resource unblocks only through events the activity kernel already

@@ -4,21 +4,34 @@ Proves, before a single cycle runs, the properties the simulator
 otherwise only observes at runtime: escape-network deadlock freedom
 (channel-dependency-graph acyclicity + reachability, per fault epoch),
 the paper's Eq. 1 / Eq. 2 injection-speedup sizing, queue/credit/VC
-partition sanity — plus an AST determinism lint over the simulator
-sources.  See ``docs/staticcheck.md`` for the rule catalog and the
-``repro check`` CLI subcommand for the command-line front end.
+partition sanity — plus AST/dataflow code lints over the simulator
+sources and an interprocedural effect analysis whose flagship client
+proves the ActivityKernel's byte-identity contract against the
+ReferenceKernel.  See ``docs/staticcheck.md`` for the rule catalog and
+the ``repro check`` CLI subcommand for the command-line front end.
 """
 
 from repro.staticcheck.baseline import DEFAULT_BASELINE
 from repro.staticcheck.baseline import apply as apply_baseline
 from repro.staticcheck.baseline import load as load_baseline
 from repro.staticcheck.baseline import save as save_baseline
+from repro.staticcheck.callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionNode,
+    build_call_graph,
+)
+from repro.staticcheck.effects import EffectEngine, EffectSummary, Write
 from repro.staticcheck.flow import (
     CFG,
     BasicBlock,
     BranchCondition,
     ForwardAnalysis,
     build_cfg,
+)
+from repro.staticcheck.kernellint import (
+    KernelPair,
+    find_kernel_pairs,
 )
 from repro.staticcheck.cdg import (
     EscapeGraph,
@@ -53,23 +66,32 @@ __all__ = [
     "STATICCHECK_ENV",
     "BasicBlock",
     "BranchCondition",
+    "CallGraph",
+    "CallSite",
     "CheckReport",
     "CheckRunner",
     "Diagnostic",
+    "EffectEngine",
+    "EffectSummary",
     "ForwardAnalysis",
+    "FunctionNode",
     "EscapeGraph",
     "EscapeTrace",
+    "KernelPair",
     "ModelInputs",
     "Severity",
     "StaticCheckError",
     "StaticCheckWarning",
+    "Write",
     "all_pairs_unreachable",
     "apply_baseline",
+    "build_call_graph",
     "build_cfg",
     "build_escape_cdg",
     "channel_name",
     "check_model",
     "clear_validation_cache",
+    "find_kernel_pairs",
     "load_baseline",
     "save_baseline",
     "resolve_mode",

@@ -31,10 +31,12 @@ comment, optionally naming the rule: ``# det: allow(det-wallclock)``.
 from __future__ import annotations
 
 import ast
+import dataclasses
 import os
 import re
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.staticcheck.callgraph import CallGraph, build_call_graph
 from repro.staticcheck.diagnostics import CheckReport, Severity
 
 #: random-module functions that use the hidden global RNG.
@@ -364,8 +366,72 @@ class _DetLinter(ast.NodeVisitor):
                 self._flag_float_cycle(node, name)
 
 
-def lint_source(text: str, path: str = "<string>") -> CheckReport:
-    """Lint one module's source text; returns its findings."""
+#: Rules whose hints gain a caller chain when a call graph is supplied.
+_CHAIN_RULES = frozenset({"det-random", "det-wallclock"})
+
+#: Bound on how far up the caller chain the hint walks.
+_CHAIN_DEPTH = 6
+
+
+def _caller_chain(graph: CallGraph, path: str, lineno: int) -> List[str]:
+    """Caller chain ending at the function enclosing ``path:lineno``.
+
+    Walks upward from the offending function, at each step taking the
+    lexicographically-smallest unvisited caller so the chain is
+    deterministic, bounded at :data:`_CHAIN_DEPTH` hops.
+    """
+    fn = graph.function_at(path, lineno)
+    if fn is None:
+        return []
+    chain = [fn.qname]
+    seen = {fn.qname}
+    while len(chain) <= _CHAIN_DEPTH:
+        callers = sorted(
+            caller
+            for caller, _site in graph.callers_of(chain[0])
+            if caller not in seen
+        )
+        if not callers:
+            break
+        chain.insert(0, callers[0])
+        seen.add(callers[0])
+    return chain
+
+
+def _augment_chain_hints(
+    report: CheckReport, graph: CallGraph, path: str
+) -> None:
+    """Append ``reached via a -> b`` call chains to nondeterminism hints.
+
+    A ``random.random()`` two helpers below a sweep entry point is easy
+    to dismiss as "not my code path"; the chain shows exactly how the
+    simulator reaches it.  Hints are excluded from baseline
+    fingerprints, so this never churns accepted baselines.
+    """
+    for i, diag in enumerate(report.diagnostics):
+        if diag.rule not in _CHAIN_RULES:
+            continue
+        try:
+            lineno = int(diag.location.rsplit(":", 1)[1])
+        except (IndexError, ValueError):
+            continue
+        chain = _caller_chain(graph, path, lineno)
+        if len(chain) < 2:
+            continue
+        note = "reached via " + " -> ".join(chain)
+        hint = f"{diag.hint} ({note})" if diag.hint else note
+        report.diagnostics[i] = dataclasses.replace(diag, hint=hint)
+
+
+def lint_source(
+    text: str, path: str = "<string>", graph: Optional[CallGraph] = None
+) -> CheckReport:
+    """Lint one module's source text; returns its findings.
+
+    When a :class:`CallGraph` covering ``path`` is supplied, det-random
+    and det-wallclock hints are augmented with the caller chain that
+    reaches the offending function.
+    """
     report = CheckReport()
     try:
         tree = ast.parse(text, filename=path)
@@ -379,6 +445,8 @@ def lint_source(text: str, path: str = "<string>") -> CheckReport:
         )
         return report
     _DetLinter(path, text.splitlines(), report).visit(tree)
+    if graph is not None and report.diagnostics:
+        _augment_chain_hints(report, graph, path)
     return report
 
 
@@ -403,9 +471,12 @@ def iter_python_files(paths: Iterable[str]) -> List[str]:
 
 def lint_paths(paths: Iterable[str]) -> CheckReport:
     """Lint every ``.py`` file under the given files/directories."""
-    report = CheckReport()
+    sources = []
     for path in iter_python_files(paths):
         with open(path, encoding="utf-8") as fh:
-            text = fh.read()
-        report.extend(lint_source(text, path))
+            sources.append((path, fh.read()))
+    graph = build_call_graph(sources)
+    report = CheckReport()
+    for path, text in sources:
+        report.extend(lint_source(text, path, graph=graph))
     return report

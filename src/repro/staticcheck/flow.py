@@ -15,11 +15,15 @@ deliberately small and dependency-free:
 
 :func:`build_cfg`
     CFG construction for a function body (or a module body).  Handles
-    ``break``/``continue``, ``while``/``for`` ``else`` clauses, and
-    ``try``/``except``/``else``/``finally`` — every statement inside a
-    ``try`` body may raise, so each gets an edge to the handlers, and
-    every exit route (fallthrough, return, break, continue) is funneled
-    through the ``finally`` suite when one exists.
+    ``break``/``continue``, ``while``/``for`` ``else`` clauses,
+    ``match`` statements (one block per case, capture-pattern bindings
+    materialized as synthetic assignments), ``assert`` (the failing
+    path raises, so following code is only reached on the passing
+    path), and ``try``/``except``/``else``/``finally`` — every
+    statement inside a ``try`` body may raise, so each gets an edge to
+    the handlers, and every exit route (fallthrough, return, break,
+    continue) is funneled through the ``finally`` suite when one
+    exists.
 
 :class:`ForwardAnalysis`
     A worklist fixpoint engine.  Subclasses define the lattice through
@@ -27,10 +31,11 @@ deliberately small and dependency-free:
     and :meth:`ForwardAnalysis.transfer`; the engine iterates block
     states to a fixpoint and exposes the input state of every block.
 
-The framework is *intra*procedural by design: the consuming lints build
-their own lightweight per-class or per-module call graphs on top (see
-``protolint.py`` / ``poollint.py``) rather than attempting whole-program
-analysis.
+The framework itself is *intra*procedural; interprocedural reasoning
+(effect summaries, the kernel-soundness prover, cross-module lint
+logic) layers on top through the shared call graph in
+``callgraph.py``/``effects.py`` rather than widening this engine into
+a whole-program analysis.
 """
 
 from __future__ import annotations
@@ -51,10 +56,12 @@ __all__ = [
 class BranchCondition:
     """Pseudo-statement carrying a branch/loop test expression.
 
-    ``expr`` is the test (``if``/``while``) or iterable (``for``)
+    ``expr`` is the test (``if``/``while``), iterable (``for``),
+    context manager (``with``), or match subject (``match``)
     expression; ``kind`` is one of ``"if"``, ``"while"``, ``"for"``,
-    ``"with"``.  Transfer functions receive these like ordinary
-    statements so every expression in the function is visited once.
+    ``"with"``, ``"match"``.  Transfer functions receive these like
+    ordinary statements so every expression in the function is visited
+    once.
     """
 
     __slots__ = ("expr", "kind")
@@ -219,6 +226,10 @@ class _CFGBuilder:
             return self._try(stmt, current)
         if isinstance(stmt, (ast.With, ast.AsyncWith)):
             return self._with(stmt, current)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, current)
+        if isinstance(stmt, ast.Assert):
+            return self._assert(stmt, current)
         if isinstance(stmt, (ast.Return, ast.Raise)):
             self._append(current, stmt)
             self._raise_edges(current)
@@ -318,6 +329,55 @@ class _CFGBuilder:
         self.loops.pop()
         return after.bid
 
+    def _assert(self, stmt: ast.Assert, current: int) -> Optional[int]:
+        # A failing assert raises AssertionError: the failure route goes
+        # to the handlers / through finallies to the exit, and the code
+        # after the assert is reached only on the passing path.
+        self._append(current, stmt)
+        self._raise_edges(current)
+        target = self._through_finallies(current)
+        self.cfg.add_edge(target, self.cfg.exit)
+        ok = self.cfg.new_block("assert-ok")
+        self.cfg.add_edge(current, ok.bid)
+        return ok.bid
+
+    def _match(self, stmt: ast.Match, current: int) -> Optional[int]:
+        self._append(current, BranchCondition(stmt.subject, "match"))
+        self._raise_edges(current)
+
+        exits: List[int] = []
+        irrefutable = False
+        for case in stmt.cases:
+            entry = self.cfg.new_block("case")
+            self.cfg.add_edge(current, entry.bid)
+            # Capture patterns bind names on entry to the case body;
+            # materialize them as synthetic assignments from the subject
+            # so transfer functions see the bindings.
+            for name, pattern in _pattern_captures(case.pattern):
+                bind = ast.Assign(
+                    targets=[ast.Name(id=name, ctx=ast.Store())],
+                    value=stmt.subject,
+                )
+                ast.copy_location(bind, pattern)
+                ast.fix_missing_locations(bind)
+                self._append(entry.bid, bind)
+            if case.guard is not None:
+                self._append(entry.bid, BranchCondition(case.guard, "if"))
+            case_exit = self._suite(case.body, entry.bid)
+            if case_exit is not None:
+                exits.append(case_exit)
+            if case.guard is None and _pattern_irrefutable(case.pattern):
+                irrefutable = True
+        if not irrefutable:
+            # No case matched: control falls past the whole statement.
+            exits.append(current)
+        if not exits:
+            return None
+        join = self.cfg.new_block("match-join").bid
+        for e in exits:
+            self.cfg.add_edge(e, join)
+        return join
+
     def _with(self, stmt, current: int) -> Optional[int]:
         for item in stmt.items:
             self._append(current, BranchCondition(item.context_expr, "with"))
@@ -405,6 +465,30 @@ class _CFGBuilder:
             return fin_exit if fin_exit is not None else fin_entry.bid
 
         return route
+
+
+def _pattern_captures(pattern) -> List[Tuple[str, ast.AST]]:
+    """(name, node) for every capture binding inside a match pattern."""
+    out: List[Tuple[str, ast.AST]] = []
+    for node in ast.walk(pattern):
+        if isinstance(node, ast.MatchAs) and node.name is not None:
+            out.append((node.name, node))
+        elif isinstance(node, ast.MatchStar) and node.name is not None:
+            out.append((node.name, node))
+        elif isinstance(node, ast.MatchMapping) and node.rest is not None:
+            out.append((node.rest, node))
+    return out
+
+
+def _pattern_irrefutable(pattern) -> bool:
+    """Does the pattern match any subject (``case _:`` / bare capture)?"""
+    if isinstance(pattern, ast.MatchAs):
+        return pattern.pattern is None or _pattern_irrefutable(
+            pattern.pattern
+        )
+    if isinstance(pattern, ast.MatchOr):
+        return any(_pattern_irrefutable(p) for p in pattern.patterns)
+    return False
 
 
 def build_cfg(node) -> CFG:

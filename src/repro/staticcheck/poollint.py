@@ -21,11 +21,14 @@ determinism.  That promise dies quietly when a function shipped to a
     write to it is lost), or a bound method (``self`` is *copied* into
     the worker, so mutations never reach the parent's instance).
 
-Detection is intentionally module-local: submission sites are calls to
-``submit``/``map`` on a pool object (a name bound from
-``ProcessPoolExecutor(...)``, or named ``pool``/``executor``), and the
-submitted function plus its transitive same-module callees are scanned.
-Writes to *documented* side channels can be excused with a trailing
+Submission sites are calls to ``submit``/``map`` on a pool object (a
+name bound from ``ProcessPoolExecutor(...)``, or named
+``pool``/``executor``).  The submitted function and its transitive
+callees are scanned through the shared
+:mod:`repro.staticcheck.callgraph` — following plain function-call
+edges only, so an imported worker's helpers in *other* modules are
+checked against their own module's globals too.  Writes to
+*documented* side channels can be excused with a trailing
 ``# pool: allow`` (optionally ``# pool: allow(rule-id)``) comment.
 """
 
@@ -33,8 +36,9 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.staticcheck.callgraph import CallGraph, build_call_graph
 from repro.staticcheck.diagnostics import CheckReport, Severity
 
 _ALLOW_RE = re.compile(r"#\s*pool:\s*allow(?:\(([a-z0-9_,\- ]+)\))?")
@@ -183,35 +187,55 @@ def _find_submissions(tree: ast.Module) -> List[_Submission]:
 
 
 class _WorkerScan:
-    """Scans one worker function (+ same-module callees) for shared writes."""
+    """Scans one worker function (+ transitive callees) for shared writes.
 
-    def __init__(
-        self,
-        index: _ModuleIndex,
-        path: str,
-        lines: Sequence[str],
-        report: CheckReport,
-    ) -> None:
-        self.index = index
-        self.path = path
-        self.lines = lines
+    Callees are followed through the call graph's plain function-call
+    edges (``kind == "function"``) — methods, hinted and heuristic
+    edges are excluded so the scan stays anchored to what a pool worker
+    provably executes.  Each function is checked against *its own*
+    module's globals, so cross-module helpers are covered too.
+    """
+
+    def __init__(self, graph: CallGraph, report: CheckReport) -> None:
+        self.graph = graph
         self.report = report
         self._visited: Set[str] = set()
+        self._indexes: Dict[str, Tuple[_ModuleIndex, str, Sequence[str]]] = {}
+        # Per-scan frame, rebound by scan() for each function visited.
+        self.index: Optional[_ModuleIndex] = None
+        self.path = "<string>"
+        self.lines: Sequence[str] = ()
 
-    def scan(self, fn: ast.FunctionDef, worker_name: str) -> None:
-        if fn.name in self._visited:
+    def _frame_for(self, module: str) -> Tuple[_ModuleIndex, str, Sequence[str]]:
+        frame = self._indexes.get(module)
+        if frame is None:
+            info = self.graph.modules[module]
+            frame = (_ModuleIndex(info.tree), info.path, info.lines)
+            self._indexes[module] = frame
+        return frame
+
+    def scan(self, qname: str, worker_name: str) -> None:
+        if qname in self._visited:
             return
-        self._visited.add(fn.name)
+        self._visited.add(qname)
+        node = self.graph.functions.get(qname)
+        if node is None or not isinstance(
+            node.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            return
+        self.index, self.path, self.lines = self._frame_for(node.module)
+        fn = node.node
         local_names = self._local_bindings(fn)
-        for node in ast.walk(fn):
-            self._check_global_stmt(node, fn, worker_name)
-            self._check_write(node, fn, worker_name, local_names)
-            self._check_mutator_call(node, fn, worker_name, local_names)
-            # Recurse into same-module callees.
-            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-                callee = self.index.functions.get(node.func.id)
-                if callee is not None:
-                    self.scan(callee, worker_name)
+        for sub in ast.walk(fn):
+            self._check_global_stmt(sub, fn, worker_name)
+            self._check_write(sub, fn, worker_name, local_names)
+            self._check_mutator_call(sub, fn, worker_name, local_names)
+        # Recurse into callees, cross-module, via function-call edges.
+        for site in self.graph.calls.get(qname, []):
+            if site.kind != "function":
+                continue
+            for target in site.targets:
+                self.scan(target, worker_name)
 
     # -- binding classification ----------------------------------------------
     @staticmethod
@@ -360,12 +384,20 @@ class _WorkerScan:
         )
 
 
-def lint_source(text: str, path: str = "<string>") -> CheckReport:
-    """Worker-capture lint over one module's source text."""
+def lint_source(
+    text: str, path: str = "<string>", graph: Optional[CallGraph] = None
+) -> CheckReport:
+    """Worker-capture lint over one module's source text.
+
+    With a repo-wide ``graph``, workers imported from other modules
+    resolve and their helpers are scanned against their own globals;
+    without one, a single-module graph is built on the fly.
+    """
     report = CheckReport()
-    try:
-        tree = ast.parse(text, filename=path)
-    except SyntaxError as exc:
+    if graph is None:
+        graph = build_call_graph([(path, text)])
+    exc = graph.errors.get(path)
+    if exc is not None:
         report.add(
             "pool-capture",
             Severity.ERROR,
@@ -374,8 +406,11 @@ def lint_source(text: str, path: str = "<string>") -> CheckReport:
             "fix the syntax error first",
         )
         return report
-    lines = text.splitlines()
-    index = _ModuleIndex(tree)
+    modname = graph.module_by_path.get(path)
+    if modname is None:
+        return report
+    tree = graph.modules[modname].tree
+    lines = graph.modules[modname].lines
     submissions = _find_submissions(tree)
     if not submissions:
         return report
@@ -427,8 +462,8 @@ def lint_source(text: str, path: str = "<string>") -> CheckReport:
             continue
         if not isinstance(target, ast.Name):
             continue
-        fn = index.functions.get(target.id)
-        if fn is None:
+        qname = graph.resolve_name(modname, target.id)
+        if qname is None:
             nested = nested_by_name.get(target.id)
             if nested is not None and id(nested) in nested_defs:
                 if not _suppressed(lines, sub.lineno, "pool-capture"):
@@ -443,7 +478,7 @@ def lint_source(text: str, path: str = "<string>") -> CheckReport:
                         "pass state explicitly",
                     )
             continue
-        _WorkerScan(index, path, lines, report).scan(fn, target.id)
+        _WorkerScan(graph, report).scan(qname, target.id)
     return report
 
 
@@ -451,10 +486,14 @@ def lint_paths(paths) -> CheckReport:
     """Worker-capture lint over files/directories of Python code."""
     from repro.staticcheck.detlint import iter_python_files
 
-    report = CheckReport()
+    sources = []
     for path in iter_python_files(paths):
         with open(path, encoding="utf-8") as fh:
-            report.extend(lint_source(fh.read(), path))
+            sources.append((path, fh.read()))
+    graph = build_call_graph(sources)
+    report = CheckReport()
+    for path, text in sources:
+        report.extend(lint_source(text, path, graph=graph))
     return report
 
 

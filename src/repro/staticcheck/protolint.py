@@ -12,8 +12,9 @@ mirroring ``_traverse``'s per-flit credit return).
 
 The analysis is per class: for every class that owns credit machinery
 (it references ``on_credit`` / ``credit_out`` / ``restore`` / a
-``credits`` view), a per-class call graph over its methods is built and
-two contracts are checked:
+``credits`` view), the method table is flattened through the shared
+:mod:`repro.staticcheck.callgraph` — inherited methods resolve across
+modules, overrides win — and two contracts are checked:
 
 ``proto-credit-return``
     Every buffer **pop site** (``vc.pop(...)``, ``*.fifo.popleft()``)
@@ -46,6 +47,7 @@ import ast
 import re
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.staticcheck.callgraph import CallGraph, build_call_graph
 from repro.staticcheck.diagnostics import CheckReport, Severity
 
 _ALLOW_RE = re.compile(r"#\s*proto:\s*allow(?:\(([a-z0-9_,\- ]+)\))?")
@@ -209,11 +211,23 @@ def _has_early_exit(stmt: ast.If) -> bool:
 
 
 class _MethodInfo:
-    """Sites and structure of one method, for the class-level checks."""
+    """Sites and structure of one method, for the class-level checks.
 
-    def __init__(self, cls_name: str, fn: ast.FunctionDef) -> None:
+    Carries its own ``path``/``lines`` because flattened method tables
+    may mix methods defined in different modules.
+    """
+
+    def __init__(
+        self,
+        cls_name: str,
+        fn: ast.FunctionDef,
+        path: str,
+        lines: Sequence[str],
+    ) -> None:
         self.cls_name = cls_name
         self.fn = fn
+        self.path = path
+        self.lines = lines
         self.name = fn.name
         self.pops: List[_Site] = []
         self.credit_returns: List[_Site] = []
@@ -337,13 +351,9 @@ class _ClassAnalysis:
 
     def __init__(
         self,
-        path: str,
-        lines: Sequence[str],
         methods: Dict[str, _MethodInfo],
         report: CheckReport,
     ) -> None:
-        self.path = path
-        self.lines = lines
         self.report = report
         self.methods = methods
 
@@ -376,14 +386,14 @@ class _ClassAnalysis:
                 if self._pop_refunded(info, pop):
                     continue
                 if _suppressed(
-                    self.lines, pop.lineno, "proto-credit-return"
+                    info.lines, pop.lineno, "proto-credit-return"
                 ):
                     continue
                 trail = self._render_trail(info, pop)
                 self.report.add(
                     "proto-credit-return",
                     Severity.WARNING,
-                    f"{self.path}:{pop.lineno}",
+                    f"{info.path}:{pop.lineno}",
                     f"{info.cls_name}.{info.name} pops {pop.detail} but no "
                     f"credit return follows on the path to exit{trail}",
                     "send the freed slot upstream (on_credit/credit "
@@ -439,12 +449,12 @@ class _ClassAnalysis:
             for push in info.pushes:
                 if self._push_guarded(info, push):
                     continue
-                if _suppressed(self.lines, push.lineno, "proto-push-guard"):
+                if _suppressed(info.lines, push.lineno, "proto-push-guard"):
                     continue
                 self.report.add(
                     "proto-push-guard",
                     Severity.WARNING,
-                    f"{self.path}:{push.lineno}",
+                    f"{info.path}:{push.lineno}",
                     f"{info.cls_name}.{info.name} pushes via {push.detail} "
                     "without a dominating capacity/credit check",
                     "guard the push with has_credit/can_accept/"
@@ -501,72 +511,48 @@ def _class_owns_credits(methods: Dict[str, _MethodInfo]) -> bool:
     return False
 
 
-def _base_names(cls: ast.ClassDef) -> List[str]:
-    out = []
-    for base in cls.bases:
-        if isinstance(base, ast.Name):
-            out.append(base.id)
-        elif isinstance(base, ast.Attribute):
-            out.append(base.attr)
-    return out
-
-
-def _flatten_class(
-    cls: ast.ClassDef, by_name: Dict[str, ast.ClassDef]
+def _flattened_method_infos(
+    graph: CallGraph, class_qname: str
 ) -> Dict[str, _MethodInfo]:
-    """Merged method table: in-module base methods, overrides winning."""
+    """The class's merged method table as :class:`_MethodInfo` records.
+
+    Methods flattened in from bases keep the *defining* class's name,
+    path, and source lines — they may live in a different module than
+    the leaf class.
+    """
     methods: Dict[str, _MethodInfo] = {}
-
-    def absorb(current: ast.ClassDef, seen: Set[str]) -> None:
-        if current.name in seen:
-            return
-        seen.add(current.name)
-        # Bases first so derived definitions override them.
-        for base_name in _base_names(current):
-            base = by_name.get(base_name)
-            if base is not None:
-                absorb(base, seen)
-        for stmt in current.body:
-            if isinstance(stmt, ast.FunctionDef):
-                methods[stmt.name] = _MethodInfo(current.name, stmt)
-
-    absorb(cls, set())
+    for name, node in graph.flattened_methods(class_qname).items():
+        if not isinstance(node.node, ast.FunctionDef):
+            continue
+        info = graph.modules.get(node.module)
+        lines: Sequence[str] = info.lines if info is not None else ()
+        methods[name] = _MethodInfo(
+            node.cls_bare or "?", node.node, node.path, lines
+        )
     return methods
 
 
-def lint_source(text: str, path: str = "<string>") -> CheckReport:
-    """Credit-handshake conformance lint over one module's source text."""
-    report = CheckReport()
-    try:
-        tree = ast.parse(text, filename=path)
-    except SyntaxError as exc:
-        report.add(
-            "proto-credit-return",
-            Severity.ERROR,
-            f"{path}:{exc.lineno or 0}",
-            f"cannot parse module: {exc.msg}",
-            "fix the syntax error first",
-        )
-        return report
-    lines = text.splitlines()
-    classes = [
-        node for node in ast.walk(tree) if isinstance(node, ast.ClassDef)
-    ]
-    by_name = {cls.name: cls for cls in classes}
-    subclassed = {
-        base for cls in classes for base in _base_names(cls) if base in by_name
-    }
+def lint_graph(graph: CallGraph, only_module: Optional[str] = None) -> CheckReport:
+    """Credit-handshake conformance lint over a built call graph.
 
+    ``only_module`` restricts analysis to classes defined in one module
+    (used by :func:`lint_source`); by default every leaf class in the
+    graph is checked, with inherited methods resolved cross-module.
+    """
+    report = CheckReport()
     merged = CheckReport()
-    for cls in classes:
-        # Bases with in-module subclasses are analyzed through each
-        # flattened leaf, where their callers are visible.
-        if cls.name in subclassed:
+    for qname in sorted(graph.classes):
+        cls = graph.classes[qname]
+        if only_module is not None and cls.module != only_module:
             continue
-        methods = _flatten_class(cls, by_name)
+        # Bases with subclasses are analyzed through each flattened
+        # leaf, where their callers are visible.
+        if graph.subclasses(qname):
+            continue
+        methods = _flattened_method_infos(graph, qname)
         if not _class_owns_credits(methods):
             continue
-        analysis = _ClassAnalysis(path, lines, methods, merged)
+        analysis = _ClassAnalysis(methods, merged)
         analysis.check_credit_returns()
         analysis.check_push_guards()
 
@@ -582,15 +568,36 @@ def lint_source(text: str, path: str = "<string>") -> CheckReport:
     return report
 
 
+def lint_source(
+    text: str, path: str = "<string>", graph: Optional[CallGraph] = None
+) -> CheckReport:
+    """Credit-handshake conformance lint over one module's source text."""
+    if graph is None:
+        graph = build_call_graph([(path, text)])
+    exc = graph.errors.get(path)
+    if exc is not None:
+        report = CheckReport()
+        report.add(
+            "proto-credit-return",
+            Severity.ERROR,
+            f"{path}:{exc.lineno or 0}",
+            f"cannot parse module: {exc.msg}",
+            "fix the syntax error first",
+        )
+        return report
+    return lint_graph(graph, only_module=graph.module_by_path.get(path))
+
+
 def lint_paths(paths) -> CheckReport:
     """Credit-handshake lint over files/directories of Python code."""
     from repro.staticcheck.detlint import iter_python_files
 
-    report = CheckReport()
+    sources = []
     for path in iter_python_files(paths):
         with open(path, encoding="utf-8") as fh:
-            report.extend(lint_source(fh.read(), path))
-    return report
+            sources.append((path, fh.read()))
+    graph = build_call_graph(sources)
+    return lint_graph(graph)
 
 
-__all__ = ["lint_paths", "lint_source"]
+__all__ = ["lint_graph", "lint_paths", "lint_source"]

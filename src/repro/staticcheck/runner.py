@@ -1,8 +1,10 @@
 """CheckRunner — one front door for every static analysis, plus the gate.
 
 :class:`CheckRunner` exposes the model checks (scheme/spec level) and the
-code checks (determinism lint) behind one object that filters by rule id
-and renders one :class:`~repro.staticcheck.diagnostics.CheckReport`.
+code checks (determinism/unit/protocol/pool lints plus the
+kernel-soundness prover) behind one object that filters by rule id and
+renders one :class:`~repro.staticcheck.diagnostics.CheckReport`.  The
+code checks share a single interprocedural call graph per invocation.
 
 :func:`validate_spec` is the enforcement point wired into
 :mod:`repro.experiments.api`: it runs the model checks for a
@@ -144,6 +146,22 @@ RULES: Dict[str, tuple] = {
         "no lambdas, closures, or bound methods submitted to the "
         "process pool (captured state is copied, not shared)",
     ),
+    "kernel-skip-unsound": (
+        "code",
+        "every state path mutated on the reference kernel's advance path "
+        "must be replicated, wake-scheduled, or declared inert by the "
+        "activity kernel",
+    ),
+    "kernel-wake-unscheduled": (
+        "code",
+        "an activity kernel that gates on a wake agenda must also re-arm "
+        "it (something must write the agenda it drains)",
+    ),
+    "kernel-state-untracked": (
+        "code",
+        "the activity kernel must not mutate component state the "
+        "reference kernel never touches (byte-identity drift)",
+    ),
 }
 
 
@@ -203,26 +221,48 @@ class CheckRunner:
         return self._filtered(report)
 
     # -- code checks ---------------------------------------------------------
-    def check_source(self, text: str, path: str = "<string>") -> CheckReport:
-        """All code lints (det/unit/proto/pool) over one module's text."""
-        from repro.staticcheck import detlint, poollint, protolint, unitlint
+    def _code_reports(self, items: Sequence[tuple]) -> CheckReport:
+        """All code lints over ``(path, text)`` pairs sharing one graph.
 
+        One call graph (with the kernel receiver hints) serves every
+        graph-aware lint: det/pool run per file against it, while the
+        protocol and kernel-soundness passes are inherently whole-graph
+        and run once.
+        """
+        from repro.staticcheck import (
+            detlint,
+            kernellint,
+            poollint,
+            protolint,
+            unitlint,
+        )
+        from repro.staticcheck.callgraph import build_call_graph
+
+        graph = build_call_graph(
+            items, receiver_hints=kernellint.RECEIVER_HINTS
+        )
         report = CheckReport()
-        for module in (detlint, unitlint, protolint, poollint):
-            report.extend(module.lint_source(text, path))
+        for path, text in items:
+            report.extend(detlint.lint_source(text, path, graph=graph))
+            report.extend(unitlint.lint_source(text, path))
+            report.extend(poollint.lint_source(text, path, graph=graph))
+        report.extend(protolint.lint_graph(graph))
+        report.extend(kernellint.lint_graph(graph))
         return self._filtered(report)
+
+    def check_source(self, text: str, path: str = "<string>") -> CheckReport:
+        """All code lints (det/unit/proto/pool/kernel) over one module."""
+        return self._code_reports([(path, text)])
 
     def check_paths(self, paths: Sequence[str]) -> CheckReport:
         """All code lints over files/directories of Python code."""
-        from repro.staticcheck import detlint, poollint, protolint, unitlint
+        from repro.staticcheck import detlint
 
-        report = CheckReport()
+        items = []
         for path in detlint.iter_python_files(paths):
             with open(path, encoding="utf-8") as fh:
-                text = fh.read()
-            for module in (detlint, unitlint, protolint, poollint):
-                report.extend(module.lint_source(text, path))
-        return self._filtered(report)
+                items.append((path, fh.read()))
+        return self._code_reports(items)
 
     # -- verdict -------------------------------------------------------------
     def failed(self, report: CheckReport) -> bool:

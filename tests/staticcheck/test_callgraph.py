@@ -1,0 +1,223 @@
+"""Call-graph builder tests — resolution corners and graph queries."""
+
+import textwrap
+
+from repro.staticcheck.callgraph import (
+    build_call_graph,
+    chain_of,
+    final_attr,
+    module_name_for,
+)
+
+
+def graph_of(**sources):
+    """Build a graph from ``name=source`` pairs (name -> name.py)."""
+    items = [
+        (f"{name}.py", textwrap.dedent(src))
+        for name, src in sorted(sources.items())
+    ]
+    return build_call_graph(items)
+
+
+class TestModuleNames:
+    def test_src_prefix_stripped(self):
+        assert module_name_for("src/repro/noc/router.py") == "repro.noc.router"
+
+    def test_init_dropped(self):
+        assert module_name_for("src/repro/__init__.py") == "repro"
+
+
+class TestResolution:
+    def test_plain_function_call(self):
+        g = graph_of(m="""
+            def helper():
+                pass
+
+            def entry():
+                helper()
+        """)
+        sites = g.calls["m.entry"]
+        assert ["m.helper"] == [t for s in sites for t in s.targets]
+
+    def test_decorated_method_still_resolves(self):
+        g = graph_of(m="""
+            import functools
+
+            class C:
+                @functools.lru_cache(maxsize=None)
+                def cached(self):
+                    return 1
+
+                def run(self):
+                    return self.cached()
+        """)
+        targets = [
+            t for s in g.calls["m.C.run"] for t in s.targets
+        ]
+        assert "m.C.cached" in targets
+
+    def test_super_dispatch_resolves_to_base(self):
+        g = graph_of(m="""
+            class Base:
+                def step(self):
+                    pass
+
+            class Derived(Base):
+                def step(self):
+                    super().step()
+        """)
+        sites = [s for s in g.calls["m.Derived.step"] if s.kind == "super"]
+        assert sites and list(sites[0].targets) == ["m.Base.step"]
+
+    def test_self_call_includes_subclass_overrides(self):
+        g = graph_of(m="""
+            class Base:
+                def run(self):
+                    self.step()
+
+                def step(self):
+                    pass
+
+            class Derived(Base):
+                def step(self):
+                    pass
+        """)
+        targets = {
+            t for s in g.calls["m.Base.run"] for t in s.targets
+        }
+        assert {"m.Base.step", "m.Derived.step"} <= targets
+
+    def test_property_access_resolves_as_value(self):
+        g = graph_of(m="""
+            class C:
+                @property
+                def depth(self):
+                    return 3
+
+                def use(self):
+                    return self.depth + 1
+        """)
+        sites = [s for s in g.calls["m.C.use"] if s.kind == "property"]
+        assert sites and list(sites[0].targets) == ["m.C.depth"]
+        assert g.functions["m.C.depth"].is_property
+
+    def test_aliased_import_resolves_across_modules(self):
+        g = graph_of(
+            util="""
+                def compute():
+                    pass
+            """,
+            app="""
+                from util import compute as c
+
+                def entry():
+                    c()
+            """,
+        )
+        targets = [t for s in g.calls["app.entry"] for t in s.targets]
+        assert targets == ["util.compute"]
+
+    def test_instance_local_method_call(self):
+        g = graph_of(m="""
+            class Widget:
+                def poke(self):
+                    pass
+
+            def entry():
+                w = Widget()
+                w.poke()
+        """)
+        targets = [t for s in g.calls["m.entry"] for t in s.targets]
+        assert "m.Widget.__init__" not in targets  # no ctor defined
+        assert "m.Widget.poke" in targets
+
+    def test_generic_method_name_not_guessed(self):
+        g = graph_of(m="""
+            class C:
+                def append(self, x):
+                    pass
+
+            def entry(items):
+                items.append(1)
+        """)
+        # ``items`` is untyped and ``append`` is a generic container
+        # method: resolution must NOT guess C.append.
+        targets = [t for s in g.calls["m.entry"] for t in s.targets]
+        assert targets == []
+
+
+class TestQueries:
+    def test_flattened_methods_prefer_overrides(self):
+        g = graph_of(m="""
+            class Base:
+                def a(self):
+                    pass
+
+                def b(self):
+                    pass
+
+            class Derived(Base):
+                def b(self):
+                    pass
+        """)
+        flat = g.flattened_methods("m.Derived")
+        assert flat["a"].qname == "m.Base.a"
+        assert flat["b"].qname == "m.Derived.b"
+
+    def test_reachable_and_call_chain(self):
+        g = graph_of(m="""
+            def a():
+                b()
+
+            def b():
+                c()
+
+            def c():
+                pass
+        """)
+        assert set(g.reachable(["m.a"])) == {"m.a", "m.b", "m.c"}
+        assert g.call_chain("m.a", "m.c") == ["m.a", "m.b", "m.c"]
+
+    def test_recursive_scc_groups_cycle(self):
+        g = graph_of(m="""
+            def even(n):
+                return n == 0 or odd(n - 1)
+
+            def odd(n):
+                return n != 0 and even(n - 1)
+
+            def entry(n):
+                return even(n)
+        """)
+        sccs = [set(s) for s in g.sccs()]
+        assert {"m.even", "m.odd"} in sccs
+        # reverse-topological: the cycle is emitted before its caller
+        cycle_pos = sccs.index({"m.even", "m.odd"})
+        entry_pos = sccs.index({"m.entry"})
+        assert cycle_pos < entry_pos
+
+    def test_function_at_finds_innermost(self):
+        src = textwrap.dedent("""
+            class C:
+                def outer(self):
+                    x = 1
+                    return x
+        """)
+        g = build_call_graph([("m.py", src)])
+        fn = g.function_at("m.py", 4)
+        assert fn is not None and fn.qname == "m.C.outer"
+
+    def test_syntax_error_recorded_not_raised(self):
+        g = build_call_graph([("bad.py", "def broken(:\n")])
+        assert "bad.py" in g.errors
+        assert not g.functions
+
+
+class TestChains:
+    def test_chain_of_subscript_and_attr(self):
+        import ast
+
+        expr = ast.parse("self.routers[3].vcs", mode="eval").body
+        chain = chain_of(expr, {})
+        assert chain == "self.routers[].vcs"
+        assert final_attr(chain) == "vcs"

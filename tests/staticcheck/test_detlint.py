@@ -257,3 +257,60 @@ class TestMultiLineSuppression:
         """)
         assert rules_of(report) == {"det-wallclock"}
         assert report.diagnostics[0].location.endswith(":6")
+
+
+class TestCallerChainHints:
+    SRC = """
+        import random
+
+        def draw():
+            return random.random()
+
+        def helper():
+            return draw()
+
+        def sweep_entry():
+            return helper()
+    """
+
+    def test_hint_names_the_full_call_chain(self):
+        from repro.staticcheck.callgraph import build_call_graph
+
+        src = textwrap.dedent(self.SRC)
+        graph = build_call_graph([("mod.py", src)])
+        report = lint_source(src, path="mod.py", graph=graph)
+        [diag] = report.diagnostics
+        assert (
+            "reached via mod.sweep_entry -> mod.helper -> mod.draw"
+            in diag.hint
+        )
+        # The original remediation advice survives in front of the chain.
+        assert diag.hint.startswith("use a seeded random.Random")
+
+    def test_no_graph_means_no_chain(self):
+        report = lint(self.SRC)
+        assert "reached via" not in report.diagnostics[0].hint
+
+    def test_chain_only_for_nondeterminism_rules(self):
+        from repro.staticcheck.callgraph import build_call_graph
+
+        src = textwrap.dedent("""
+            def spin(items):
+                for x in set(items):
+                    yield x
+
+            def entry(items):
+                return list(spin(items))
+        """)
+        graph = build_call_graph([("mod.py", src)])
+        report = lint_source(src, path="mod.py", graph=graph)
+        [diag] = report.diagnostics
+        assert diag.rule == "det-set-iter"
+        assert "reached via" not in diag.hint
+
+    def test_lint_paths_builds_the_graph_itself(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text(textwrap.dedent(self.SRC))
+        report = lint_paths([str(mod)])
+        [diag] = report.diagnostics
+        assert "reached via" in diag.hint

@@ -1,0 +1,148 @@
+"""Interprocedural effect-summary tests — writes, aliasing, fixpoints."""
+
+import textwrap
+
+from repro.staticcheck.callgraph import build_call_graph
+from repro.staticcheck.effects import EffectEngine
+
+
+def engine_of(src, path="m.py"):
+    graph = build_call_graph([(path, textwrap.dedent(src))])
+    return EffectEngine(graph)
+
+
+class TestDirect:
+    def test_attribute_assignment_recorded_with_owner(self):
+        eng = engine_of("""
+            class Router:
+                def drain(self):
+                    self.credits = 0
+        """)
+        summary = eng.direct("m.Router.drain")
+        assert summary.write_attrs == {"credits"}
+        assert summary.writes[0].owner == "Router"
+
+    def test_init_self_writes_are_construction_not_mutation(self):
+        eng = engine_of("""
+            class Flit:
+                def __init__(self):
+                    self.hops = 0
+        """)
+        assert eng.direct("m.Flit.__init__").pure
+
+    def test_mutator_call_on_self_attribute(self):
+        eng = engine_of("""
+            class Queue:
+                def push(self, item):
+                    self.items.append(item)
+        """)
+        summary = eng.direct("m.Queue.push")
+        assert "items" in summary.write_attrs
+
+    def test_fresh_local_container_writes_dropped(self):
+        eng = engine_of("""
+            def tally(records):
+                out = []
+                for r in records:
+                    out.append(r)
+                return out
+        """)
+        assert eng.direct("m.tally").pure
+
+    def test_alias_through_local_tracks_full_chain(self):
+        eng = engine_of("""
+            class Net:
+                def reset(self):
+                    r = self.routers[0]
+                    r.credits = 0
+        """)
+        summary = eng.direct("m.Net.reset")
+        paths = {w.path for w in summary.writes}
+        assert "self.routers[].credits" in paths
+
+    def test_pure_helper_is_pure(self):
+        eng = engine_of("""
+            def clamp(x, lo, hi):
+                return max(lo, min(x, hi))
+        """)
+        assert eng.direct("m.clamp").pure
+
+
+class TestTransitive:
+    def test_caller_absorbs_callee_writes(self):
+        eng = engine_of("""
+            class Router:
+                def cycle(self):
+                    self._advance()
+
+                def _advance(self):
+                    self.stalled = True
+        """)
+        summary = eng.transitive("m.Router.cycle")
+        assert "stalled" in summary.write_attrs
+
+    def test_recursive_scc_reaches_fixpoint(self):
+        eng = engine_of("""
+            class Walker:
+                def descend(self, n):
+                    if n:
+                        self.depth = n
+                        self.ascend(n - 1)
+
+                def ascend(self, n):
+                    if n:
+                        self.height = n
+                        self.descend(n - 1)
+        """)
+        down = eng.transitive("m.Walker.descend")
+        up = eng.transitive("m.Walker.ascend")
+        # mutual recursion: both summaries carry both writes
+        assert {"depth", "height"} <= down.write_attrs
+        assert {"depth", "height"} <= up.write_attrs
+
+    def test_resolved_mutator_call_uses_callee_summary(self):
+        eng = engine_of("""
+            class Buffer:
+                def append(self, flit):
+                    self.slots = flit
+
+            class Port:
+                def accept(self, flit):
+                    b = Buffer()
+                    b.append(flit)
+        """)
+        summary = eng.transitive("m.Port.accept")
+        # The call resolved to Buffer.append, so the container-mutator
+        # heuristic must not also invent a write to a local name.
+        assert "slots" in summary.write_attrs
+        assert all(w.attr != "b" for w in summary.writes)
+
+
+class TestCollect:
+    def test_collect_reports_provenance_chain(self):
+        eng = engine_of("""
+            class Sim:
+                def run(self):
+                    self.tick()
+
+                def tick(self):
+                    self.clock = 1
+        """)
+        writes, chains = eng.collect(["m.Sim.run"])
+        assert any(w.attr == "clock" for w in writes)
+        assert chains["m.Sim.tick"] == ["m.Sim.run", "m.Sim.tick"]
+
+    def test_collect_skip_excludes_edges(self):
+        eng = engine_of("""
+            class Sim:
+                def run(self):
+                    self.fallback()
+
+                def fallback(self):
+                    self.slow = 1
+        """)
+        writes, _chains = eng.collect(
+            ["m.Sim.run"],
+            skip=lambda caller, site: site.attr == "fallback",
+        )
+        assert all(w.attr != "slow" for w in writes)

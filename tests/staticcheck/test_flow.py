@@ -340,3 +340,154 @@ class TestForwardAnalysis:
         analysis = _CollectingAnalysis(cfg)
         analysis.run()  # must not hang
         assert "n" in analysis.block_in[cfg.exit]
+
+
+class TestMatch:
+    def test_match_creates_case_blocks_and_join(self):
+        cfg = cfg_of("""
+            def f(x):
+                match x:
+                    case 1:
+                        a = 1
+                    case 2:
+                        a = 2
+                return a
+        """)
+        assert {"case", "match-join"} <= labels(cfg)
+        kinds = [
+            s.kind for _b, s in cfg.statements()
+            if isinstance(s, BranchCondition)
+        ]
+        assert "match" in kinds
+
+    def test_capture_pattern_binds_name(self):
+        cfg = cfg_of("""
+            def f(x):
+                match x:
+                    case [head]:
+                        return head
+                return None
+        """)
+        assigned = {
+            s.targets[0].id
+            for _b, s in cfg.statements()
+            if isinstance(s, ast.Assign)
+            and isinstance(s.targets[0], ast.Name)
+        }
+        assert "head" in assigned
+
+    def test_guard_becomes_branch_condition(self):
+        cfg = cfg_of("""
+            def f(x):
+                match x:
+                    case n if n > 0:
+                        return n
+                return 0
+        """)
+        kinds = [
+            s.kind for _b, s in cfg.statements()
+            if isinstance(s, BranchCondition)
+        ]
+        assert kinds.count("if") == 1
+
+    def test_refutable_cases_keep_fallthrough_edge(self):
+        cfg = cfg_of("""
+            def f(x):
+                match x:
+                    case 1:
+                        a = 1
+                y = 2
+                return y
+        """)
+        join = next(
+            b for b in cfg.blocks.values() if b.label == "match-join"
+        )
+        match_block = next(
+            bid for bid, s in cfg.statements()
+            if isinstance(s, BranchCondition) and s.kind == "match"
+        )
+        assert match_block in join.preds
+
+    def test_wildcard_case_suppresses_fallthrough(self):
+        cfg = cfg_of("""
+            def f(x):
+                match x:
+                    case 1:
+                        a = 1
+                    case _:
+                        a = 2
+                return a
+        """)
+        join = next(
+            b for b in cfg.blocks.values() if b.label == "match-join"
+        )
+        match_block = next(
+            bid for bid, s in cfg.statements()
+            if isinstance(s, BranchCondition) and s.kind == "match"
+        )
+        assert match_block not in join.preds
+
+    def test_guarded_wildcard_still_falls_through(self):
+        cfg = cfg_of("""
+            def f(x):
+                match x:
+                    case _ if x > 0:
+                        a = 1
+                return 0
+        """)
+        join = next(
+            b for b in cfg.blocks.values() if b.label == "match-join"
+        )
+        match_block = next(
+            bid for bid, s in cfg.statements()
+            if isinstance(s, BranchCondition) and s.kind == "match"
+        )
+        assert match_block in join.preds
+
+
+class TestAssert:
+    def test_assert_adds_failure_edge_to_exit(self):
+        cfg = cfg_of("""
+            def f(x):
+                assert x > 0
+                return x
+        """)
+        assert_block = next(
+            bid for bid, s in cfg.statements()
+            if isinstance(s, ast.Assert)
+        )
+        assert cfg.exit in cfg.blocks[assert_block].succs
+
+    def test_code_after_assert_lives_on_passing_path(self):
+        cfg = cfg_of("""
+            def f(x):
+                assert x > 0
+                y = 1
+                return y
+        """)
+        assert "assert-ok" in labels(cfg)
+        assign_block = next(
+            bid for bid, s in cfg.statements()
+            if isinstance(s, ast.Assign)
+        )
+        assert cfg.blocks[assign_block].label == "assert-ok"
+
+    def test_assert_failure_reaches_handler(self):
+        cfg = cfg_of("""
+            def f(x):
+                try:
+                    assert x
+                except AssertionError:
+                    return -1
+                return x
+        """)
+        assert_block = next(
+            bid for bid, s in cfg.statements()
+            if isinstance(s, ast.Assert)
+        )
+        handler_labels = {
+            cfg.blocks[succ].label
+            for succ in cfg.blocks[assert_block].succs
+        }
+        assert any("handler" in lab or "except" in lab
+                   for lab in handler_labels)

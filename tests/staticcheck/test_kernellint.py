@@ -1,0 +1,201 @@
+"""Kernel-soundness prover tests — the byte-identity contract, statically."""
+
+import textwrap
+
+from repro.staticcheck.callgraph import build_call_graph
+from repro.staticcheck.diagnostics import Severity
+from repro.staticcheck.kernellint import (
+    RECEIVER_HINTS,
+    find_kernel_pairs,
+    lint_paths,
+    lint_source,
+)
+
+COMPONENT = textwrap.dedent("""
+    class Counter:
+        def __init__(self):
+            self.ticks = 0
+            self.marks = 0
+
+        def tick(self):
+            self.ticks += 1
+
+        def mark(self):
+            self.marks += 1
+""")
+
+SOUND_PAIR = COMPONENT + textwrap.dedent("""
+
+    class ReferenceKernel:
+        name = "reference"
+
+        def cycle(self, counters):
+            for c in counters:
+                c.tick()
+                c.mark()
+
+
+    class ActivityKernel:
+        name = "activity"
+
+        def __init__(self):
+            self._wake = []
+
+        def cycle(self, counters):
+            for c in self._wake:
+                c.tick()
+                c.mark()
+
+        def on_offer(self, c):
+            self._wake.append(c)
+""")
+
+# Identical, except the activity kernel forgets to replicate mark():
+# the reference-side self.marks mutation becomes invisible to the
+# gated fast path — exactly the bug class the rule exists for.
+UNSOUND_PAIR = SOUND_PAIR.replace(
+    """        for c in self._wake:
+            c.tick()
+            c.mark()
+""",
+    """        for c in self._wake:
+            c.tick()
+""",
+)
+
+
+def lint(src):
+    return lint_source(src, "fixture.py")
+
+
+class TestPairDiscovery:
+    def test_finds_reference_activity_pair(self):
+        graph = build_call_graph(
+            [("fixture.py", textwrap.dedent(SOUND_PAIR))], RECEIVER_HINTS
+        )
+        pairs = find_kernel_pairs(graph)
+        assert len(pairs) == 1
+        assert pairs[0].reference.name == "ReferenceKernel"
+        assert pairs[0].activity.name == "ActivityKernel"
+        assert pairs[0].reference_root == "fixture.ReferenceKernel.cycle"
+        assert "fixture.ActivityKernel.on_offer" in pairs[0].activity_roots
+
+    def test_module_without_kernels_is_clean(self):
+        report = lint(COMPONENT)
+        assert report.ok
+
+
+class TestSkipUnsound:
+    def test_sound_pair_passes(self):
+        report = lint(SOUND_PAIR)
+        assert [d.rule for d in report.diagnostics] == []
+
+    def test_dropped_replication_is_an_error(self):
+        report = lint(UNSOUND_PAIR)
+        errs = [
+            d for d in report.diagnostics if d.rule == "kernel-skip-unsound"
+        ]
+        assert len(errs) == 1
+        assert errs[0].severity == Severity.ERROR
+        assert "'marks'" in errs[0].message
+        assert "fixture.py:" in errs[0].location
+
+    def test_inert_annotation_discharges_the_obligation(self):
+        src = UNSOUND_PAIR.replace(
+            "def mark(self):",
+            "def mark(self):  # kernel: inert(Counter.marks)",
+        )
+        report = lint(src)
+        assert report.ok
+
+
+class TestWakeUnscheduled:
+    def test_drained_but_never_armed_agenda_warns(self):
+        src = SOUND_PAIR.replace(
+            """    def on_offer(self, c):
+        self._wake.append(c)
+""",
+            """    def on_offer(self, c):
+        pass
+""",
+        )
+        report = lint(src)
+        warns = [
+            d
+            for d in report.diagnostics
+            if d.rule == "kernel-wake-unscheduled"
+        ]
+        assert len(warns) == 1
+        assert warns[0].severity == Severity.WARNING
+        assert "_wake" in warns[0].message
+
+    def test_armed_agenda_is_quiet(self):
+        report = lint(SOUND_PAIR)
+        assert not any(
+            d.rule == "kernel-wake-unscheduled" for d in report.diagnostics
+        )
+
+
+class TestStateUntracked:
+    def test_activity_only_mutation_warns(self):
+        src = SOUND_PAIR.replace(
+            """    def mark(self):
+        self.marks += 1
+""",
+            """    def mark(self):
+        self.marks += 1
+
+    def scrub(self):
+        self.debris = 0
+""",
+        ).replace(
+            """        for c in self._wake:
+            c.tick()
+            c.mark()
+""",
+            """        for c in self._wake:
+            c.tick()
+            c.mark()
+            c.scrub()
+""",
+        )
+        report = lint(src)
+        warns = [
+            d
+            for d in report.diagnostics
+            if d.rule == "kernel-state-untracked"
+        ]
+        assert len(warns) == 1
+        assert "'debris'" in warns[0].message
+
+    def test_private_annotation_excuses_bookkeeping(self):
+        src = SOUND_PAIR.replace(
+            "class Counter:",
+            "# kernel: private(Counter.debris)\nclass Counter:",
+        ).replace(
+            """    def mark(self):
+        self.marks += 1
+""",
+            """    def mark(self):
+        self.marks += 1
+
+    def scrub(self):
+        self.debris = 0
+""",
+        ).replace(
+            "            c.mark()\n\n    def on_offer",
+            "            c.mark()\n            c.scrub()\n\n    def on_offer",
+        )
+        report = lint(src)
+        assert not any(
+            d.rule == "kernel-state-untracked" for d in report.diagnostics
+        )
+
+
+class TestRepoContract:
+    def test_shipping_kernels_prove_clean(self):
+        # The acceptance bar for the whole pass: the real
+        # ReferenceKernel/ActivityKernel pair (plus annotations) carries
+        # no outstanding proof obligations.
+        report = lint_paths(["src/repro"])
+        assert [d.format() for d in report.diagnostics] == []

@@ -40,7 +40,8 @@ class TestRuleCatalog:
         assert set(model) | set(code) == set(RULES)
         assert not set(model) & set(code)
         assert all(
-            r.startswith(("det-", "unit-", "proto-", "pool-")) for r in code
+            r.startswith(("det-", "unit-", "proto-", "pool-", "kernel-"))
+            for r in code
         )
 
     def test_dataflow_rules_registered(self):
@@ -51,6 +52,14 @@ class TestRuleCatalog:
             "proto-push-guard",
             "pool-global-write",
             "pool-capture",
+        } <= code
+
+    def test_kernel_rules_registered(self):
+        code = set(rule_ids("code"))
+        assert {
+            "kernel-skip-unsound",
+            "kernel-wake-unscheduled",
+            "kernel-state-untracked",
         } <= code
 
     def test_rule_ids_default_is_everything(self):
