@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test check flowcheck kernellint bench figures figures-paper telemetry-demo sweep-demo faults-demo search-demo kernel-demo kernel-equiv perfwatch perfwatch-demo clean-cache loc help
+.PHONY: install test check flowcheck kernellint taintlint bench figures figures-paper telemetry-demo sweep-demo faults-demo search-demo kernel-demo kernel-equiv perfwatch perfwatch-demo clean-cache loc help
 
 help:
 	@echo "make install        editable install"
@@ -10,6 +10,7 @@ help:
 	@echo "make check          static model checks + code lints (+ ruff if installed)"
 	@echo "make flowcheck      CI's repro-check job: model checks + all code lints, strict"
 	@echo "make kernellint     just the kernel-soundness prover (byte-identity contract)"
+	@echo "make taintlint      just the taint provers (cache-key soundness, zero overhead)"
 	@echo "make bench          regenerate every figure at CI scale"
 	@echo "make figures        regenerate figures at quick scale (9 benchmarks)"
 	@echo "make figures-paper  full 30-benchmark regeneration (~1h)"
@@ -38,8 +39,8 @@ check:
 
 # Mirrors CI's `repro-check` job exactly: the pre-run model checks for
 # every registered scheme, then all code lints (determinism, unit
-# inference, credit conservation, pool captures, kernel soundness)
-# strict against the committed staticcheck-baseline.json.
+# inference, credit conservation, pool captures, kernel soundness,
+# taint provers) strict against the committed staticcheck-baseline.json.
 flowcheck:
 	PYTHONPATH=src $(PY) -m repro check --all-schemes --json -
 	PYTHONPATH=src $(PY) -m repro check --code src/repro --strict --json -
@@ -50,6 +51,13 @@ kernellint:
 	PYTHONPATH=src $(PY) -m repro check --code src/repro --no-baseline \
 		--rule kernel-skip-unsound --rule kernel-wake-unscheduled \
 		--rule kernel-state-untracked --strict
+
+# Just the taint provers: cache-key soundness, the zero-overhead
+# contract for disabled telemetry/fault subsystems, and environmental
+# values (wall-clock/RNG) flowing into results.
+taintlint:
+	PYTHONPATH=src $(PY) -m repro check --code src/repro --no-baseline \
+		--taint --strict
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

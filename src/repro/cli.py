@@ -431,8 +431,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 print(f"wrote {args.json}")
         return 0 if report.ok else 1
 
+    TAINT_RULES = ["cachekey-unsound", "overhead-not-free", "det-taint"]
+    rules = list(args.rule)
+    if args.taint:
+        rules.extend(r for r in TAINT_RULES if r not in rules)
     try:
-        runner = CheckRunner(rules=args.rule or None, strict=args.strict)
+        runner = CheckRunner(rules=rules or None, strict=args.strict)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -471,7 +475,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
             report.extend(runner.check_inputs(
                 ModelInputs(scheme=name, **kwargs)
             ))
-        report = report.filter(args.rule or None)
+        report = report.filter(rules or None)
     if args.code:
         from repro.staticcheck import baseline as baseline_mod
 
@@ -479,8 +483,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
         code_report = runner.check_paths(args.code)
         if args.update_baseline:
             target = args.baseline or baseline_mod.DEFAULT_BASELINE
-            count = baseline_mod.save(target, code_report)
+            count, pruned = baseline_mod.update(target, code_report)
             print(f"wrote {target} with {count} grandfathered finding(s)")
+            if pruned:
+                print(f"pruned {len(pruned)} stale fingerprint(s):")
+                for fp in pruned:
+                    print(f"  {fp}")
             code_report = code_report.__class__()
         elif not args.no_baseline:
             source = args.baseline or baseline_mod.DEFAULT_BASELINE
@@ -748,6 +756,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chk.add_argument("--rule", action="append", default=[], metavar="ID",
                      help="only report these rule ids; repeatable")
+    chk.add_argument(
+        "--taint", action="store_true",
+        help="select the interprocedural taint rules (cachekey-unsound, "
+             "overhead-not-free, det-taint) for --code; combines with "
+             "--rule",
+    )
     chk.add_argument("--strict", action="store_true",
                      help="exit non-zero on warnings too")
     chk.add_argument("--json", default=None, metavar="FILE",

@@ -67,6 +67,25 @@ def save(path: str, report: CheckReport) -> int:
     return len(report.diagnostics)
 
 
+def update(path: str, report: CheckReport) -> Tuple[int, List[str]]:
+    """Rewrite ``path`` from ``report``, pruning stale fingerprints.
+
+    Returns ``(count, pruned)`` where *count* is the number of findings
+    written (as in :func:`save`) and *pruned* lists the fingerprints
+    that were present in the old baseline but no longer match any
+    current finding.  A missing or malformed old baseline prunes
+    nothing — the rewrite is what matters.
+    """
+    try:
+        old = load(path)
+    except ValueError:
+        old = {}
+    count = save(path, report)
+    current = {fingerprint(diag) for diag in report.diagnostics}
+    pruned = sorted(fp for fp in old if fp not in current)
+    return count, pruned
+
+
 def load(path: str) -> Dict[str, int]:
     """Read a baseline file into ``{fingerprint: allowed_count}``.
 
@@ -119,4 +138,4 @@ def apply(
     return fresh, matched, stale
 
 
-__all__ = ["DEFAULT_BASELINE", "apply", "fingerprint", "load", "save"]
+__all__ = ["DEFAULT_BASELINE", "apply", "fingerprint", "load", "save", "update"]

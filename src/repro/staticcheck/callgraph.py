@@ -209,14 +209,18 @@ def chain_of(
     """Normalized receiver chain of an expression, or None.
 
     ``net.routers[r]`` becomes ``net.routers[]``; local aliases are
-    substituted through ``aliases`` (name -> chain).  ``x.get(k)``
-    aliases an element of ``x`` (``chain(x)[]``); the passthrough
-    builtins (``sorted``/``enumerate``/...) alias their argument.
+    substituted through ``aliases`` (name -> chain).  ``x.get(k)`` and
+    ``x.setdefault(k, d)`` alias an element of ``x`` (``chain(x)[]``);
+    the passthrough builtins (``sorted``/``enumerate``/...) alias their
+    argument.
     """
     if isinstance(expr, ast.Name):
         if aliases is not None and expr.id in aliases:
             return aliases[expr.id]
         return expr.id
+    if isinstance(expr, ast.NamedExpr):
+        # (x := expr) evaluates to expr: chains pass through the walrus
+        return chain_of(expr.value, aliases)
     if isinstance(expr, ast.Attribute):
         base = chain_of(expr.value, aliases)
         return f"{base}.{expr.attr}" if base else None
@@ -231,7 +235,11 @@ def chain_of(
             and expr.args
         ):
             return chain_of(expr.args[0], aliases)
-        if isinstance(fn, ast.Attribute) and fn.attr == "get" and expr.args:
+        if (
+            isinstance(fn, ast.Attribute)
+            and fn.attr in ("get", "setdefault")
+            and expr.args
+        ):
             base = chain_of(fn.value, aliases)
             return f"{base}[]" if base else None
     return None
@@ -671,6 +679,9 @@ class _FunctionResolver:
                     )
             elif isinstance(node, ast.comprehension):
                 self._bind_loop(node.target, node.iter)
+            elif isinstance(node, ast.NamedExpr):
+                # walrus: (x := expr) binds like an assignment
+                self._bind_assign([node.target], node.value)
 
     def _bind_assign(
         self, targets: List[ast.expr], value: ast.expr
@@ -716,30 +727,38 @@ class _FunctionResolver:
 
     def _bind_loop(self, target: ast.expr, iter_expr: ast.expr) -> None:
         # for x in <chain>  /  for i, x in enumerate(<chain>)
-        src = iter_expr
-        enumerated = (
-            isinstance(iter_expr, ast.Call)
-            and isinstance(iter_expr.func, ast.Name)
-            and iter_expr.func.id == "enumerate"
-            and iter_expr.args
-        )
-        if enumerated:
-            src = iter_expr.args[0]
-        chain = chain_of(src, self.aliases)
+        # for a, b in zip(<chain1>, <chain2>)  — positional element binds
+        fn = iter_expr.func if isinstance(iter_expr, ast.Call) else None
+        name = fn.id if isinstance(fn, ast.Name) else None
+        if name == "enumerate" and iter_expr.args:
+            if (
+                isinstance(target, (ast.Tuple, ast.List))
+                and len(target.elts) == 2
+            ):
+                self._bind_loop(target.elts[1], iter_expr.args[0])
+            return
+        if name == "zip" and iter_expr.args:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                for elt, src in zip(target.elts, iter_expr.args):
+                    self._bind_loop(elt, src)
+            return
+        chain = chain_of(iter_expr, self.aliases)
         if chain is None:
             return
-        element = f"{chain}[]"
+        self._bind_element(target, f"{chain}[]")
+
+    def _bind_element(self, target: ast.expr, element: str) -> None:
+        """Bind a (possibly nested tuple) loop target to an element chain."""
         if isinstance(target, ast.Name):
             self.aliases[target.id] = element
         elif isinstance(target, (ast.Tuple, ast.List)):
-            elts = target.elts
-            if enumerated and len(elts) == 2:
-                if isinstance(elts[1], ast.Name):
-                    self.aliases[elts[1].id] = element
-            else:
-                for elt in elts:
-                    if isinstance(elt, ast.Name):
-                        self.aliases[elt.id] = f"{element}[]"
+            for elt in target.elts:
+                if isinstance(elt, ast.Starred):
+                    # *rest collects remaining items: rest[] is an item,
+                    # so rest aliases the unpacked element itself
+                    self._bind_element(elt.value, element)
+                else:
+                    self._bind_element(elt, f"{element}[]")
 
     def _bound_method_qname(self, node: ast.Attribute) -> Optional[str]:
         """``self.method`` (no call) as a bound-method value."""

@@ -158,6 +158,7 @@ class _AliasAnalysis(ForwardAnalysis):
         return a & b
 
     def transfer(self, state, stmt):
+        state = self._walrus_binds(state, stmt)
         if isinstance(stmt, BranchCondition):
             self._pending_for = (
                 id(stmt.expr) if stmt.kind in ("for", "with") else None
@@ -202,6 +203,21 @@ class _AliasAnalysis(ForwardAnalysis):
                     else:
                         bound = None
                     state = self._rebind(state, elt.id, bound)
+        return state
+
+    def _walrus_binds(self, state, stmt):
+        """Apply ``(x := expr)`` bindings found anywhere in ``stmt``."""
+        node = stmt.expr if isinstance(stmt, BranchCondition) else stmt
+        if not isinstance(node, ast.AST):
+            return state
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.NamedExpr) and isinstance(
+                sub.target, ast.Name
+            ):
+                chain = chain_of(sub.value, dict(state))
+                if chain is None and _is_fresh(sub.value):
+                    chain = _FRESH
+                state = self._rebind(state, sub.target.id, chain)
         return state
 
     @staticmethod

@@ -388,7 +388,24 @@ class _CFGBuilder:
                 ast.copy_location(bind, stmt)
                 self._append(current, bind)
         self._raise_edges(current)
-        return self._suite(stmt.body, current)
+        # A `with` statement is an implicit try/finally: a raise anywhere
+        # in the body runs __exit__ and then propagates.  Model that with
+        # a synthetic handler block active for the body — every body
+        # statement gets an edge to it — which routes onward to the
+        # enclosing handlers (when inside a try) or through the enclosing
+        # finally suites to the function exit.
+        propagate = self.cfg.new_block("with-raise")
+        body_entry = self.cfg.new_block("with-body")
+        self.cfg.add_edge(current, body_entry.bid)
+        self.handlers.append([propagate.bid])
+        try:
+            body_exit = self._suite(stmt.body, body_entry.bid)
+        finally:
+            self.handlers.pop()
+        self._raise_edges(propagate.bid)
+        target = self._through_finallies(propagate.bid)
+        self.cfg.add_edge(target, self.cfg.exit)
+        return body_exit
 
     def _try(self, stmt: ast.Try, current: int) -> Optional[int]:
         finally_route = self._make_finally_router(stmt)

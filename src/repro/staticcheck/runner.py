@@ -162,6 +162,23 @@ RULES: Dict[str, tuple] = {
         "the activity kernel must not mutate component state the "
         "reference kernel never touches (byte-identity drift)",
     ),
+    "cachekey-unsound": (
+        "code",
+        "no RunSpec field excluded from key() may influence the cached "
+        "payload (always-excluded: any flow; when-None-excluded: any "
+        "unguarded flow)",
+    ),
+    "overhead-not-free": (
+        "code",
+        "with telemetry/faults off, no ungated path from the simulation "
+        "entry points may reach a collector/injector/probe method",
+    ),
+    "det-taint": (
+        "code",
+        "no wall-clock or unseeded-RNG value may flow into returned "
+        "results or stats state (interprocedural; '# taint: sanitize' "
+        "discharges diagnostic-only flows)",
+    ),
 }
 
 
@@ -230,6 +247,7 @@ class CheckRunner:
         and run once.
         """
         from repro.staticcheck import (
+            cachelint,
             detlint,
             kernellint,
             poollint,
@@ -248,6 +266,7 @@ class CheckRunner:
             report.extend(poollint.lint_source(text, path, graph=graph))
         report.extend(protolint.lint_graph(graph))
         report.extend(kernellint.lint_graph(graph))
+        report.extend(cachelint.lint_graph(graph))
         return self._filtered(report)
 
     def check_source(self, text: str, path: str = "<string>") -> CheckReport:

@@ -124,3 +124,39 @@ class TestLoadValidation:
         assert payload["version"] == 1
         fps = [f["fingerprint"] for f in payload["findings"]]
         assert fps == sorted(fps)
+
+
+class TestUpdate:
+    def test_update_prunes_stale_fingerprints(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        baseline.save(path, report_with(
+            ("unit-mix", "src/m.py:1", "old finding"),
+            ("unit-mix", "src/m.py:2", "kept finding"),
+        ))
+        count, pruned = baseline.update(
+            path, report_with(("unit-mix", "src/m.py:9", "kept finding"))
+        )
+        assert count == 1
+        assert pruned == ["unit-mix::src/m.py::old finding"]
+        assert set(baseline.load(path)) == {
+            "unit-mix::src/m.py::kept finding"
+        }
+
+    def test_update_from_missing_file_prunes_nothing(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        count, pruned = baseline.update(
+            path, report_with(("unit-mix", "src/m.py:1", "msg"))
+        )
+        assert count == 1
+        assert pruned == []
+        assert len(baseline.load(path)) == 1
+
+    def test_update_tolerates_malformed_old_file(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("not json")
+        count, pruned = baseline.update(
+            str(path), report_with(("unit-mix", "src/m.py:1", "msg"))
+        )
+        assert count == 1
+        assert pruned == []
+        assert len(baseline.load(str(path))) == 1

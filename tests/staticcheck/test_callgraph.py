@@ -221,3 +221,77 @@ class TestChains:
         chain = chain_of(expr, {})
         assert chain == "self.routers[].vcs"
         assert final_attr(chain) == "vcs"
+
+
+class TestWalrusAndZip:
+    def test_walrus_binds_like_assignment(self):
+        g = graph_of(m="""
+            class Router:
+                def tick(self):
+                    pass
+
+            def f():
+                if (r := Router()) is not None:
+                    r.tick()
+        """)
+        sites = g.calls["m.f"]
+        assert any("m.Router.tick" in s.targets for s in sites)
+
+    def test_chain_passes_through_walrus(self):
+        import ast
+
+        expr = ast.parse("(x := net.router)", mode="eval").body
+        assert chain_of(expr, {}) == "net.router"
+
+    def test_zip_loop_binds_positional_elements(self):
+        import textwrap
+
+        src = textwrap.dedent("""
+            class Router:
+                def tick(self):
+                    pass
+
+            class Link:
+                def pulse(self):
+                    pass
+
+            class Net:
+                def step(self):
+                    for r, ln in zip(self.routers, self.links):
+                        r.tick()
+                        ln.pulse()
+        """)
+        g = build_call_graph(
+            [("m.py", src)],
+            {"routers[]": ("Router",), "links[]": ("Link",)},
+        )
+        targets = {
+            t for s in g.calls["m.Net.step"] for t in s.targets
+        }
+        assert {"m.Router.tick", "m.Link.pulse"} <= targets
+
+    def test_starred_target_aliases_the_element(self):
+        import textwrap
+
+        src = textwrap.dedent("""
+            class Router:
+                def tick(self):
+                    pass
+
+            class Net:
+                def step(self):
+                    head, *rest = self.routers
+                    for r in rest:
+                        r.tick()
+        """)
+        g = build_call_graph([("m.py", src)], {"routers[]": ("Router",)})
+        targets = {
+            t for s in g.calls["m.Net.step"] for t in s.targets
+        }
+        assert "m.Router.tick" in targets
+
+    def test_setdefault_aliases_an_element(self):
+        import ast
+
+        expr = ast.parse("table.setdefault(k, [])", mode="eval").body
+        assert chain_of(expr, {}) == "table[]"

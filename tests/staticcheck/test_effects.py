@@ -146,3 +146,45 @@ class TestCollect:
             skip=lambda caller, site: site.attr == "fallback",
         )
         assert all(w.attr != "slow" for w in writes)
+
+
+class TestContainerWrites:
+    def test_aug_subscript_write_on_self_container(self):
+        eng = engine_of("""
+            class Queue:
+                def bump(self, i):
+                    self.buf[i] += 1
+        """)
+        summary = eng.direct("m.Queue.bump")
+        assert "buf" in summary.write_attrs
+        assert not summary.pure
+
+    def test_setdefault_is_a_mutation_of_the_receiver(self):
+        eng = engine_of("""
+            class Table:
+                def add(self, k):
+                    self.rows.setdefault(k, 0)
+        """)
+        summary = eng.direct("m.Table.add")
+        assert "rows" in summary.write_attrs
+
+    def test_append_through_setdefault_element(self):
+        eng = engine_of("""
+            class Table:
+                def add(self, k, v):
+                    bucket = self.rows.setdefault(k, [])
+                    bucket.append(v)
+        """)
+        summary = eng.direct("m.Table.add")
+        paths = {w.path for w in summary.writes}
+        assert "self.rows[]" in paths or "self.rows" in paths
+
+    def test_walrus_bound_fresh_container_stays_pure(self):
+        eng = engine_of("""
+            def collect(records):
+                if (out := []) is not None:
+                    for r in records:
+                        out.append(r)
+                return out
+        """)
+        assert eng.direct("m.collect").pure

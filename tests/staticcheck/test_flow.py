@@ -491,3 +491,58 @@ class TestAssert:
         }
         assert any("handler" in lab or "except" in lab
                    for lab in handler_labels)
+
+
+class TestWithRaise:
+    def test_with_body_raise_path_reaches_exit(self):
+        cfg = cfg_of("""
+            def f(res):
+                with res:
+                    step()
+                return 1
+        """)
+        assert {"with-body", "with-raise"} <= labels(cfg)
+        body = next(
+            b for b in cfg.blocks.values() if b.label == "with-body"
+        )
+        wraise = next(
+            b for b in cfg.blocks.values() if b.label == "with-raise"
+        )
+        # every body statement may raise into the synthetic handler,
+        # which (with no enclosing try) propagates to the function exit
+        assert wraise.bid in body.succs
+        assert cfg.exit in wraise.succs
+
+    def test_with_inside_try_routes_to_handler(self):
+        cfg = cfg_of("""
+            def f(res):
+                try:
+                    with res:
+                        step()
+                except ValueError:
+                    fallback()
+                return 0
+        """)
+        wraise = next(
+            b for b in cfg.blocks.values() if b.label == "with-raise"
+        )
+        succ_labels = {cfg.blocks[s].label for s in wraise.succs}
+        assert any(
+            "except" in lab or "handler" in lab for lab in succ_labels
+        )
+
+    def test_with_raise_runs_enclosing_finally(self):
+        cfg = cfg_of("""
+            def f(res):
+                try:
+                    with res:
+                        step()
+                finally:
+                    cleanup()
+                return 0
+        """)
+        wraise = next(
+            b for b in cfg.blocks.values() if b.label == "with-raise"
+        )
+        succ_labels = {cfg.blocks[s].label for s in wraise.succs}
+        assert any("finally" in lab for lab in succ_labels)

@@ -40,7 +40,10 @@ class TestRuleCatalog:
         assert set(model) | set(code) == set(RULES)
         assert not set(model) & set(code)
         assert all(
-            r.startswith(("det-", "unit-", "proto-", "pool-", "kernel-"))
+            r.startswith(
+                ("det-", "unit-", "proto-", "pool-", "kernel-",
+                 "cachekey-", "overhead-")
+            )
             for r in code
         )
 
